@@ -1,0 +1,114 @@
+// Shared setup for the per-figure benchmark harnesses.
+//
+// Every harness regenerates one table or figure of the paper's evaluation
+// (Section 5) at a scale a single-core machine can simulate in seconds to
+// a couple of minutes. Absolute numbers differ from the paper's testbed;
+// the *shape* (who wins, by what factor, where crossovers fall) is what
+// each harness reproduces — see EXPERIMENTS.md for the side-by-side.
+//
+// Scale knob: R2C2_BENCH_SCALE=<float> multiplies flow counts (default 1).
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "common/stats.h"
+#include "common/table.h"
+#include "sim/metrics.h"
+#include "sim/pfq_sim.h"
+#include "sim/r2c2_sim.h"
+#include "sim/tcp_sim.h"
+#include "topology/topology.h"
+#include "workload/generator.h"
+
+namespace r2c2::bench {
+
+inline double bench_scale() {
+  if (const char* s = std::getenv("R2C2_BENCH_SCALE")) {
+    const double v = std::atof(s);
+    if (v > 0) return v;
+  }
+  return 1.0;
+}
+
+inline std::size_t scaled(std::size_t n) {
+  return static_cast<std::size_t>(static_cast<double>(n) * bench_scale());
+}
+
+// The paper's simulation rack: 512-node 3D torus (the AMD SeaMicro
+// 15000-OP's size and topology), 10 Gbps links, 100 ns per-hop latency.
+inline const Topology& rack512() {
+  static const Topology topo = make_torus({8, 8, 8}, 10 * kGbps, 100);
+  return topo;
+}
+
+inline const Router& router512() {
+  static const Router router(rack512());
+  return router;
+}
+
+// The Section 5.2 synthetic workload: Poisson arrivals with the given mean
+// inter-arrival, uniform endpoints, Pareto(1.05, mean 100 KB) sizes.
+inline std::vector<FlowArrival> paper_workload(const Topology& topo, std::size_t flows,
+                                               TimeNs interarrival, std::uint64_t seed = 42) {
+  WorkloadConfig cfg;
+  cfg.num_nodes = topo.num_nodes();
+  cfg.num_flows = flows;
+  cfg.mean_interarrival = interarrival;
+  cfg.seed = seed;
+  return generate_poisson_uniform(cfg);
+}
+
+inline sim::RunMetrics run_r2c2(const Topology& topo, const Router& router,
+                                const std::vector<FlowArrival>& flows,
+                                sim::R2c2SimConfig cfg = {}) {
+  sim::R2c2Sim s(topo, router, cfg);
+  s.add_flows(flows);
+  return s.run();
+}
+
+inline sim::RunMetrics run_tcp(const Topology& topo, const Router& router,
+                               const std::vector<FlowArrival>& flows,
+                               sim::TcpSimConfig cfg = {}) {
+  sim::TcpSim s(topo, router, cfg);
+  s.add_flows(flows);
+  return s.run();
+}
+
+inline sim::RunMetrics run_pfq(const Topology& topo, const Router& router,
+                               const std::vector<FlowArrival>& flows,
+                               sim::PfqSimConfig cfg = {}) {
+  sim::PfqSim s(topo, router, cfg);
+  s.add_flows(flows);
+  return s.run();
+}
+
+// Prints an empirical CDF as aligned columns, one series per call.
+inline void print_cdf(const char* series, std::vector<double> values, std::size_t points = 15) {
+  if (values.empty()) {
+    std::printf("%s: (no samples)\n", series);
+    return;
+  }
+  std::printf("%s (n=%zu):\n  pct:", series, values.size());
+  const double pcts[] = {1, 10, 25, 50, 75, 90, 95, 99, 99.9, 100};
+  for (const double p : pcts) std::printf(" %8.1f", p);
+  std::printf("\n  val:");
+  for (const double p : pcts) std::printf(" %8.2f", percentile(values, p));
+  std::printf("\n");
+  (void)points;
+}
+
+inline std::vector<double> to_doubles(const std::vector<std::uint64_t>& v) {
+  return std::vector<double>(v.begin(), v.end());
+}
+
+inline double mean_of(const std::vector<double>& v) {
+  if (v.empty()) return 0.0;
+  double s = 0;
+  for (double x : v) s += x;
+  return s / static_cast<double>(v.size());
+}
+
+}  // namespace r2c2::bench

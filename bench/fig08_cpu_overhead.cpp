@@ -1,0 +1,88 @@
+// Figure 8: CPU overhead of the periodic rate recomputation, as the 99th
+// percentile (and median) of per-epoch computation time divided by the
+// recomputation interval rho.
+//
+// Methodology mirrors the paper's: record flow arrival/departure events
+// from a 512-node 3D torus simulation at 1 us inter-arrival, then replay
+// the trace, running the *real* water-filling implementation over the
+// flows active at each epoch (only flows lasting longer than one interval
+// are considered, Section 3.3.2's batch filter) and timing it.
+//
+// CPU substitution (DESIGN.md): the "Xeon-class" row is measured on this
+// host; the Intel Atom D510 row is modeled as a 20x slowdown — the ratio
+// implied by the paper's medians at rho = 500 us (1.7% vs 33.5%). Above
+// the 100% line the interval is infeasible on that core.
+//
+// Paper anchors: rho = 500 us -> Xeon median 1.7% / p99 7.9%, Atom median
+// 33.5% / p99 71.4%; rho = 100 us -> Xeon p99 73.9%, Atom infeasible.
+#include <algorithm>
+#include <chrono>
+#include <iostream>
+
+#include "bench_common.h"
+#include "congestion/waterfill.h"
+
+using namespace r2c2;
+using namespace r2c2::bench;
+
+namespace {
+constexpr double kAtomSlowdown = 20.0;
+}
+
+int main() {
+  const Topology& topo = rack512();
+  const Router& router = router512();
+  std::printf("== Figure 8: CPU overhead of rate recomputation vs rho ==\n");
+  std::printf("512-node 3D torus trace at tau = 1 us; real water-fill timed per epoch\n\n");
+
+  // Record the flow trace from a packet-level run.
+  const auto arrivals = paper_workload(topo, scaled(4000), 1 * kNsPerUs, /*seed=*/8);
+  const auto trace = run_r2c2(topo, router, arrivals);
+  TimeNs span = 0;
+  for (const auto& f : trace.flows) span = std::max(span, f.completed);
+  std::printf("trace: %zu flows over %.2f ms of simulated time\n\n", trace.flows.size(),
+              static_cast<double>(span) / 1e6);
+
+  // Warm the router's weight cache as a long-running node's would be
+  // (Section 4.2 precomputes link weights per {protocol, destination}).
+  for (const auto& f : trace.flows) router.link_weights(RouteAlg::kRps, f.src, f.dst);
+
+  Table table({"rho", "epochs", "med flows", "Xeon med %", "Xeon p99 %", "Atom med %",
+               "Atom p99 %", "Atom feasible"});
+  for (const TimeNs rho :
+       {100 * kNsPerUs, 200 * kNsPerUs, 500 * kNsPerUs, 1000 * kNsPerUs, 2000 * kNsPerUs}) {
+    std::vector<double> overhead_pct;
+    std::vector<double> active_counts;
+    for (TimeNs t = rho; t < span; t += rho) {
+      // Batch filter: flows active at t that last more than one interval.
+      std::vector<FlowSpec> active;
+      for (const auto& f : trace.flows) {
+        if (f.arrival <= t && f.completed > t && f.completed - f.arrival > rho) {
+          active.push_back({f.id, f.src, f.dst, RouteAlg::kRps, 1.0, 0, kUnlimitedDemand});
+        }
+      }
+      if (active.empty()) continue;
+      const auto t0 = std::chrono::steady_clock::now();
+      const auto alloc = waterfill(router, active, {.headroom = 0.05});
+      const auto dt = std::chrono::duration<double, std::nano>(
+                          std::chrono::steady_clock::now() - t0)
+                          .count();
+      (void)alloc;
+      overhead_pct.push_back(100.0 * dt / static_cast<double>(rho));
+      active_counts.push_back(static_cast<double>(active.size()));
+    }
+    if (overhead_pct.empty()) continue;
+    const double med = percentile(overhead_pct, 50);
+    const double p99 = percentile(overhead_pct, 99);
+    char label[32];
+    std::snprintf(label, sizeof label, "%lld us", static_cast<long long>(rho / kNsPerUs));
+    table.add_row(label, overhead_pct.size(), percentile(active_counts, 50), med, p99,
+                  med * kAtomSlowdown, p99 * kAtomSlowdown,
+                  p99 * kAtomSlowdown < 100.0 ? "yes" : "NO");
+  }
+  table.print(std::cout);
+  std::printf("\nshape check: overhead falls as rho grows (longer intervals amortize and\n"
+              "the batch filter removes more short flows); small rho is infeasible on\n"
+              "the slow core first — matching Fig. 8's two curves.\n");
+  return 0;
+}

@@ -1,0 +1,80 @@
+// Figure 9: fraction of network capacity used for broadcasting flow
+// events, as a function of the fraction of bytes carried by small flows —
+// for a 512-node 3D torus, 3D mesh and 2D torus (larger diameter = lower
+// relative overhead).
+//
+// Paper anchor points (Section 3.2 / 5.1): 10 KB flows -> 26.66% overhead
+// (13.33% per event); 10 MB flows -> 0.026%; the [25]-like mix with 5% of
+// bytes in small flows -> 1.3% of capacity.
+#include <iostream>
+
+#include "bench_common.h"
+#include "broadcast/broadcast.h"
+
+using namespace r2c2;
+using namespace r2c2::bench;
+
+namespace {
+
+// Average overhead of broadcasting one flow's start+finish relative to the
+// flow's own bytes on the wire: (2 x (n-1) x 16) / (bytes x mean-hops).
+double flow_overhead(const Topology& topo, const BroadcastTrees& trees, double flow_bytes) {
+  const double control = 2.0 * static_cast<double>(trees.bytes_per_broadcast());
+  const double data = flow_bytes * topo.mean_shortest_path_hops();
+  return control / data;
+}
+
+// Capacity fraction used by broadcast for the Fig. 9 two-class mix.
+double capacity_fraction(const Topology& topo, const BroadcastTrees& trees, double small_frac,
+                         double small_bytes, double large_bytes) {
+  // Per byte of payload, expected broadcast bytes:
+  //   small flows carry small_frac of bytes at small_bytes per flow,
+  //   large flows the rest at large_bytes per flow.
+  const double events_per_byte = small_frac / small_bytes + (1.0 - small_frac) / large_bytes;
+  const double control_per_byte =
+      2.0 * static_cast<double>(trees.bytes_per_broadcast()) * events_per_byte;
+  const double data_per_byte = topo.mean_shortest_path_hops();
+  return control_per_byte / (control_per_byte + data_per_byte);
+}
+
+}  // namespace
+
+int main() {
+  std::printf("== Figure 9: broadcast overhead vs fraction of bytes in small flows ==\n");
+  std::printf("(10 KB small flows, 35 MB long flows, uniform traffic, minimal routing)\n\n");
+
+  struct Entry {
+    const char* name;
+    Topology topo;
+  };
+  std::vector<Entry> topos;
+  topos.push_back({"3D torus 8x8x8", make_torus({8, 8, 8}, 10 * kGbps, 100)});
+  topos.push_back({"3D mesh 8x8x8", make_mesh({8, 8, 8}, 10 * kGbps, 100)});
+  topos.push_back({"2D torus 23x22 (506n)", make_torus({23, 22}, 10 * kGbps, 100)});
+
+  Table table({"small-byte fraction", "3D torus %", "3D mesh %", "2D torus %"});
+  for (const double frac : {0.0, 0.05, 0.1, 0.2, 0.3, 0.4, 0.5, 0.75, 1.0}) {
+    std::vector<double> row;
+    for (const auto& e : topos) {
+      const BroadcastTrees trees(e.topo, 1);
+      row.push_back(100.0 * capacity_fraction(e.topo, trees, frac, 10e3, 35e6));
+    }
+    table.add_row(frac, row[0], row[1], row[2]);
+  }
+  table.print(std::cout);
+
+  const Topology& torus = topos[0].topo;
+  const BroadcastTrees trees(torus, 1);
+  std::printf("\nanchors on the 512-node 3D torus (paper values in parentheses):\n");
+  std::printf("  one broadcast on the wire: %zu B (~8 KB)\n", trees.bytes_per_broadcast());
+  std::printf("  10 KB flow, start+finish overhead: %.2f%% (26.66%%)\n",
+              100.0 * flow_overhead(torus, trees, 10e3));
+  std::printf("  10 MB flow: %.4f%% (0.026%%)\n", 100.0 * flow_overhead(torus, trees, 10e6));
+  std::printf("  5%% of bytes in small flows: %.2f%% of capacity (1.3%%)\n",
+              100.0 * capacity_fraction(torus, trees, 0.05, 10e3, 35e6));
+  std::printf("  mean hops: torus %.2f < mesh %.2f < 2D torus %.2f (greater diameter\n"
+              "  => lower relative broadcast overhead, as in the figure)\n",
+              topos[0].topo.mean_shortest_path_hops(), topos[1].topo.mean_shortest_path_hops(),
+              topos[2].topo.mean_shortest_path_hops());
+  return 0;
+}

@@ -1,0 +1,42 @@
+// Figure 12: 99th percentile of short-flow FCT, normalized against TCP,
+// for inter-arrival times tau in {100 ns, 1 us, 10 us, 100 us}.
+//
+// Paper shape: R2C2 and PFQ are several times better than TCP everywhere
+// (normalized value well below 1); at the extreme tau = 100 ns load R2C2
+// deviates from PFQ's ideal as periodic recomputation lags the bursts,
+// and converges back to PFQ as load decreases.
+#include <iostream>
+
+#include "bench_common.h"
+
+using namespace r2c2;
+using namespace r2c2::bench;
+
+int main() {
+  const Topology& topo = rack512();
+  const Router& router = router512();
+  std::printf("== Figure 12: p99 short-flow FCT normalized to TCP, vs tau ==\n\n");
+
+  Table table({"tau", "flows", "TCP p99 us", "R2C2/TCP", "PFQ/TCP", "R2C2/PFQ"});
+  struct Point {
+    TimeNs tau;
+    std::size_t flows;
+    const char* label;
+  };
+  // Flow counts keep each run's simulated span comparable.
+  const Point points[] = {{100, scaled(3000), "100 ns"},
+                          {1 * kNsPerUs, scaled(3000), "1 us"},
+                          {10 * kNsPerUs, scaled(2000), "10 us"},
+                          {100 * kNsPerUs, scaled(800), "100 us"}};
+  for (const Point& p : points) {
+    const auto flows = paper_workload(topo, p.flows, p.tau);
+    const double tcp = percentile(run_tcp(topo, router, flows).short_flow_fct_us(), 99);
+    const double r2c2 = percentile(run_r2c2(topo, router, flows).short_flow_fct_us(), 99);
+    const double pfq = percentile(run_pfq(topo, router, flows).short_flow_fct_us(), 99);
+    table.add_row(p.label, p.flows, tcp, r2c2 / tcp, pfq / tcp, r2c2 / pfq);
+  }
+  table.print(std::cout);
+  std::printf("\nshape check: both normalized columns << 1 at every load; the R2C2/PFQ\n"
+              "gap is widest at tau = 100 ns and closes as load drops (Section 5.2).\n");
+  return 0;
+}

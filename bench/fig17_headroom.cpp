@@ -1,0 +1,47 @@
+// Figure 17: sensitivity to the bandwidth headroom — (a) 99th percentile
+// of short-flow FCT and (b) mean long-flow throughput, for headroom from
+// 0% to 20%, at tau = 1 us.
+//
+// Paper shape: performance is not very sensitive to the knob; 5% is a good
+// trade-off — vs no headroom it cuts p99 short-flow FCT by ~21.9% while
+// costing long flows < 3% of throughput.
+#include <iostream>
+
+#include "bench_common.h"
+
+using namespace r2c2;
+using namespace r2c2::bench;
+
+int main() {
+  const Topology& topo = rack512();
+  const Router& router = router512();
+  const auto flows = paper_workload(topo, scaled(3500), 1 * kNsPerUs);
+  std::printf("== Figure 17: impact of the bandwidth headroom (tau = 1 us) ==\n");
+  std::printf("512-node 3D torus, %zu flows\n\n", flows.size());
+
+  Table table({"headroom %", "p99 short FCT us", "mean long tput Gbps"});
+  double fct0 = 0, tput0 = 0, fct5 = 0, tput5 = 0;
+  for (const double headroom : {0.0, 0.025, 0.05, 0.10, 0.15, 0.20}) {
+    sim::R2c2SimConfig cfg;
+    cfg.alloc.headroom = headroom;
+    const auto m = run_r2c2(topo, router, flows, cfg);
+    const double fct = percentile(m.short_flow_fct_us(), 99);
+    const double tput = mean_of(m.long_flow_tput_gbps());
+    table.add_row(headroom * 100.0, fct, tput);
+    if (headroom == 0.0) {
+      fct0 = fct;
+      tput0 = tput;
+    }
+    if (headroom == 0.05) {
+      fct5 = fct;
+      tput5 = tput;
+    }
+  }
+  table.print(std::cout);
+  std::printf("\n5%% headroom vs none: short-flow p99 FCT %+.1f%% (paper: -21.9%%), "
+              "long-flow throughput %+.1f%% (paper: > -3%%)\n",
+              100.0 * (fct5 - fct0) / fct0, 100.0 * (tput5 - tput0) / tput0);
+  std::printf("shape check: a modest headroom trims the short-flow tail for a small\n"
+              "long-flow cost, and the curve is flat — the knob is forgiving.\n");
+  return 0;
+}

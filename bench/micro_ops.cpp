@@ -1,0 +1,125 @@
+// Microbenchmarks (google-benchmark) for the stack's hot operations: the
+// water-filling rate computation at several active-flow counts, per-flow
+// link-weight derivation per routing protocol, per-packet path sampling
+// and route encoding, broadcast-tree construction, and the wire codecs.
+//
+// These underpin the Fig. 8 feasibility argument: one rate recomputation
+// over a few hundred flows must fit comfortably inside rho = 500 us.
+#include <benchmark/benchmark.h>
+
+#include "broadcast/broadcast.h"
+#include "common/rng.h"
+#include "congestion/waterfill.h"
+#include "packet/packet.h"
+#include "routing/routing.h"
+#include "topology/topology.h"
+#include "workload/generator.h"
+
+namespace r2c2 {
+namespace {
+
+const Topology& torus512() {
+  static const Topology topo = make_torus({8, 8, 8}, 10 * kGbps, 100);
+  return topo;
+}
+
+std::vector<FlowSpec> random_flows(std::size_t n, RouteAlg alg, std::uint64_t seed = 5) {
+  Rng rng(seed);
+  std::vector<FlowSpec> flows;
+  for (std::size_t i = 0; i < n; ++i) {
+    const NodeId s = static_cast<NodeId>(rng.uniform_int(torus512().num_nodes()));
+    NodeId d;
+    do {
+      d = static_cast<NodeId>(rng.uniform_int(torus512().num_nodes()));
+    } while (d == s);
+    flows.push_back({static_cast<FlowId>(i + 1), s, d, alg, 1.0, 0, kUnlimitedDemand});
+  }
+  return flows;
+}
+
+void BM_Waterfill(benchmark::State& state) {
+  static const Router router(torus512());
+  const auto flows = random_flows(static_cast<std::size_t>(state.range(0)), RouteAlg::kRps);
+  // Warm the weight cache (a long-running node's steady state).
+  waterfill(router, flows);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(waterfill(router, flows));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_Waterfill)->Arg(16)->Arg(64)->Arg(256)->Arg(1024)->Complexity();
+
+void BM_LinkWeights(benchmark::State& state) {
+  const auto alg = static_cast<RouteAlg>(state.range(0));
+  Rng rng(7);
+  // A fresh Router per iteration batch would defeat the point: we measure
+  // the *cold* computation by cycling over distinct (src, dst) pairs.
+  const Router router(torus512());
+  NodeId d = 1;
+  for (auto _ : state) {
+    d = static_cast<NodeId>((d + 97) % torus512().num_nodes());
+    const NodeId src = static_cast<NodeId>((d * 31 + 7) % torus512().num_nodes());
+    if (src == d) continue;
+    benchmark::DoNotOptimize(router.link_weights(alg, src, d));
+  }
+}
+BENCHMARK(BM_LinkWeights)
+    ->Arg(static_cast<int>(RouteAlg::kRps))
+    ->Arg(static_cast<int>(RouteAlg::kDor))
+    ->Arg(static_cast<int>(RouteAlg::kVlb))
+    ->Arg(static_cast<int>(RouteAlg::kWlb));
+
+void BM_PickPathAndEncode(benchmark::State& state) {
+  static const Router router(torus512());
+  const auto alg = static_cast<RouteAlg>(state.range(0));
+  Rng rng(11);
+  for (auto _ : state) {
+    const Path p = router.pick_path(alg, 3, 500, rng, 1);
+    benchmark::DoNotOptimize(encode_path(torus512(), p));
+  }
+}
+BENCHMARK(BM_PickPathAndEncode)
+    ->Arg(static_cast<int>(RouteAlg::kRps))
+    ->Arg(static_cast<int>(RouteAlg::kVlb));
+
+void BM_BroadcastTreeBuild(benchmark::State& state) {
+  for (auto _ : state) {
+    BroadcastTrees trees(torus512(), static_cast<int>(state.range(0)));
+    benchmark::DoNotOptimize(trees.bytes_per_broadcast());
+  }
+}
+BENCHMARK(BM_BroadcastTreeBuild)->Arg(1)->Arg(4);
+
+void BM_DataHeaderCodec(benchmark::State& state) {
+  DataHeader h;
+  h.rlen = 12;
+  h.flow = 0xabcd1234;
+  h.src = 3;
+  h.dst = 500;
+  h.seq = 99999;
+  h.plen = 1465;
+  std::array<std::uint8_t, DataHeader::kWireSize> wire{};
+  for (auto _ : state) {
+    h.serialize(wire);
+    benchmark::DoNotOptimize(DataHeader::parse(wire));
+  }
+}
+BENCHMARK(BM_DataHeaderCodec);
+
+void BM_BroadcastMsgCodec(benchmark::State& state) {
+  BroadcastMsg m;
+  m.src = 44;
+  m.dst = 301;
+  m.demand_kbps = 123456;
+  std::array<std::uint8_t, BroadcastMsg::kWireSize> wire{};
+  for (auto _ : state) {
+    m.serialize(wire);
+    benchmark::DoNotOptimize(BroadcastMsg::parse(wire));
+  }
+}
+BENCHMARK(BM_BroadcastMsgCodec);
+
+}  // namespace
+}  // namespace r2c2
+
+BENCHMARK_MAIN();

@@ -1,0 +1,104 @@
+// Tenant isolation: map rich provider policies — per-tenant bandwidth
+// shares and deadline-driven priorities — onto R2C2's two allocation
+// primitives (weight, priority), as Section 3.3.2 describes.
+//
+// Scenario: a 64-node rack shared by three tenants.
+//  - "batch"     : paid for 1 share, runs many bulk flows
+//  - "analytics" : paid for 2 shares, runs a few bulk flows
+//  - "serving"   : latency-critical, uses deadline priorities
+//
+//   $ ./tenant_isolation
+#include <cstdio>
+#include <iostream>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/table.h"
+#include "congestion/policy.h"
+#include "congestion/waterfill.h"
+#include "topology/topology.h"
+
+using namespace r2c2;
+
+namespace {
+
+struct TenantFlows {
+  std::string tenant;
+  std::vector<std::size_t> indices;  // into the flow vector
+};
+
+void report(const char* title, const Router& router, const std::vector<FlowSpec>& flows,
+            const std::vector<TenantFlows>& tenants) {
+  const auto alloc = waterfill(router, flows, {.headroom = 0.05});
+  Table table({"tenant", "flows", "aggregate Gbps", "per-flow min", "per-flow max"});
+  std::printf("%s\n", title);
+  for (const auto& t : tenants) {
+    double total = 0.0, lo = 1e18, hi = 0.0;
+    for (const std::size_t i : t.indices) {
+      total += alloc.rate[i];
+      lo = std::min(lo, alloc.rate[i]);
+      hi = std::max(hi, alloc.rate[i]);
+    }
+    table.add_row(t.tenant, t.indices.size(), total / 1e9, lo / 1e9, hi / 1e9);
+  }
+  table.print(std::cout);
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main() {
+  const Topology topo = make_torus({4, 4, 4}, 10 * kGbps, 100);
+  const Router router(topo);
+  Rng rng(7);
+  const auto random_pair = [&](NodeId& s, NodeId& d) {
+    s = static_cast<NodeId>(rng.uniform_int(topo.num_nodes()));
+    do {
+      d = static_cast<NodeId>(rng.uniform_int(topo.num_nodes()));
+    } while (d == s);
+  };
+
+  // Tenant "batch": 24 flows, 1 share. Tenant "analytics": 6 flows,
+  // 2 shares. Per-tenant guarantees: each flow's weight is the tenant
+  // share divided by its active flow count (policy.h).
+  std::vector<FlowSpec> flows;
+  std::vector<TenantFlows> tenants{{"batch", {}}, {"analytics", {}}, {"serving", {}}};
+  FlowId id = 1;
+  for (int i = 0; i < 24; ++i) {
+    NodeId s, d;
+    random_pair(s, d);
+    tenants[0].indices.push_back(flows.size());
+    flows.push_back({id++, s, d, RouteAlg::kRps, tenant_flow_weight(1.0, 24), 1, kUnlimitedDemand});
+  }
+  for (int i = 0; i < 6; ++i) {
+    NodeId s, d;
+    random_pair(s, d);
+    tenants[1].indices.push_back(flows.size());
+    flows.push_back({id++, s, d, RouteAlg::kRps, tenant_flow_weight(2.0, 6), 1, kUnlimitedDemand});
+  }
+  report("-- batch (1 share, 24 flows) vs analytics (2 shares, 6 flows) --", router, flows,
+         {tenants[0], tenants[1]});
+  std::printf("analytics gets ~2x batch's aggregate despite running 4x fewer flows;\n"
+              "per-flow fairness alone would have given batch 4x more.\n\n");
+
+  // Tenant "serving" arrives with deadline flows: imminent deadlines map
+  // to stricter priorities than the bulk tenants' priority-1 class.
+  for (const TimeNs slack : {200 * kNsPerUs, 5 * kNsPerMs, 50 * kNsPerMs}) {
+    NodeId s, d;
+    random_pair(s, d);
+    tenants[2].indices.push_back(flows.size());
+    flows.push_back({id++, s, d, RouteAlg::kDor, 1.0,
+                     deadline_priority(slack, /*horizon=*/100 * kNsPerMs, /*levels=*/2),
+                     kUnlimitedDemand});
+    std::printf("serving flow with %.1f ms slack -> priority %d\n",
+                static_cast<double>(slack) / 1e6,
+                deadline_priority(slack, 100 * kNsPerMs, 2));
+  }
+  std::printf("\n");
+  report("-- after the serving tenant's deadline flows arrive --", router, flows, tenants);
+  std::printf("deadline flows preempt their links (strict priority rounds in the\n"
+              "water-filler); the bulk tenants share what remains by weight.\n");
+  return 0;
+}

@@ -1,0 +1,70 @@
+#include "broadcast/broadcast.h"
+
+#include <algorithm>
+#include <deque>
+#include <stdexcept>
+
+namespace r2c2 {
+
+BroadcastTrees::BroadcastTrees(const Topology& topo, int trees_per_source)
+    : topo_(topo), trees_per_source_(trees_per_source) {
+  if (!topo.finalized()) throw std::logic_error("topology must be finalized");
+  if (trees_per_source < 1) throw std::invalid_argument("need at least one tree per source");
+  const std::size_t n = topo.num_nodes();
+  trees_.resize(n * static_cast<std::size_t>(trees_per_source));
+
+  std::vector<NodeId> parent(n);
+  std::deque<NodeId> queue;
+  for (NodeId src = 0; src < n; ++src) {
+    for (int t = 0; t < trees_per_source; ++t) {
+      Tree& tree = trees_[static_cast<std::size_t>(src) * trees_per_source_ + t];
+      tree.depth.assign(n, 0xffff);
+      parent.assign(n, kInvalidNode);
+      // BFS with neighbor order rotated by the tree id: different trees
+      // attach nodes through different parents, spreading forwarding load.
+      queue.clear();
+      queue.push_back(src);
+      tree.depth[src] = 0;
+      while (!queue.empty()) {
+        const NodeId u = queue.front();
+        queue.pop_front();
+        const auto out = topo.out_links(u);
+        const std::size_t deg = out.size();
+        for (std::size_t i = 0; i < deg; ++i) {
+          const std::size_t j = (i + static_cast<std::size_t>(t)) % deg;
+          const NodeId v = topo.link(out[j]).to;
+          if (tree.depth[v] == 0xffff) {
+            tree.depth[v] = static_cast<std::uint16_t>(tree.depth[u] + 1);
+            parent[v] = u;
+            queue.push_back(v);
+          }
+        }
+      }
+      // Build CSR children lists from the parent array.
+      tree.child_offset.assign(n + 1, 0);
+      for (NodeId v = 0; v < n; ++v) {
+        if (parent[v] != kInvalidNode) ++tree.child_offset[parent[v] + 1];
+      }
+      for (std::size_t i = 0; i < n; ++i) tree.child_offset[i + 1] += tree.child_offset[i];
+      tree.child_nodes.assign(n - 1, kInvalidNode);
+      std::vector<std::uint32_t> cursor(tree.child_offset.begin(), tree.child_offset.end() - 1);
+      for (NodeId v = 0; v < n; ++v) {
+        if (parent[v] != kInvalidNode) tree.child_nodes[cursor[parent[v]]++] = v;
+      }
+      tree.height = *std::max_element(tree.depth.begin(), tree.depth.end());
+    }
+  }
+}
+
+std::span<const NodeId> BroadcastTrees::children(NodeId at, NodeId src, int t) const {
+  const Tree& tr = tree(src, t);
+  return {tr.child_nodes.data() + tr.child_offset[at], tr.child_offset[at + 1] - tr.child_offset[at]};
+}
+
+int BroadcastTrees::depth_of(NodeId src, int t, NodeId node) const {
+  return tree(src, t).depth[node];
+}
+
+int BroadcastTrees::height(NodeId src, int t) const { return tree(src, t).height; }
+
+}  // namespace r2c2

@@ -1,0 +1,23 @@
+// 16-bit checksum used by both data and broadcast packet formats (Fig. 6).
+//
+// The paper only states "packet checksum"; we use the RFC 1071 Internet
+// checksum (one's-complement sum of 16-bit words) — the conventional choice
+// for a 16-bit header checksum, cheap enough for per-hop verification.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+
+namespace r2c2 {
+
+// One's-complement 16-bit checksum over `data`. A trailing odd byte is
+// padded with zero, per RFC 1071.
+std::uint16_t internet_checksum(std::span<const std::uint8_t> data);
+
+// Verifies data whose checksum field has been zeroed out before computing.
+inline bool checksum_matches(std::span<const std::uint8_t> data, std::uint16_t expected) {
+  return internet_checksum(data) == expected;
+}
+
+}  // namespace r2c2

@@ -1,0 +1,36 @@
+#include "common/stats.h"
+
+namespace r2c2 {
+
+double percentile(std::span<const double> values, double q) {
+  return percentile(std::vector<double>(values.begin(), values.end()), q);
+}
+
+double percentile(std::vector<double> values, double q) {
+  if (values.empty()) throw std::invalid_argument("percentile of empty set");
+  if (q < 0.0 || q > 100.0) throw std::invalid_argument("percentile q out of range");
+  std::sort(values.begin(), values.end());
+  if (values.size() == 1) return values.front();
+  const double rank = q / 100.0 * static_cast<double>(values.size() - 1);
+  const auto lo = static_cast<std::size_t>(rank);
+  const auto hi = std::min(lo + 1, values.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return values[lo] * (1.0 - frac) + values[hi] * frac;
+}
+
+std::vector<CdfPoint> empirical_cdf(std::vector<double> values, std::size_t max_points) {
+  std::vector<CdfPoint> cdf;
+  if (values.empty()) return cdf;
+  std::sort(values.begin(), values.end());
+  const std::size_t n = values.size();
+  const std::size_t stride = std::max<std::size_t>(1, n / std::max<std::size_t>(1, max_points));
+  for (std::size_t i = 0; i < n; i += stride) {
+    cdf.push_back({values[i], static_cast<double>(i + 1) / static_cast<double>(n)});
+  }
+  if (cdf.back().cum_prob < 1.0) {
+    cdf.push_back({values.back(), 1.0});
+  }
+  return cdf;
+}
+
+}  // namespace r2c2

@@ -1,0 +1,74 @@
+// Minimal fixed-width table printer for bench output. Benches print the
+// same rows/series as the paper's tables and figures; this keeps that
+// output aligned and diffable.
+#pragma once
+
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace r2c2 {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header) : header_(std::move(header)) {}
+
+  // Adds a row; each cell is stringified. Row length should match header.
+  template <typename... Cells>
+  void add_row(const Cells&... cells) {
+    std::vector<std::string> row;
+    row.reserve(sizeof...(cells));
+    (row.push_back(stringify(cells)), ...);
+    rows_.push_back(std::move(row));
+  }
+
+  void print(std::ostream& os) const {
+    std::vector<std::size_t> width(header_.size(), 0);
+    for (std::size_t c = 0; c < header_.size(); ++c) width[c] = header_[c].size();
+    for (const auto& row : rows_) {
+      for (std::size_t c = 0; c < row.size() && c < width.size(); ++c) {
+        width[c] = std::max(width[c], row[c].size());
+      }
+    }
+    print_row(os, header_, width);
+    std::string rule;
+    for (std::size_t c = 0; c < width.size(); ++c) {
+      rule += std::string(width[c], '-');
+      if (c + 1 < width.size()) rule += "--";
+    }
+    os << rule << '\n';
+    for (const auto& row : rows_) print_row(os, row, width);
+  }
+
+ private:
+  template <typename T>
+  static std::string stringify(const T& value) {
+    if constexpr (std::is_convertible_v<T, std::string>) {
+      return std::string(value);
+    } else if constexpr (std::is_floating_point_v<T>) {
+      std::ostringstream ss;
+      ss << std::fixed << std::setprecision(3) << value;
+      return ss.str();
+    } else {
+      std::ostringstream ss;
+      ss << value;
+      return ss.str();
+    }
+  }
+
+  static void print_row(std::ostream& os, const std::vector<std::string>& row,
+                        const std::vector<std::size_t>& width) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      os << std::left << std::setw(static_cast<int>(width[std::min(c, width.size() - 1)])) << row[c];
+      if (c + 1 < row.size()) os << "  ";
+    }
+    os << '\n';
+  }
+
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace r2c2

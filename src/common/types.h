@@ -1,0 +1,52 @@
+// Core identifier and unit types shared across the R2C2 stack.
+//
+// The paper's packet format (Fig. 6) uses 16-bit node addresses (up to
+// 65,536 nodes) and 32-bit flow identifiers; we mirror those widths here so
+// the in-memory representation matches the wire format.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace r2c2 {
+
+// Identifies a micro-server (node) inside the rack.
+using NodeId = std::uint16_t;
+
+// Identifies a flow. Flow ids are allocated by the sending node; the
+// (src, flow) pair is globally unique, but in this codebase we hand out
+// rack-unique ids for simplicity.
+using FlowId = std::uint32_t;
+
+// Index of a directed link in a Topology. Links are directed: a physical
+// cable between two nodes appears as two LinkIds, one per direction.
+using LinkId = std::uint32_t;
+
+inline constexpr NodeId kInvalidNode = std::numeric_limits<NodeId>::max();
+inline constexpr FlowId kInvalidFlow = std::numeric_limits<FlowId>::max();
+inline constexpr LinkId kInvalidLink = std::numeric_limits<LinkId>::max();
+
+// Simulation / emulation time in nanoseconds. Signed so that durations and
+// differences are safe; 2^63 ns is ~292 years, ample for any experiment.
+using TimeNs = std::int64_t;
+
+inline constexpr TimeNs kNsPerUs = 1'000;
+inline constexpr TimeNs kNsPerMs = 1'000'000;
+inline constexpr TimeNs kNsPerSec = 1'000'000'000;
+
+// Data rates are kept in bits per second as doubles: the congestion
+// controller does fractional water-filling arithmetic on them.
+using Bps = double;
+
+inline constexpr Bps kGbps = 1e9;
+inline constexpr Bps kMbps = 1e6;
+inline constexpr Bps kKbps = 1e3;
+
+// Serialization time of `bytes` on a link of rate `rate_bps`, in ns
+// (rounded up so a packet never finishes transmitting early).
+constexpr TimeNs transmission_time_ns(std::uint64_t bytes, Bps rate_bps) {
+  const double ns = static_cast<double>(bytes) * 8.0 * 1e9 / rate_bps;
+  return static_cast<TimeNs>(ns) + ((ns > static_cast<double>(static_cast<TimeNs>(ns))) ? 1 : 0);
+}
+
+}  // namespace r2c2

@@ -1,0 +1,55 @@
+// Allocation policies beyond per-flow fairness (goal G4, Section 3.3.2).
+//
+// R2C2 exposes two primitives per flow — a weight and a priority — and the
+// operator maps richer policies (tenant shares, deadlines) onto them,
+// similar to pFabric [4]. These helpers implement the mappings the paper
+// names: per-tenant guarantees [10, 11, 30] and deadline-based fairness
+// [28, 46, 48].
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <stdexcept>
+
+#include "common/types.h"
+
+namespace r2c2 {
+
+// The wire format carries an 8-bit weight and 8-bit priority (Fig. 6).
+inline constexpr double kMaxWireWeight = 255.0;
+inline constexpr int kNumPriorities = 256;
+
+// Per-tenant weighted sharing: a tenant with share `tenant_weight` running
+// `active_flows` flows gives each flow weight tenant_weight/active_flows,
+// so aggregate bandwidth is split by tenant shares regardless of per-tenant
+// flow counts (FairCloud-style per-tenant guarantees).
+inline double tenant_flow_weight(double tenant_weight, int active_flows) {
+  if (tenant_weight <= 0.0) throw std::invalid_argument("tenant weight must be positive");
+  if (active_flows < 1) throw std::invalid_argument("need at least one active flow");
+  return tenant_weight / static_cast<double>(active_flows);
+}
+
+// Quantizes a real-valued weight into the 8-bit wire representation
+// ([1, 255]; 0 would starve the flow and is reserved).
+inline std::uint8_t quantize_weight(double weight) {
+  const double w = std::clamp(std::round(weight), 1.0, kMaxWireWeight);
+  return static_cast<std::uint8_t>(w);
+}
+
+// Deadline-based priority: earlier deadlines map to numerically smaller
+// (stricter) priorities, bucketed logarithmically so imminent deadlines are
+// finely separated and far-away ones coarsely. `horizon` is the slack at
+// which a flow falls into the lowest of `levels` deadline classes.
+inline std::uint8_t deadline_priority(TimeNs time_to_deadline, TimeNs horizon = 100 * kNsPerMs,
+                                      int levels = 8) {
+  if (levels < 1 || levels > kNumPriorities) throw std::invalid_argument("bad level count");
+  if (time_to_deadline <= 0) return 0;  // overdue: most urgent
+  if (time_to_deadline >= horizon) return static_cast<std::uint8_t>(levels - 1);
+  const double frac = std::log2(1.0 + static_cast<double>(time_to_deadline)) /
+                      std::log2(1.0 + static_cast<double>(horizon));
+  const int level = std::min(levels - 1, static_cast<int>(frac * static_cast<double>(levels)));
+  return static_cast<std::uint8_t>(level);
+}
+
+}  // namespace r2c2

@@ -1,0 +1,72 @@
+// Rate computation for R2C2's congestion control (Section 3.3).
+//
+// Given global visibility of all flows (from broadcast), the rack topology,
+// and each flow's routing protocol, every node can independently compute
+// the fair sending rate of every flow. The routing protocol dictates a
+// flow's relative rate across its paths (Fig. 3), so allocation happens at
+// flow granularity irrespective of how many paths a flow uses: flow f's
+// load on link l is rate(f) * fraction(f, l), where the fractions come
+// from Router::link_weights.
+//
+// The allocator is a weighted, prioritized, demand-aware water-filling
+// (progressive filling [12]): all unfrozen flows' rates grow proportionally
+// to their weights until a link saturates or a flow hits its demand; those
+// flows freeze and filling continues. Priorities are strict: each priority
+// level is allocated in its own round over the residual capacities
+// (Section 3.3.2). A configurable headroom fraction is subtracted from
+// every link's capacity to absorb flows whose start broadcast is still in
+// flight (Section 3.3.2). Complexity is O(N*L + N^2) as in the paper.
+#pragma once
+
+#include <limits>
+#include <span>
+#include <vector>
+
+#include "common/types.h"
+#include "routing/routing.h"
+
+namespace r2c2 {
+
+inline constexpr Bps kUnlimitedDemand = std::numeric_limits<Bps>::infinity();
+
+// Everything the allocator needs to know about one flow. This mirrors the
+// contents of the flow-start broadcast packet plus the sender-side demand
+// estimate.
+struct FlowSpec {
+  FlowId id = 0;
+  NodeId src = 0;
+  NodeId dst = 0;
+  RouteAlg alg = RouteAlg::kRps;
+  double weight = 1.0;
+  std::uint8_t priority = 0;  // 0 = highest; strictly served first
+  Bps demand = kUnlimitedDemand;
+};
+
+struct AllocationConfig {
+  // Fraction of every link's capacity reserved as headroom (Section 3.3.2);
+  // the paper finds 5% sufficient even for bursty traffic.
+  double headroom = 0.05;
+};
+
+struct RateAllocation {
+  std::vector<Bps> rate;  // parallel to the input flow span
+  int iterations = 0;     // water-filling freeze rounds (diagnostics)
+};
+
+// Computes max-min fair rates for `flows`. Flows with src == dst or zero
+// weight get rate 0. Thread-safe (Router's cache is internally locked).
+RateAllocation waterfill(const Router& router, std::span<const FlowSpec> flows,
+                         const AllocationConfig& config = {});
+
+// Total load placed on each link by `flows` sending at `rates`; useful for
+// computing utilization and asserting feasibility. Indexed by LinkId.
+std::vector<double> link_loads(const Router& router, std::span<const FlowSpec> flows,
+                               std::span<const Bps> rates);
+
+// Largest uniform injection rate (bps per flow) at which `flows`, all
+// sending at the same rate, fit the network: min over links of
+// capacity / sum-of-fractions. This is the saturation throughput used by
+// the Fig. 2 routing-algorithm comparison.
+Bps saturation_rate(const Router& router, std::span<const FlowSpec> flows);
+
+}  // namespace r2c2

@@ -1,0 +1,23 @@
+#include "control/control_traffic.h"
+
+#include <cmath>
+
+namespace r2c2 {
+
+std::size_t centralized_event_bytes(const Topology& topo, const CentralizedModel& model,
+                                    NodeId event_source, int senders, double flows_per_sender) {
+  // Notification from the event's source to the controller.
+  std::size_t bytes = model.event_msg_bytes *
+                      static_cast<std::size_t>(topo.distance(event_source, model.controller));
+  // Any flow event changes the max-min allocation of (potentially) every
+  // flow, so the controller pushes fresh rates to every sender. Senders are
+  // assumed spread uniformly, so the mean controller->sender distance is
+  // the topology's mean shortest-path length.
+  const double msg_bytes = static_cast<double>(model.rate_msg_header_bytes) +
+                           flows_per_sender * static_cast<double>(model.bytes_per_rate_entry);
+  bytes += static_cast<std::size_t>(
+      std::llround(static_cast<double>(senders) * msg_bytes * topo.mean_shortest_path_hops()));
+  return bytes;
+}
+
+}  // namespace r2c2

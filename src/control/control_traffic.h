@@ -1,0 +1,42 @@
+// Control-traffic cost models: decentralized broadcast vs a centralized
+// Fastpass-style controller (Section 5.2, Fig. 19).
+//
+// Decentralized (R2C2): every flow arrival/departure is broadcast along a
+// shortest-path tree — (n - 1) edges x 16 bytes per event, independent of
+// how many flows are active.
+//
+// Centralized: the source unicasts the event to the controller (16 bytes x
+// hop count); the controller recomputes rates and unicasts to each node
+// sourcing flows a rate message carrying the new rates for that node's own
+// flows (header + 4 bytes per flow, x hop count). Traffic therefore grows
+// with the number of concurrent flows.
+#pragma once
+
+#include <cstdint>
+
+#include "broadcast/broadcast.h"
+#include "topology/topology.h"
+
+namespace r2c2 {
+
+struct CentralizedModel {
+  NodeId controller = 0;
+  std::size_t event_msg_bytes = 16;      // source -> controller notification
+  std::size_t rate_msg_header_bytes = 16;
+  std::size_t bytes_per_rate_entry = 4;  // one rate, Kbps granularity
+};
+
+// Bytes on the wire caused by ONE flow event (arrival or departure).
+
+// Decentralized: one broadcast.
+inline std::size_t decentralized_event_bytes(const BroadcastTrees& trees) {
+  return trees.bytes_per_broadcast();
+}
+
+// Centralized: notification + rate updates to all senders. `senders` is
+// the number of nodes currently sourcing flows and `flows_per_sender` the
+// average number of concurrent flows each of them owns.
+std::size_t centralized_event_bytes(const Topology& topo, const CentralizedModel& model,
+                                    NodeId event_source, int senders, double flows_per_sender);
+
+}  // namespace r2c2

@@ -1,0 +1,107 @@
+#include "control/flow_table.h"
+
+#include <cmath>
+
+namespace r2c2 {
+
+std::uint64_t FlowTable::entry_hash(std::uint32_t key, const FlowSpec& spec) {
+  // Mix every rate-relevant field; XOR-combining entry hashes makes the
+  // view hash order-independent and incrementally updatable.
+  std::uint64_t h = key;
+  h = h * 0x100000001b3ULL ^ spec.dst;
+  h = h * 0x100000001b3ULL ^ static_cast<std::uint64_t>(spec.alg);
+  h = h * 0x100000001b3ULL ^ static_cast<std::uint64_t>(spec.weight * 1024.0);
+  h = h * 0x100000001b3ULL ^ spec.priority;
+  const std::uint64_t demand_bits =
+      std::isfinite(spec.demand) ? static_cast<std::uint64_t>(spec.demand / 1e3) : ~0ULL;
+  h = h * 0x100000001b3ULL ^ demand_bits;
+  std::uint64_t s = h;
+  return splitmix64(s);
+}
+
+void FlowTable::insert_hashed(std::uint32_t k, const FlowSpec& spec) {
+  auto [it, inserted] = entries_.try_emplace(k, spec);
+  if (!inserted) {
+    view_hash_ ^= entry_hash(k, it->second);
+    it->second = spec;
+  }
+  view_hash_ ^= entry_hash(k, spec);
+  ++version_;
+}
+
+void FlowTable::erase_hashed(std::unordered_map<std::uint32_t, FlowSpec>::iterator it) {
+  view_hash_ ^= entry_hash(it->first, it->second);
+  entries_.erase(it);
+  ++version_;
+}
+
+void FlowTable::apply(const BroadcastMsg& msg) {
+  const std::uint32_t k = key(msg.src, msg.fseq);
+  switch (msg.type) {
+    case PacketType::kFlowStart: {
+      FlowSpec spec;
+      spec.id = (static_cast<FlowId>(msg.src) << 16) | msg.fseq;
+      spec.src = msg.src;
+      spec.dst = msg.dst;
+      spec.alg = msg.rp;
+      spec.weight = msg.weight;
+      spec.priority = msg.priority;
+      spec.demand = msg.demand_kbps == 0 ? kUnlimitedDemand
+                                         : static_cast<Bps>(msg.demand_kbps) * kKbps;
+      insert_hashed(k, spec);
+      break;
+    }
+    case PacketType::kFlowFinish: {
+      auto it = entries_.find(k);
+      if (it != entries_.end()) erase_hashed(it);
+      break;
+    }
+    case PacketType::kDemandUpdate: {
+      auto it = entries_.find(k);
+      if (it != entries_.end()) {
+        FlowSpec spec = it->second;
+        spec.demand = msg.demand_kbps == 0 ? kUnlimitedDemand
+                                           : static_cast<Bps>(msg.demand_kbps) * kKbps;
+        insert_hashed(k, spec);
+      }
+      break;
+    }
+    default:
+      break;  // not a flow-table event
+  }
+}
+
+void FlowTable::apply(const RouteUpdatePacket& pkt) {
+  for (const RouteUpdateEntry& e : pkt.entries) {
+    auto it = entries_.find(key(e.flow_src, e.fseq));
+    if (it != entries_.end() && it->second.alg != e.rp) {
+      FlowSpec spec = it->second;
+      spec.alg = e.rp;
+      insert_hashed(it->first, spec);
+    }
+  }
+}
+
+void FlowTable::upsert(NodeId src, std::uint8_t fseq, const FlowSpec& spec) {
+  insert_hashed(key(src, fseq), spec);
+}
+
+void FlowTable::remove(NodeId src, std::uint8_t fseq) {
+  auto it = entries_.find(key(src, fseq));
+  if (it != entries_.end()) erase_hashed(it);
+}
+
+std::optional<FlowSpec> FlowTable::find(NodeId src, std::uint8_t fseq) const {
+  auto it = entries_.find(key(src, fseq));
+  if (it == entries_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::vector<FlowSpec> FlowTable::snapshot() const {
+  std::vector<FlowSpec> flows;
+  flows.reserve(entries_.size());
+  for (const auto& [k, spec] : entries_) flows.push_back(spec);
+  return flows;
+}
+
+}  // namespace r2c2

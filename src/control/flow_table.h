@@ -1,0 +1,65 @@
+// Each node's local view of the rack's global traffic matrix (Section 3.1).
+//
+// Nodes learn about flows from 16-byte broadcast packets. On the wire a
+// flow is identified by (src, fseq) — the paper's broadcast format has no
+// explicit flow-id field, so the spare byte carries the low 8 bits of the
+// sender's flow sequence number (see packet.h). The table synthesizes the
+// canonical FlowId as (src << 16) | fseq for learned flows.
+//
+// The table keeps a rolling order-independent hash of its contents so that
+// a simulator can share one rate computation among all nodes whose views
+// are identical (which is the steady state between broadcast bursts).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "common/rng.h"
+#include "congestion/waterfill.h"
+#include "packet/packet.h"
+
+namespace r2c2 {
+
+class FlowTable {
+ public:
+  // Wire-level flow key.
+  static constexpr std::uint32_t key(NodeId src, std::uint8_t fseq) {
+    return (static_cast<std::uint32_t>(src) << 8) | fseq;
+  }
+
+  // Applies a flow-start / flow-finish / demand-update broadcast.
+  void apply(const BroadcastMsg& msg);
+  // Applies a route-update broadcast (Section 3.4).
+  void apply(const RouteUpdatePacket& pkt);
+
+  // Direct manipulation, used by the sender for its own flows (a sender
+  // knows its flows before anyone else) and by tests.
+  void upsert(NodeId src, std::uint8_t fseq, const FlowSpec& spec);
+  void remove(NodeId src, std::uint8_t fseq);
+  std::optional<FlowSpec> find(NodeId src, std::uint8_t fseq) const;
+
+  std::size_t size() const { return entries_.size(); }
+  bool empty() const { return entries_.empty(); }
+
+  // Snapshot of all known flows, in unspecified order, for the allocator.
+  std::vector<FlowSpec> snapshot() const;
+
+  // Order-independent digest of the current contents. Two nodes with equal
+  // view_hash see the same traffic matrix (up to hash collision).
+  std::uint64_t view_hash() const { return view_hash_; }
+  // Monotone change counter (bumped on every mutation).
+  std::uint64_t version() const { return version_; }
+
+ private:
+  static std::uint64_t entry_hash(std::uint32_t key, const FlowSpec& spec);
+  void insert_hashed(std::uint32_t k, const FlowSpec& spec);
+  void erase_hashed(std::unordered_map<std::uint32_t, FlowSpec>::iterator it);
+
+  std::unordered_map<std::uint32_t, FlowSpec> entries_;
+  std::uint64_t view_hash_ = 0;
+  std::uint64_t version_ = 0;
+};
+
+}  // namespace r2c2

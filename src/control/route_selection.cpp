@@ -1,0 +1,270 @@
+#include "control/route_selection.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+#include <unordered_map>
+
+namespace r2c2 {
+
+namespace {
+
+// Genotype: per-flow index into config.choices.
+using Genotype = std::vector<std::uint8_t>;
+
+struct Evaluator {
+  Evaluator(const Router& r, std::span<const FlowSpec> f, const SelectionConfig& c)
+      : router(r), flows(f), config(c) {}
+
+  const Router& router;
+  std::span<const FlowSpec> flows;
+  const SelectionConfig& config;
+  int evaluations = 0;
+  // Memo keyed by genotype hash: elites reappear every generation and
+  // crossover often reproduces known genotypes.
+  std::unordered_map<std::uint64_t, double> memo;
+  std::vector<FlowSpec> scratch;
+
+  static std::uint64_t hash(const Genotype& g) {
+    std::uint64_t h = 0xcbf29ce484222325ULL;
+    for (std::uint8_t v : g) h = (h ^ v) * 0x100000001b3ULL;
+    return h;
+  }
+
+  double fitness(const Genotype& g) {
+    const std::uint64_t h = hash(g);
+    if (auto it = memo.find(h); it != memo.end()) return it->second;
+    scratch.assign(flows.begin(), flows.end());
+    for (std::size_t i = 0; i < g.size(); ++i) scratch[i].alg = config.choices[g[i]];
+    const auto rates = waterfill(router, scratch, config.alloc).rate;
+    double utility = 0.0;
+    switch (config.utility) {
+      case UtilityKind::kAggregateThroughput:
+        for (double r : rates) utility += r;
+        break;
+      case UtilityKind::kMinThroughput:
+        utility = rates.empty() ? 0.0 : *std::min_element(rates.begin(), rates.end());
+        break;
+    }
+    ++evaluations;
+    memo.emplace(h, utility);
+    return utility;
+  }
+};
+
+Genotype current_assignment(std::span<const FlowSpec> flows, const SelectionConfig& config) {
+  Genotype g(flows.size(), 0);
+  for (std::size_t i = 0; i < flows.size(); ++i) {
+    const auto it = std::find(config.choices.begin(), config.choices.end(), flows[i].alg);
+    g[i] = it == config.choices.end()
+               ? 0
+               : static_cast<std::uint8_t>(std::distance(config.choices.begin(), it));
+  }
+  return g;
+}
+
+SelectionResult finish(const Evaluator& eval, const Genotype& best, double utility,
+                       const SelectionConfig& config) {
+  SelectionResult result;
+  result.assignment.resize(best.size());
+  for (std::size_t i = 0; i < best.size(); ++i) result.assignment[i] = config.choices[best[i]];
+  result.utility = utility;
+  result.evaluations = eval.evaluations;
+  return result;
+}
+
+void validate(const SelectionConfig& config) {
+  if (config.choices.empty()) throw std::invalid_argument("no routing protocols to choose from");
+  if (config.choices.size() > 256) throw std::invalid_argument("too many protocol choices");
+}
+
+}  // namespace
+
+double route_assignment_utility(const Router& router, std::span<const FlowSpec> flows,
+                                std::span<const RouteAlg> assignment, UtilityKind kind,
+                                const AllocationConfig& alloc) {
+  if (assignment.size() != flows.size()) throw std::invalid_argument("assignment size mismatch");
+  std::vector<FlowSpec> adjusted(flows.begin(), flows.end());
+  for (std::size_t i = 0; i < flows.size(); ++i) adjusted[i].alg = assignment[i];
+  const auto rates = waterfill(router, adjusted, alloc).rate;
+  switch (kind) {
+    case UtilityKind::kAggregateThroughput: {
+      double sum = 0.0;
+      for (double r : rates) sum += r;
+      return sum;
+    }
+    case UtilityKind::kMinThroughput:
+      return rates.empty() ? 0.0 : *std::min_element(rates.begin(), rates.end());
+  }
+  throw std::invalid_argument("unknown utility kind");
+}
+
+SelectionResult select_routes_ga(const Router& router, std::span<const FlowSpec> flows,
+                                 const SelectionConfig& config) {
+  validate(config);
+  Evaluator eval{router, flows, config};
+  Rng rng(config.seed);
+  const std::size_t n_choices = config.choices.size();
+
+  // Initial population: the current assignment, each uniform
+  // single-protocol assignment (so the GA result is never worse than the
+  // best network-wide protocol), and random genotypes.
+  std::vector<Genotype> population;
+  population.reserve(static_cast<std::size_t>(config.population));
+  population.push_back(current_assignment(flows, config));
+  for (std::size_t c = 0; c < n_choices &&
+                          population.size() < static_cast<std::size_t>(config.population);
+       ++c) {
+    population.emplace_back(flows.size(), static_cast<std::uint8_t>(c));
+  }
+  while (population.size() < static_cast<std::size_t>(config.population)) {
+    Genotype g(flows.size());
+    for (auto& v : g) v = static_cast<std::uint8_t>(rng.uniform_int(n_choices));
+    population.push_back(std::move(g));
+  }
+
+  std::vector<double> fit(population.size());
+  Genotype best;
+  double best_fit = -std::numeric_limits<double>::infinity();
+  int stall = 0;
+
+  for (int gen = 0; gen < config.max_generations && stall < config.stall_generations; ++gen) {
+    for (std::size_t i = 0; i < population.size(); ++i) fit[i] = eval.fitness(population[i]);
+    // Rank by fitness, best first.
+    std::vector<std::size_t> rank(population.size());
+    for (std::size_t i = 0; i < rank.size(); ++i) rank[i] = i;
+    std::sort(rank.begin(), rank.end(), [&](std::size_t a, std::size_t b) { return fit[a] > fit[b]; });
+
+    if (fit[rank[0]] > best_fit) {
+      best_fit = fit[rank[0]];
+      best = population[rank[0]];
+      stall = 0;
+    } else {
+      ++stall;
+    }
+
+    // Next generation: elites unchanged, the rest bred by tournament
+    // selection + uniform crossover + per-gene mutation.
+    std::vector<Genotype> next;
+    next.reserve(population.size());
+    const int elite = std::min<int>(config.elite, static_cast<int>(population.size()));
+    for (int e = 0; e < elite; ++e) next.push_back(population[rank[static_cast<std::size_t>(e)]]);
+    const auto tournament = [&]() -> const Genotype& {
+      const std::size_t a = rng.uniform_int(population.size());
+      const std::size_t b = rng.uniform_int(population.size());
+      return fit[a] >= fit[b] ? population[a] : population[b];
+    };
+    while (next.size() < population.size()) {
+      const Genotype& pa = tournament();
+      const Genotype& pb = tournament();
+      Genotype child(pa.size());
+      for (std::size_t i = 0; i < child.size(); ++i) {
+        child[i] = rng.bernoulli(0.5) ? pa[i] : pb[i];
+        if (rng.bernoulli(config.mutation_prob)) {
+          child[i] = static_cast<std::uint8_t>(rng.uniform_int(n_choices));
+        }
+      }
+      next.push_back(std::move(child));
+    }
+    population = std::move(next);
+  }
+  // Account for the final population (it may contain the best genotype).
+  for (const Genotype& g : population) {
+    const double f = eval.fitness(g);
+    if (f > best_fit) {
+      best_fit = f;
+      best = g;
+    }
+  }
+  return finish(eval, best, best_fit, config);
+}
+
+SelectionResult select_routes_hill_climb(const Router& router, std::span<const FlowSpec> flows,
+                                         const SelectionConfig& config) {
+  validate(config);
+  Evaluator eval{router, flows, config};
+  Genotype at = current_assignment(flows, config);
+  double at_fit = eval.fitness(at);
+  bool improved = true;
+  while (improved && eval.evaluations < config.eval_budget) {
+    improved = false;
+    Genotype best_nb = at;
+    double best_nb_fit = at_fit;
+    for (std::size_t i = 0; i < at.size() && eval.evaluations < config.eval_budget; ++i) {
+      for (std::size_t c = 0; c < config.choices.size(); ++c) {
+        if (c == at[i]) continue;
+        Genotype nb = at;
+        nb[i] = static_cast<std::uint8_t>(c);
+        const double f = eval.fitness(nb);
+        if (f > best_nb_fit) {
+          best_nb_fit = f;
+          best_nb = std::move(nb);
+        }
+      }
+    }
+    if (best_nb_fit > at_fit) {
+      at = std::move(best_nb);
+      at_fit = best_nb_fit;
+      improved = true;
+    }
+  }
+  return finish(eval, at, at_fit, config);
+}
+
+SelectionResult select_routes_random(const Router& router, std::span<const FlowSpec> flows,
+                                     const SelectionConfig& config) {
+  validate(config);
+  Evaluator eval{router, flows, config};
+  Rng rng(config.seed);
+  Genotype best(flows.size(), 0);
+  double best_fit = -std::numeric_limits<double>::infinity();
+  for (int i = 0; i < std::max(1, config.eval_budget); ++i) {
+    Genotype g(flows.size());
+    for (auto& v : g) v = static_cast<std::uint8_t>(rng.uniform_int(config.choices.size()));
+    const double f = eval.fitness(g);
+    if (f > best_fit) {
+      best_fit = f;
+      best = std::move(g);
+    }
+  }
+  return finish(eval, best, best_fit, config);
+}
+
+SelectionResult select_routes_exhaustive(const Router& router, std::span<const FlowSpec> flows,
+                                         const SelectionConfig& config) {
+  validate(config);
+  const double space = std::pow(static_cast<double>(config.choices.size()),
+                                static_cast<double>(flows.size()));
+  if (space > 1e6) throw std::length_error("exhaustive search space too large");
+  Evaluator eval{router, flows, config};
+  Genotype g(flows.size(), 0);
+  Genotype best = g;
+  double best_fit = -std::numeric_limits<double>::infinity();
+  const std::size_t total = static_cast<std::size_t>(space);
+  for (std::size_t code = 0; code < total; ++code) {
+    std::size_t rem = code;
+    for (std::size_t i = 0; i < g.size(); ++i) {
+      g[i] = static_cast<std::uint8_t>(rem % config.choices.size());
+      rem /= config.choices.size();
+    }
+    const double f = eval.fitness(g);
+    if (f > best_fit) {
+      best_fit = f;
+      best = g;
+    }
+  }
+  return finish(eval, best, best_fit, config);
+}
+
+SelectionResult uniform_assignment(const Router& router, std::span<const FlowSpec> flows,
+                                   RouteAlg alg, const SelectionConfig& config) {
+  SelectionResult result;
+  result.assignment.assign(flows.size(), alg);
+  result.utility =
+      route_assignment_utility(router, flows, result.assignment, config.utility, config.alloc);
+  result.evaluations = 1;
+  return result;
+}
+
+}  // namespace r2c2

@@ -1,0 +1,86 @@
+// Dynamic selection of routing protocols (Section 3.4).
+//
+// R2C2 periodically re-assigns the routing protocol of long flows to
+// maximize a provider-chosen *global* utility (optimizing a global metric
+// rather than selfish per-flow choices avoids price-of-anarchy loss [42]).
+// The search space is combinatorial (one protocol choice per flow) with
+// many local maxima, so the paper uses a genetic algorithm: genotypes are
+// per-flow protocol assignments, fitness is the utility computed with the
+// Section 3.3 rate computation, and new generations combine elitism,
+// crossover and mutation.
+//
+// Hill-climbing and random-search baselines are provided both as the
+// heuristics the paper rejected and as ablation comparators; exhaustive
+// search is available for tiny instances (tests).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/rng.h"
+#include "congestion/waterfill.h"
+#include "routing/routing.h"
+
+namespace r2c2 {
+
+enum class UtilityKind {
+  kAggregateThroughput,  // sum of allocated rates (rack throughput)
+  kMinThroughput,        // tail: the worst flow's rate
+};
+
+// Utility of assigning `assignment[i]` to flows[i]. The flows' own .alg
+// fields are ignored in favor of the assignment.
+double route_assignment_utility(const Router& router, std::span<const FlowSpec> flows,
+                                std::span<const RouteAlg> assignment, UtilityKind kind,
+                                const AllocationConfig& alloc = {});
+
+struct SelectionConfig {
+  // Protocols the selector may choose from. The paper's evaluation uses
+  // {RPS, VLB}; any subset of the implemented protocols works.
+  std::vector<RouteAlg> choices{RouteAlg::kRps, RouteAlg::kVlb};
+  UtilityKind utility = UtilityKind::kAggregateThroughput;
+  AllocationConfig alloc{};
+  std::uint64_t seed = 1;
+
+  // Genetic-algorithm parameters (paper: population 100, mutation 0.01).
+  int population = 100;
+  double mutation_prob = 0.01;
+  int max_generations = 60;
+  int stall_generations = 12;  // stop early when no improvement
+  int elite = 10;              // genotypes copied unchanged each generation
+
+  // Budget for random search / hill climbing, in utility evaluations.
+  int eval_budget = 2000;
+};
+
+struct SelectionResult {
+  std::vector<RouteAlg> assignment;  // parallel to the input flows
+  double utility = 0.0;
+  int evaluations = 0;  // utility computations spent
+};
+
+// Genetic-algorithm search seeded with the flows' current assignment.
+SelectionResult select_routes_ga(const Router& router, std::span<const FlowSpec> flows,
+                                 const SelectionConfig& config);
+
+// Steepest-ascent hill climbing from the current assignment (flips one
+// flow's protocol at a time; stops at a local maximum or budget).
+SelectionResult select_routes_hill_climb(const Router& router, std::span<const FlowSpec> flows,
+                                         const SelectionConfig& config);
+
+// Uniform random assignments; keeps the best seen. The "Random" baseline of
+// Fig. 18 corresponds to eval_budget == 1.
+SelectionResult select_routes_random(const Router& router, std::span<const FlowSpec> flows,
+                                     const SelectionConfig& config);
+
+// Exhaustive search over |choices|^N assignments; for N small enough only.
+SelectionResult select_routes_exhaustive(const Router& router, std::span<const FlowSpec> flows,
+                                         const SelectionConfig& config);
+
+// Uniform assignment of one protocol to every flow (the single-protocol
+// baselines of Fig. 18).
+SelectionResult uniform_assignment(const Router& router, std::span<const FlowSpec> flows,
+                                   RouteAlg alg, const SelectionConfig& config);
+
+}  // namespace r2c2

@@ -1,0 +1,216 @@
+#include "packet/packet.h"
+
+#include <cstring>
+#include <stdexcept>
+
+#include "common/checksum.h"
+
+namespace r2c2 {
+
+namespace {
+
+void put_u16(std::span<std::uint8_t> out, std::size_t at, std::uint16_t v) {
+  out[at] = static_cast<std::uint8_t>(v >> 8);
+  out[at + 1] = static_cast<std::uint8_t>(v & 0xff);
+}
+
+void put_u32(std::span<std::uint8_t> out, std::size_t at, std::uint32_t v) {
+  put_u16(out, at, static_cast<std::uint16_t>(v >> 16));
+  put_u16(out, at + 2, static_cast<std::uint16_t>(v & 0xffff));
+}
+
+std::uint16_t get_u16(std::span<const std::uint8_t> in, std::size_t at) {
+  return static_cast<std::uint16_t>(static_cast<std::uint16_t>(in[at]) << 8 | in[at + 1]);
+}
+
+std::uint32_t get_u32(std::span<const std::uint8_t> in, std::size_t at) {
+  return static_cast<std::uint32_t>(get_u16(in, at)) << 16 | get_u16(in, at + 2);
+}
+
+}  // namespace
+
+// --- RouteCode ---
+
+RouteCode RouteCode::encode(std::span<const int> ports) {
+  if (ports.size() > kMaxRouteHops) throw std::length_error("route longer than 42 hops");
+  RouteCode code;
+  code.length_ = static_cast<int>(ports.size());
+  for (std::size_t i = 0; i < ports.size(); ++i) {
+    const int port = ports[i];
+    if (port < 0 || port >= (1 << kRouteBitsPerHop)) {
+      throw std::out_of_range("port does not fit 3 bits");
+    }
+    const std::size_t bit = i * kRouteBitsPerHop;
+    const std::size_t byte = bit / 8;
+    const int shift = static_cast<int>(bit % 8);
+    code.bits_[byte] |= static_cast<std::uint8_t>(port << shift);
+    if (shift > 5) {
+      code.bits_[byte + 1] |= static_cast<std::uint8_t>(port >> (8 - shift));
+    }
+  }
+  return code;
+}
+
+int RouteCode::port_at(int i) const {
+  if (i < 0 || i >= length_) throw std::out_of_range("route hop index");
+  const std::size_t bit = static_cast<std::size_t>(i) * kRouteBitsPerHop;
+  const std::size_t byte = bit / 8;
+  const int shift = static_cast<int>(bit % 8);
+  int v = bits_[byte] >> shift;
+  if (shift > 5) v |= bits_[byte + 1] << (8 - shift);
+  return v & 0x7;
+}
+
+RouteCode RouteCode::from_bits(const std::array<std::uint8_t, 16>& bits, int length) {
+  if (length < 0 || length > kMaxRouteHops) throw std::out_of_range("route length");
+  RouteCode code;
+  code.bits_ = bits;
+  code.length_ = length;
+  return code;
+}
+
+RouteCode encode_path(const Topology& topo, const Path& path) {
+  std::vector<int> ports;
+  ports.reserve(path.size());
+  for (std::size_t i = 0; i + 1 < path.size(); ++i) {
+    const LinkId link = topo.find_link(path[i], path[i + 1]);
+    if (link == kInvalidLink) throw std::invalid_argument("path does not follow links");
+    ports.push_back(topo.port_of(link));
+  }
+  return RouteCode::encode(ports);
+}
+
+// --- DataHeader ---
+
+void DataHeader::serialize(std::span<std::uint8_t> out) const {
+  if (out.size() < kWireSize) throw std::length_error("buffer too small for data header");
+  out[0] = static_cast<std::uint8_t>(PacketType::kData);
+  out[1] = rlen;
+  out[2] = ridx;
+  put_u32(out, 3, flow);
+  put_u16(out, 7, src);
+  put_u16(out, 9, dst);
+  put_u32(out, 11, seq);
+  put_u16(out, 15, 0);  // checksum placeholder
+  put_u16(out, 17, plen);
+  std::memcpy(out.data() + 19, route.data(), route.size());
+  put_u16(out, 15, internet_checksum(out.first(kWireSize)));
+}
+
+std::optional<DataHeader> DataHeader::parse(std::span<const std::uint8_t> in) {
+  if (in.size() < kWireSize) return std::nullopt;
+  if (in[0] != static_cast<std::uint8_t>(PacketType::kData)) return std::nullopt;
+  std::array<std::uint8_t, kWireSize> scratch;
+  std::memcpy(scratch.data(), in.data(), kWireSize);
+  const std::uint16_t wire_sum = get_u16(in, 15);
+  put_u16(scratch, 15, 0);
+  if (internet_checksum(scratch) != wire_sum) return std::nullopt;
+  DataHeader h;
+  h.rlen = in[1];
+  h.ridx = in[2];
+  h.flow = get_u32(in, 3);
+  h.src = get_u16(in, 7);
+  h.dst = get_u16(in, 9);
+  h.seq = get_u32(in, 11);
+  h.plen = get_u16(in, 17);
+  std::memcpy(h.route.data(), in.data() + 19, h.route.size());
+  return h;
+}
+
+// --- BroadcastMsg ---
+
+void BroadcastMsg::serialize(std::span<std::uint8_t> out) const {
+  if (out.size() < kWireSize) throw std::length_error("buffer too small for broadcast packet");
+  out[0] = static_cast<std::uint8_t>(type);
+  put_u16(out, 1, src);
+  put_u16(out, 3, dst);
+  out[5] = fseq;
+  out[6] = weight;
+  out[7] = priority;
+  put_u32(out, 8, demand_kbps);
+  out[12] = tree;
+  out[13] = static_cast<std::uint8_t>(rp);
+  put_u16(out, 14, 0);
+  put_u16(out, 14, internet_checksum(out.first(kWireSize)));
+}
+
+std::optional<BroadcastMsg> BroadcastMsg::parse(std::span<const std::uint8_t> in) {
+  if (in.size() < kWireSize) return std::nullopt;
+  const auto type = static_cast<PacketType>(in[0]);
+  if (type != PacketType::kFlowStart && type != PacketType::kFlowFinish &&
+      type != PacketType::kDemandUpdate) {
+    return std::nullopt;
+  }
+  std::array<std::uint8_t, kWireSize> scratch;
+  std::memcpy(scratch.data(), in.data(), kWireSize);
+  const std::uint16_t wire_sum = get_u16(in, 14);
+  put_u16(scratch, 14, 0);
+  if (internet_checksum(scratch) != wire_sum) return std::nullopt;
+  BroadcastMsg m;
+  m.type = type;
+  m.src = get_u16(in, 1);
+  m.dst = get_u16(in, 3);
+  m.fseq = in[5];
+  m.weight = in[6];
+  m.priority = in[7];
+  m.demand_kbps = get_u32(in, 8);
+  m.tree = in[12];
+  const std::uint8_t rp = in[13];
+  if (rp >= kNumRouteAlgs) return std::nullopt;
+  m.rp = static_cast<RouteAlg>(rp);
+  return m;
+}
+
+// --- RouteUpdatePacket ---
+
+std::vector<std::uint8_t> RouteUpdatePacket::serialize() const {
+  if (entries.size() > max_entries_per_packet()) {
+    throw std::length_error("too many route-update entries for one packet");
+  }
+  std::vector<std::uint8_t> out(wire_size(), 0);
+  out[0] = static_cast<std::uint8_t>(PacketType::kRouteUpdate);
+  put_u16(out, 1, static_cast<std::uint16_t>(entries.size()));
+  put_u16(out, 5, origin);
+  out[7] = tree;
+  std::size_t at = kHeaderSize;
+  for (const RouteUpdateEntry& e : entries) {
+    put_u16(out, at, e.flow_src);
+    out[at + 2] = e.fseq;
+    out[at + 3] = 0;  // pad: keeps the flow identifier at 4 bytes
+    out[at + 4] = static_cast<std::uint8_t>(e.rp);
+    at += kEntrySize;
+  }
+  put_u16(out, 3, 0);
+  put_u16(out, 3, internet_checksum(out));
+  return out;
+}
+
+std::optional<RouteUpdatePacket> RouteUpdatePacket::parse(std::span<const std::uint8_t> in) {
+  if (in.size() < kHeaderSize) return std::nullopt;
+  if (in[0] != static_cast<std::uint8_t>(PacketType::kRouteUpdate)) return std::nullopt;
+  const std::uint16_t count = get_u16(in, 1);
+  const std::size_t expect = kHeaderSize + static_cast<std::size_t>(count) * kEntrySize;
+  if (in.size() < expect) return std::nullopt;
+  std::vector<std::uint8_t> scratch(in.begin(), in.begin() + static_cast<std::ptrdiff_t>(expect));
+  const std::uint16_t wire_sum = get_u16(in, 3);
+  put_u16(scratch, 3, 0);
+  if (internet_checksum(scratch) != wire_sum) return std::nullopt;
+  RouteUpdatePacket pkt;
+  pkt.origin = get_u16(in, 5);
+  pkt.tree = in[7];
+  pkt.entries.reserve(count);
+  std::size_t at = kHeaderSize;
+  for (std::uint16_t i = 0; i < count; ++i) {
+    RouteUpdateEntry e;
+    e.flow_src = get_u16(in, at);
+    e.fseq = in[at + 2];
+    const std::uint8_t rp = in[at + 4];
+    if (rp >= kNumRouteAlgs) return std::nullopt;
+    e.rp = static_cast<RouteAlg>(rp);
+    pkt.entries.push_back(e);
+    at += kEntrySize;
+  }
+  return pkt;
+}
+
+}  // namespace r2c2

@@ -1,0 +1,248 @@
+#include "r2c2/stack.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "congestion/policy.h"
+
+namespace r2c2 {
+
+R2c2Stack::R2c2Stack(NodeId self, const RackContext& ctx, Callbacks callbacks, std::uint64_t seed)
+    : self_(self), ctx_(ctx), cb_(std::move(callbacks)), rng_(seed ^ (0xace1ULL + self)) {
+  if (!ctx_.topo || !ctx_.router || !ctx_.trees) {
+    throw std::invalid_argument("RackContext must reference topology, router and trees");
+  }
+}
+
+FlowId R2c2Stack::open_flow(NodeId dst, const FlowOptions& options) {
+  if (dst == self_) throw std::invalid_argument("flow to self");
+  if (local_.size() >= 256) throw std::length_error("more than 256 concurrent local flows");
+  // Pick a free wire-level fseq.
+  std::uint8_t fseq = 0;
+  for (;;) {
+    fseq = static_cast<std::uint8_t>(next_fseq_++ & 0xff);
+    const bool used = std::any_of(local_.begin(), local_.end(),
+                                  [&](const auto& kv) { return kv.second.fseq == fseq; });
+    if (!used) break;
+  }
+  // Flow ids are (node << 16) | fseq — consistent with what remote nodes
+  // synthesize from broadcasts. Like file descriptors, an id can be reused
+  // after the flow closes; it is unique among this node's active flows.
+  const FlowId id = (static_cast<FlowId>(self_) << 16) | fseq;
+
+  LocalFlow flow{.spec = {},
+                 .fseq = fseq,
+                 .rate = 0.0,
+                 .demand = DemandEstimator(ctx_.demand_period),
+                 .demand_limited = false};
+  flow.spec.id = id;
+  flow.spec.src = self_;
+  flow.spec.dst = dst;
+  flow.spec.alg = options.alg;
+  flow.spec.weight = options.weight;
+  flow.spec.priority = options.priority;
+  flow.spec.demand = kUnlimitedDemand;
+
+  // The sender's own view learns the flow immediately; everyone else via
+  // broadcast.
+  view_.upsert(self_, fseq, flow.spec);
+  local_.emplace(id, std::move(flow));
+
+  BroadcastMsg msg;
+  msg.type = PacketType::kFlowStart;
+  msg.src = self_;
+  msg.dst = dst;
+  msg.fseq = fseq;
+  msg.weight = quantize_weight(options.weight);
+  msg.priority = options.priority;
+  msg.demand_kbps = 0;
+  msg.rp = options.alg;
+  broadcast_msg(msg);
+
+  // Give the new flow a rate right away (Section 3.1): recompute locally.
+  recompute();
+  return id;
+}
+
+void R2c2Stack::close_flow(FlowId flow) {
+  auto it = local_.find(flow);
+  if (it == local_.end()) throw std::out_of_range("close_flow: unknown flow");
+  const LocalFlow lf = it->second;
+  local_.erase(it);
+  view_.remove(self_, lf.fseq);
+  if (cb_.set_rate) cb_.set_rate(flow, 0.0);
+
+  BroadcastMsg msg;
+  msg.type = PacketType::kFlowFinish;
+  msg.src = self_;
+  msg.dst = lf.spec.dst;
+  msg.fseq = lf.fseq;
+  msg.rp = lf.spec.alg;
+  broadcast_msg(msg);
+}
+
+void R2c2Stack::note_backlog(FlowId flow, std::uint64_t queued_bytes,
+                             std::optional<Bps> achieved_rate) {
+  auto it = local_.find(flow);
+  if (it == local_.end()) return;
+  LocalFlow& lf = it->second;
+  const Bps estimate = lf.demand.on_period(achieved_rate.value_or(lf.rate), queued_bytes);
+  // Broadcast a demand update when the flow becomes host-limited (its
+  // demand drops below the current allocation) or stops being so.
+  const bool limited = estimate < lf.rate * 0.95;
+  const bool meaningful_change =
+      limited != lf.demand_limited ||
+      (std::isfinite(lf.spec.demand) && std::abs(estimate - lf.spec.demand) > 0.1 * lf.spec.demand);
+  if (!meaningful_change) return;
+  lf.demand_limited = limited;
+  lf.spec.demand = limited ? estimate : kUnlimitedDemand;
+  view_.upsert(self_, lf.fseq, lf.spec);
+
+  BroadcastMsg msg;
+  msg.type = PacketType::kDemandUpdate;
+  msg.src = self_;
+  msg.dst = lf.spec.dst;
+  msg.fseq = lf.fseq;
+  msg.weight = quantize_weight(lf.spec.weight);
+  msg.priority = lf.spec.priority;
+  msg.demand_kbps =
+      limited ? static_cast<std::uint32_t>(std::min(estimate / kKbps, 4e9)) : 0;
+  msg.rp = lf.spec.alg;
+  broadcast_msg(msg);
+}
+
+RouteCode R2c2Stack::pick_route(FlowId flow) {
+  auto it = local_.find(flow);
+  if (it == local_.end()) throw std::out_of_range("pick_route: unknown flow");
+  const FlowSpec& spec = it->second.spec;
+  const Path path = ctx_.router->pick_path(spec.alg, spec.src, spec.dst, rng_, spec.id);
+  return encode_path(*ctx_.topo, path);
+}
+
+Bps R2c2Stack::rate_of(FlowId flow) const {
+  auto it = local_.find(flow);
+  return it == local_.end() ? 0.0 : it->second.rate;
+}
+
+void R2c2Stack::on_control_packet(std::span<const std::uint8_t> bytes) {
+  if (bytes.empty()) return;
+  const auto type = static_cast<PacketType>(bytes[0]);
+  if (type == PacketType::kRouteUpdate) {
+    const auto pkt = RouteUpdatePacket::parse(bytes);
+    if (!pkt) return;  // corrupted: drop (sender-side recovery, Section 3.2)
+    fan_out(pkt->origin, pkt->tree, bytes);
+    view_.apply(*pkt);
+    // Adopt new assignments for our own flows.
+    for (const RouteUpdateEntry& e : pkt->entries) {
+      if (e.flow_src != self_) continue;
+      for (auto& [id, lf] : local_) {
+        if (lf.fseq == e.fseq) lf.spec.alg = e.rp;
+      }
+    }
+    return;
+  }
+  const auto msg = BroadcastMsg::parse(bytes);
+  if (!msg) return;  // corrupted: drop
+  fan_out(msg->src, msg->tree, bytes);
+  if (msg->src == self_) return;  // our own event echoed back
+  view_.apply(*msg);
+}
+
+void R2c2Stack::fan_out(NodeId tree_src, std::uint8_t tree, std::span<const std::uint8_t> bytes) {
+  if (!cb_.send_control) return;
+  const int t = tree % std::max(1, ctx_.trees->trees_per_source());
+  for (const NodeId child : ctx_.trees->children(self_, tree_src, t)) {
+    cb_.send_control(child, std::vector<std::uint8_t>(bytes.begin(), bytes.end()));
+  }
+}
+
+void R2c2Stack::broadcast_msg(BroadcastMsg msg) {
+  msg.tree = static_cast<std::uint8_t>(
+      rng_.uniform_int(static_cast<std::uint64_t>(ctx_.trees->trees_per_source())));
+  std::vector<std::uint8_t> bytes(BroadcastMsg::kWireSize);
+  msg.serialize(bytes);
+  ++broadcasts_sent_;
+  fan_out(self_, msg.tree, bytes);
+}
+
+void R2c2Stack::recompute() {
+  if (local_.empty()) return;
+  const std::vector<FlowSpec> flows = view_.snapshot();
+  const RateAllocation alloc = waterfill(*ctx_.router, flows, ctx_.alloc);
+  apply_rates(flows, alloc.rate);
+}
+
+void R2c2Stack::apply_rates(std::span<const FlowSpec> flows, std::span<const Bps> rates) {
+  for (std::size_t i = 0; i < flows.size(); ++i) {
+    if (flows[i].src != self_) continue;
+    auto it = local_.find(flows[i].id);
+    if (it == local_.end()) continue;
+    it->second.rate = rates[i];
+    if (cb_.set_rate) cb_.set_rate(flows[i].id, rates[i]);
+  }
+}
+
+void R2c2Stack::update_context(const RackContext& ctx) {
+  if (!ctx.topo || !ctx.router || !ctx.trees) {
+    throw std::invalid_argument("RackContext must reference topology, router and trees");
+  }
+  ctx_ = ctx;
+}
+
+int R2c2Stack::rebroadcast_local_flows() {
+  int announced = 0;
+  for (const auto& [id, lf] : local_) {
+    BroadcastMsg msg;
+    msg.type = PacketType::kFlowStart;
+    msg.src = self_;
+    msg.dst = lf.spec.dst;
+    msg.fseq = lf.fseq;
+    msg.weight = quantize_weight(lf.spec.weight);
+    msg.priority = lf.spec.priority;
+    msg.demand_kbps = std::isfinite(lf.spec.demand)
+                          ? static_cast<std::uint32_t>(std::min(lf.spec.demand / kKbps, 4e9))
+                          : 0;
+    msg.rp = lf.spec.alg;
+    broadcast_msg(msg);
+    ++announced;
+  }
+  return announced;
+}
+
+int R2c2Stack::run_route_selection(const SelectionConfig& config) {
+  const std::vector<FlowSpec> flows = view_.snapshot();
+  if (flows.empty()) return 0;
+  const SelectionResult result = select_routes_ga(*ctx_.router, flows, config);
+
+  RouteUpdatePacket pkt;
+  pkt.origin = self_;
+  pkt.tree = 0;
+  int changed = 0;
+  for (std::size_t i = 0; i < flows.size(); ++i) {
+    if (result.assignment[i] == flows[i].alg) continue;
+    ++changed;
+    RouteUpdateEntry e;
+    e.flow_src = flows[i].src;
+    // Both local and broadcast-learned flow ids carry the fseq in the low
+    // byte (see open_flow and FlowTable::apply).
+    e.fseq = static_cast<std::uint8_t>(flows[i].id & 0xff);
+    e.rp = result.assignment[i];
+    pkt.entries.push_back(e);
+  }
+  if (changed == 0) return 0;
+  // Apply locally, then broadcast.
+  view_.apply(pkt);
+  for (const RouteUpdateEntry& e : pkt.entries) {
+    if (e.flow_src != self_) continue;
+    for (auto& [id, lf] : local_) {
+      if (lf.fseq == e.fseq) lf.spec.alg = e.rp;
+    }
+  }
+  const std::vector<std::uint8_t> bytes = pkt.serialize();
+  ++broadcasts_sent_;
+  fan_out(self_, 0, bytes);
+  return changed;
+}
+
+}  // namespace r2c2

@@ -1,0 +1,148 @@
+// The per-node R2C2 network stack: the public API tying together
+// broadcast, congestion control, routing and the wire formats.
+//
+// One R2c2Stack instance runs on every rack node (in the Maze emulator, in
+// the examples, or in a unit test). It is transport-agnostic: the host
+// environment supplies callbacks for moving bytes to a neighbor and for
+// programming per-flow rate limiters; the stack implements the control
+// plane of Sections 3.1-3.4:
+//
+//   - open_flow/close_flow broadcast 16-byte flow events along a
+//     load-balanced spanning tree and keep the local flow table in sync;
+//   - on_control_packet forwards broadcast copies to this node's FIB
+//     children and applies the event to the local view;
+//   - recompute() water-fills the visible traffic matrix and programs the
+//     host's rate limiters for this node's own flows (to be called every
+//     recompute interval rho);
+//   - pick_route() returns the per-packet source route for a local flow;
+//   - note_backlog() feeds the demand estimator; when a flow turns out to
+//     be host-limited, a demand-update broadcast is emitted;
+//   - run_route_selection() runs the genetic algorithm over long flows and
+//     broadcasts the new assignments (any node may be the one running it,
+//     Section 3.4).
+//
+// The stack is single-threaded by design: the host serializes calls (the
+// Maze emulated node runs the stack on its control loop).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "broadcast/broadcast.h"
+#include "common/rng.h"
+#include "congestion/demand.h"
+#include "congestion/waterfill.h"
+#include "control/flow_table.h"
+#include "control/route_selection.h"
+#include "packet/packet.h"
+#include "routing/routing.h"
+#include "topology/topology.h"
+
+namespace r2c2 {
+
+// Immutable per-rack context shared by all stacks.
+struct RackContext {
+  const Topology* topo = nullptr;
+  const Router* router = nullptr;
+  const BroadcastTrees* trees = nullptr;
+  AllocationConfig alloc{};
+  TimeNs recompute_interval = 500 * kNsPerUs;
+  TimeNs demand_period = 1 * kNsPerMs;
+};
+
+struct FlowOptions {
+  RouteAlg alg = RouteAlg::kRps;
+  double weight = 1.0;
+  std::uint8_t priority = 0;
+};
+
+class R2c2Stack {
+ public:
+  struct Callbacks {
+    // Transmit a serialized control packet to a directly connected
+    // neighbor (the broadcast fan-out path).
+    std::function<void(NodeId next_hop, std::vector<std::uint8_t> bytes)> send_control;
+    // Program the host's rate limiter for a locally originated flow.
+    std::function<void(FlowId flow, Bps rate)> set_rate;
+  };
+
+  R2c2Stack(NodeId self, const RackContext& ctx, Callbacks callbacks, std::uint64_t seed = 1);
+
+  NodeId self() const { return self_; }
+
+  // --- Sender-side flow lifecycle ---
+  FlowId open_flow(NodeId dst, const FlowOptions& options = {});
+  void close_flow(FlowId flow);
+  // Periodic backlog report for demand estimation (Section 3.3.2). Call
+  // once per demand period with the sender-side queue length and, when
+  // known, the rate the flow actually achieved over the period. A
+  // backlogged flow achieves its allocation, so d = r + q/T estimates
+  // demand above the allocation; a slack (host-limited) flow achieves less
+  // than its allocation with an empty queue, so the estimate drops below
+  // it and a demand-update broadcast is emitted.
+  void note_backlog(FlowId flow, std::uint64_t queued_bytes,
+                    std::optional<Bps> achieved_rate = std::nullopt);
+
+  // --- Data plane ---
+  // Per-packet source route for a local flow (Section 3.5).
+  RouteCode pick_route(FlowId flow);
+  // Current rate limiter setting for a local flow.
+  Bps rate_of(FlowId flow) const;
+
+  // --- Control plane input ---
+  // A control packet arrived from a neighbor: forwards copies down the
+  // broadcast tree, applies the event, and (optionally) triggers an
+  // immediate recomputation when `eager_recompute` is set.
+  void on_control_packet(std::span<const std::uint8_t> bytes);
+
+  // Recomputes rates for this node's own flows from the local view; to be
+  // invoked every recompute interval by the host's timer.
+  void recompute();
+
+  // Runs the route-selection heuristic over the visible long flows and
+  // broadcasts new assignments (Section 3.4). Returns the number of
+  // reassigned flows.
+  int run_route_selection(const SelectionConfig& config);
+
+  // --- Failure handling (Section 3.2) ---
+  // Swaps in a new rack context after the topology-discovery mechanism
+  // reported a failure (the host rebuilds topology, router and broadcast
+  // trees and re-points every stack at them).
+  void update_context(const RackContext& ctx);
+  // "Upon detecting a failure, nodes broadcast information about all their
+  // ongoing flows": re-announces every local flow over the (new) trees.
+  // Returns the number of flows re-announced.
+  int rebroadcast_local_flows();
+
+  // --- Introspection ---
+  const FlowTable& view() const { return view_; }
+  std::size_t own_flows() const { return local_.size(); }
+  std::uint64_t broadcasts_sent() const { return broadcasts_sent_; }
+
+ private:
+  struct LocalFlow {
+    FlowSpec spec;
+    std::uint8_t fseq = 0;
+    Bps rate = 0.0;
+    DemandEstimator demand;
+    bool demand_limited = false;
+  };
+
+  void broadcast_msg(BroadcastMsg msg);
+  void fan_out(NodeId tree_src, std::uint8_t tree, std::span<const std::uint8_t> bytes);
+  void apply_rates(std::span<const FlowSpec> flows, std::span<const Bps> rates);
+
+  NodeId self_;
+  RackContext ctx_;
+  Callbacks cb_;
+  Rng rng_;
+  FlowTable view_;
+  std::unordered_map<FlowId, LocalFlow> local_;
+  std::uint16_t next_fseq_ = 0;
+  std::uint64_t broadcasts_sent_ = 0;
+};
+
+}  // namespace r2c2

@@ -1,0 +1,320 @@
+#include "routing/routing.h"
+
+#include <algorithm>
+#include <cassert>
+#include <stdexcept>
+
+namespace r2c2 {
+
+std::string_view to_string(RouteAlg alg) {
+  switch (alg) {
+    case RouteAlg::kRps: return "RPS";
+    case RouteAlg::kDor: return "DOR";
+    case RouteAlg::kVlb: return "VLB";
+    case RouteAlg::kWlb: return "WLB";
+    case RouteAlg::kEcmp: return "ECMP";
+  }
+  return "?";
+}
+
+namespace {
+
+// Packs the cache key. Only kEcmp keys carry the flow id; 28 bits suffice
+// for any flow count our experiments produce.
+std::uint64_t pack_key(RouteAlg alg, NodeId src, NodeId dst, FlowId flow) {
+  return (static_cast<std::uint64_t>(alg) << 60) | (static_cast<std::uint64_t>(src) << 44) |
+         (static_cast<std::uint64_t>(dst) << 28) | (flow & 0xfffffffULL);
+}
+
+}  // namespace
+
+Path Router::pick_path(RouteAlg alg, NodeId src, NodeId dst, Rng& rng, FlowId flow) const {
+  if (src == dst) return {src};
+  switch (alg) {
+    case RouteAlg::kRps: return rps_path(src, dst, rng);
+    case RouteAlg::kDor: return dor_path(src, dst);
+    case RouteAlg::kVlb: return vlb_path(src, dst, rng);
+    case RouteAlg::kWlb: return wlb_path(src, dst, rng);
+    case RouteAlg::kEcmp: return ecmp_path(src, dst, flow);
+  }
+  throw std::invalid_argument("unknown routing algorithm");
+}
+
+const LinkWeights& Router::link_weights(RouteAlg alg, NodeId src, NodeId dst, FlowId flow) const {
+  const Key key{pack_key(alg, src, dst, alg == RouteAlg::kEcmp ? flow : 0)};
+  {
+    std::lock_guard lock(cache_mutex_);
+    auto it = cache_.find(key);
+    if (it != cache_.end()) return it->second;
+  }
+  // Compute outside the lock: weight derivations can recurse into
+  // link_weights (VLB averages cached RPS phases), and concurrent misses
+  // for the same key are harmless — emplace keeps the first result.
+  LinkWeights weights = compute_weights(alg, src, dst, flow);
+  std::lock_guard lock(cache_mutex_);
+  return cache_.emplace(key, std::move(weights)).first->second;
+}
+
+double Router::expected_hops(RouteAlg alg, NodeId src, NodeId dst, FlowId flow) const {
+  double hops = 0.0;
+  for (const LinkFraction& lf : link_weights(alg, src, dst, flow)) hops += lf.fraction;
+  return hops;
+}
+
+LinkWeights Router::compute_weights(RouteAlg alg, NodeId src, NodeId dst, FlowId flow) const {
+  if (src == dst) return {};
+  switch (alg) {
+    case RouteAlg::kRps: return rps_weights(src, dst);
+    case RouteAlg::kDor: return single_path_weights(dor_path(src, dst));
+    case RouteAlg::kVlb: return vlb_weights(src, dst);
+    case RouteAlg::kWlb: return wlb_weights(src, dst);
+    case RouteAlg::kEcmp: return single_path_weights(ecmp_path(src, dst, flow));
+  }
+  throw std::invalid_argument("unknown routing algorithm");
+}
+
+// --- Paths ---
+
+Path Router::rps_path(NodeId src, NodeId dst, Rng& rng) const {
+  Path path{src};
+  std::vector<NodeId> next;
+  NodeId at = src;
+  while (at != dst) {
+    topo_.min_next_hops(at, dst, next);
+    assert(!next.empty());
+    at = next[rng.uniform_int(next.size())];
+    path.push_back(at);
+  }
+  return path;
+}
+
+int Router::minimal_direction(int a, int b, int k, bool wraps, NodeId src, NodeId dst,
+                              int dim) const {
+  if (!wraps) return b > a ? 1 : -1;
+  const int fwd = ((b - a) % k + k) % k;  // hops going +1
+  const int bwd = k - fwd;                // hops going -1
+  if (fwd != bwd) return fwd < bwd ? 1 : -1;
+  // Exact tie: stable per (src, dst, dim), balanced across pairs.
+  std::uint64_t seed = (static_cast<std::uint64_t>(src) << 32) |
+                       (static_cast<std::uint64_t>(dst) << 8) | static_cast<std::uint64_t>(dim);
+  return (splitmix64(seed) & 1) ? 1 : -1;
+}
+
+void Router::walk_dims(Path& path, std::span<const int> from_coords, std::span<const int> to_coords,
+                       std::span<const int> dir) const {
+  const auto& grid = *topo_.grid();
+  std::vector<int> at(from_coords.begin(), from_coords.end());
+  for (std::size_t i = 0; i < grid.dims.size(); ++i) {
+    const int k = grid.dims[i];
+    while (at[i] != to_coords[i]) {
+      at[i] = ((at[i] + dir[i]) % k + k) % k;
+      path.push_back(topo_.node_at(at));
+    }
+  }
+}
+
+Path Router::dor_path(NodeId src, NodeId dst) const {
+  Path path{src};
+  if (src == dst) return path;
+  if (topo_.grid()) {
+    const auto& grid = *topo_.grid();
+    const auto from = topo_.coords_of(src);
+    const auto to = topo_.coords_of(dst);
+    std::vector<int> dir(grid.dims.size(), 1);
+    for (std::size_t i = 0; i < grid.dims.size(); ++i) {
+      if (from[i] != to[i]) dir[i] = minimal_direction(from[i], to[i], grid.dims[i], grid.wraps, src, dst, static_cast<int>(i));
+    }
+    walk_dims(path, from, to, dir);
+    return path;
+  }
+  // General graphs: deterministic minimal walk picking the lowest-id next
+  // hop. Used for Clos and custom topologies.
+  std::vector<NodeId> next;
+  NodeId at = src;
+  while (at != dst) {
+    topo_.min_next_hops(at, dst, next);
+    assert(!next.empty());
+    at = *std::min_element(next.begin(), next.end());
+    path.push_back(at);
+  }
+  return path;
+}
+
+Path Router::vlb_path(NodeId src, NodeId dst, Rng& rng) const {
+  // Valiant: minimal route to a uniformly random waypoint, then minimal to
+  // the destination. Each phase sprays across the shortest-path DAG (like
+  // RPS) so the load spreads over all of a node's ports rather than
+  // concentrating on the first dimension as DOR phases would.
+  const NodeId mid = static_cast<NodeId>(rng.uniform_int(topo_.num_nodes()));
+  Path path = src == mid ? Path{src} : rps_path(src, mid, rng);
+  if (mid != dst) {
+    const Path second = rps_path(mid, dst, rng);
+    path.insert(path.end(), second.begin() + 1, second.end());
+  }
+  return path;
+}
+
+Path Router::wlb_path(NodeId src, NodeId dst, Rng& rng) const {
+  if (!topo_.grid()) return rps_path(src, dst, rng);  // WLB is grid-specific
+  const auto& grid = *topo_.grid();
+  const auto from = topo_.coords_of(src);
+  const auto to = topo_.coords_of(dst);
+  std::vector<int> dir(grid.dims.size(), 1);
+  for (std::size_t i = 0; i < grid.dims.size(); ++i) {
+    const int k = grid.dims[i];
+    if (from[i] == to[i]) continue;
+    if (!grid.wraps || k <= 2) {
+      dir[i] = minimal_direction(from[i], to[i], k, grid.wraps, src, dst, static_cast<int>(i));
+      continue;
+    }
+    // Choose the direction with probability proportional to the *other*
+    // direction's length: the short way around is picked (k - delta)/k of
+    // the time [44]. This biases toward minimal paths in proportion to the
+    // detour cost while still spreading load over non-minimal paths.
+    const int fwd = ((to[i] - from[i]) % k + k) % k;
+    const double p_fwd = static_cast<double>(k - fwd) / static_cast<double>(k);
+    dir[i] = rng.bernoulli(p_fwd) ? 1 : -1;
+  }
+  Path path{src};
+  walk_dims(path, from, to, dir);
+  return path;
+}
+
+Path Router::ecmp_path(NodeId src, NodeId dst, FlowId flow) const {
+  // The path is a pure hash of (flow, src, dst): TCP needs all packets of a
+  // flow on one path, and different flows between the same endpoints should
+  // spread over different shortest paths (Section 5.2).
+  std::uint64_t seed = (static_cast<std::uint64_t>(flow) << 32) |
+                       (static_cast<std::uint64_t>(src) << 16) | dst;
+  Rng rng(splitmix64(seed));
+  return rps_path(src, dst, rng);
+}
+
+// --- Flow-level link weights ---
+
+LinkWeights Router::single_path_weights(const Path& path) const {
+  LinkWeights weights;
+  weights.reserve(path.size() - 1);
+  for (std::size_t i = 0; i + 1 < path.size(); ++i) {
+    const LinkId link = topo_.find_link(path[i], path[i + 1]);
+    assert(link != kInvalidLink);
+    weights.push_back({link, 1.0});
+  }
+  return weights;
+}
+
+LinkWeights Router::rps_weights(NodeId src, NodeId dst) const {
+  // Probability mass propagation over the shortest-path DAG. At each node,
+  // RPS picks uniformly among next hops, so a node's arrival probability
+  // splits equally across its DAG out-edges — mirroring the data plane
+  // exactly (cf. Fig. 3: the two 2-hop paths each carry half the flow).
+  const int total = topo_.distance(src, dst);
+  std::vector<std::vector<NodeId>> by_depth(static_cast<std::size_t>(total) + 1);
+  std::vector<double> prob(topo_.num_nodes(), 0.0);
+  std::vector<bool> queued(topo_.num_nodes(), false);
+  by_depth[0].push_back(src);
+  queued[src] = true;
+  prob[src] = 1.0;
+
+  std::unordered_map<LinkId, double> edge_mass;
+  std::vector<NodeId> next;
+  for (int depth = 0; depth < total; ++depth) {
+    for (const NodeId u : by_depth[static_cast<std::size_t>(depth)]) {
+      topo_.min_next_hops(u, dst, next);
+      const double share = prob[u] / static_cast<double>(next.size());
+      for (const NodeId v : next) {
+        const LinkId link = topo_.find_link(u, v);
+        edge_mass[link] += share;
+        prob[v] += share;
+        if (!queued[v]) {
+          queued[v] = true;
+          by_depth[static_cast<std::size_t>(depth) + 1].push_back(v);
+        }
+      }
+    }
+  }
+  LinkWeights weights;
+  weights.reserve(edge_mass.size());
+  for (const auto& [link, mass] : edge_mass) weights.push_back({link, mass});
+  return weights;
+}
+
+LinkWeights Router::vlb_weights(NodeId src, NodeId dst) const {
+  // Uniform average over intermediate nodes of the two RPS-sprayed minimal
+  // phases (mirrors vlb_path exactly).
+  const std::size_t n = topo_.num_nodes();
+  const double share = 1.0 / static_cast<double>(n);
+  std::unordered_map<LinkId, double> edge_mass;
+  const auto add_phase = [&](NodeId a, NodeId b) {
+    if (a == b) return;
+    for (const LinkFraction& lf : link_weights(RouteAlg::kRps, a, b)) {
+      edge_mass[lf.link] += share * lf.fraction;
+    }
+  };
+  for (NodeId mid = 0; mid < n; ++mid) {
+    add_phase(src, mid);
+    add_phase(mid, dst);
+  }
+  LinkWeights weights;
+  weights.reserve(edge_mass.size());
+  for (const auto& [link, mass] : edge_mass) weights.push_back({link, mass});
+  return weights;
+}
+
+LinkWeights Router::wlb_weights(NodeId src, NodeId dst) const {
+  if (!topo_.grid()) return rps_weights(src, dst);
+  const auto& grid = *topo_.grid();
+  const auto from = topo_.coords_of(src);
+  const auto to = topo_.coords_of(dst);
+  const std::size_t ndims = grid.dims.size();
+
+  // Per-dimension direction probabilities, then enumerate all direction
+  // combinations (at most 2^ndims deterministic paths).
+  std::vector<double> p_fwd(ndims, 1.0);
+  std::vector<bool> free_dim(ndims, false);
+  for (std::size_t i = 0; i < ndims; ++i) {
+    const int k = grid.dims[i];
+    if (from[i] == to[i]) continue;
+    if (!grid.wraps || k <= 2) {
+      p_fwd[i] = minimal_direction(from[i], to[i], k, grid.wraps, src, dst, static_cast<int>(i)) > 0 ? 1.0 : 0.0;
+      continue;
+    }
+    const int fwd = ((to[i] - from[i]) % k + k) % k;
+    p_fwd[i] = static_cast<double>(k - fwd) / static_cast<double>(k);
+    free_dim[i] = true;
+  }
+
+  std::unordered_map<LinkId, double> edge_mass;
+  std::vector<int> dir(ndims, 1);
+  const std::size_t combos = std::size_t{1} << ndims;
+  for (std::size_t mask = 0; mask < combos; ++mask) {
+    double p = 1.0;
+    bool valid = true;
+    for (std::size_t i = 0; i < ndims; ++i) {
+      const bool forward = !(mask & (std::size_t{1} << i));
+      dir[i] = forward ? 1 : -1;
+      const double pi = forward ? p_fwd[i] : 1.0 - p_fwd[i];
+      if (!free_dim[i] && !forward && p_fwd[i] == 1.0) {
+        valid = false;  // forced-forward dimension; skip the mirrored combo
+        break;
+      }
+      if (!free_dim[i] && forward && p_fwd[i] == 0.0) {
+        valid = false;
+        break;
+      }
+      p *= pi;
+    }
+    if (!valid || p == 0.0) continue;
+    Path path{src};
+    walk_dims(path, from, to, dir);
+    for (std::size_t i = 0; i + 1 < path.size(); ++i) {
+      edge_mass[topo_.find_link(path[i], path[i + 1])] += p;
+    }
+  }
+  LinkWeights weights;
+  weights.reserve(edge_mass.size());
+  for (const auto& [link, mass] : edge_mass) weights.push_back({link, mass});
+  return weights;
+}
+
+}  // namespace r2c2

@@ -1,0 +1,125 @@
+// Routing protocols for direct-connect rack topologies (Section 2.2.1).
+//
+// Every protocol has two duties:
+//  1. Data plane: pick the path for one packet (pick_path). The sender
+//     encodes this path into the packet header; intermediate nodes only
+//     follow it (source routing, Section 3.5).
+//  2. Control plane: report the flow-level split of traffic across links
+//     (link_weights). R2C2's key insight (Section 3.3) is that the routing
+//     protocol dictates a flow's relative rate across its paths, so rate
+//     allocation can be done per-flow using these per-link fractions.
+//
+// Implemented protocols:
+//  - kRps: randomized packet spraying [22] — per hop, uniformly pick one of
+//    the shortest-path next hops.
+//  - kDor: destination-tag / dimension-order routing [20] — deterministic
+//    minimal path, dimensions corrected in a fixed order.
+//  - kVlb: Valiant load balancing [45] — route minimally to a uniformly
+//    random intermediate node, then minimally to the destination.
+//  - kWlb: weighted load balancing [44] — per-dimension direction chosen
+//    randomly, biased toward the shorter way in proportion to path length.
+//  - kEcmp: single shortest path chosen by a hash of the flow id; used by
+//    the TCP baseline (Section 5.2).
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <span>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/types.h"
+#include "topology/topology.h"
+
+namespace r2c2 {
+
+enum class RouteAlg : std::uint8_t {
+  kRps = 0,
+  kDor = 1,
+  kVlb = 2,
+  kWlb = 3,
+  kEcmp = 4,
+};
+inline constexpr int kNumRouteAlgs = 5;
+
+std::string_view to_string(RouteAlg alg);
+
+// A path as a sequence of nodes, including source and destination.
+using Path = std::vector<NodeId>;
+
+// Fraction of a flow's total rate crossing a directed link. Fractions out
+// of the source sum to 1 and are conserved at intermediate nodes; a
+// fraction can exceed contributions of 1 only summed over multiple flows.
+struct LinkFraction {
+  LinkId link = kInvalidLink;
+  double fraction = 0.0;
+};
+using LinkWeights = std::vector<LinkFraction>;
+
+class Router {
+ public:
+  explicit Router(const Topology& topo) : topo_(topo) {}
+
+  Router(const Router&) = delete;
+  Router& operator=(const Router&) = delete;
+
+  const Topology& topology() const { return topo_; }
+
+  // Picks the path for one packet. `flow` is only used by kEcmp (the path
+  // is a pure function of the flow id). Thread-safe given a per-caller rng.
+  Path pick_path(RouteAlg alg, NodeId src, NodeId dst, Rng& rng, FlowId flow = 0) const;
+
+  // Expected fraction of the flow's rate on each directed link it uses.
+  // Cached per (alg, src, dst[, flow for kEcmp]); thread-safe. The returned
+  // reference stays valid for the Router's lifetime.
+  const LinkWeights& link_weights(RouteAlg alg, NodeId src, NodeId dst, FlowId flow = 0) const;
+
+  // Expected path length in hops = sum of all link fractions.
+  double expected_hops(RouteAlg alg, NodeId src, NodeId dst, FlowId flow = 0) const;
+
+ private:
+  struct Key {
+    std::uint64_t packed;  // alg | src | dst | flow
+    bool operator==(const Key& o) const { return packed == o.packed; }
+  };
+  struct KeyHash {
+    std::size_t operator()(const Key& k) const {
+      std::uint64_t s = k.packed;
+      return static_cast<std::size_t>(splitmix64(s));
+    }
+  };
+
+  LinkWeights compute_weights(RouteAlg alg, NodeId src, NodeId dst, FlowId flow) const;
+  LinkWeights rps_weights(NodeId src, NodeId dst) const;
+  LinkWeights single_path_weights(const Path& path) const;
+  LinkWeights vlb_weights(NodeId src, NodeId dst) const;
+  LinkWeights wlb_weights(NodeId src, NodeId dst) const;
+
+  Path rps_path(NodeId src, NodeId dst, Rng& rng) const;
+  // Deterministic minimal path: dimension-order on grids, lowest-id
+  // shortest-path walk on general graphs.
+  Path dor_path(NodeId src, NodeId dst) const;
+  Path vlb_path(NodeId src, NodeId dst, Rng& rng) const;
+  Path wlb_path(NodeId src, NodeId dst, Rng& rng) const;
+  Path ecmp_path(NodeId src, NodeId dst, FlowId flow) const;
+
+  // Appends the dimension-order walk from `at` to `dst` (grids only),
+  // correcting dimensions in index order; `dir` gives the step direction
+  // per dimension (+1/-1), pre-chosen by the caller.
+  void walk_dims(Path& path, std::span<const int> from_coords, std::span<const int> to_coords,
+                 std::span<const int> dir) const;
+  // Direction of the shorter way around dimension `k` from a to b (+1/-1).
+  // An exact tie (b is k/2 away) is broken by a deterministic hash of
+  // (src, dst, dim): per-pair stable, balanced across pairs — matching the
+  // balanced tie-breaking assumed by the classic throughput analyses [20].
+  // For meshes the direction is forced.
+  int minimal_direction(int a, int b, int k, bool wraps, NodeId src, NodeId dst, int dim) const;
+
+  const Topology& topo_;
+  mutable std::mutex cache_mutex_;
+  mutable std::unordered_map<Key, LinkWeights, KeyHash> cache_;
+};
+
+}  // namespace r2c2

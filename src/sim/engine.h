@@ -1,0 +1,66 @@
+// Discrete-event simulation engine.
+//
+// A binary heap of (time, sequence)-ordered events; ties in time are
+// processed in scheduling order, which makes every simulation fully
+// deterministic for a given seed.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <limits>
+#include <queue>
+#include <vector>
+
+#include "common/types.h"
+
+namespace r2c2::sim {
+
+class Engine {
+ public:
+  using Action = std::function<void()>;
+
+  TimeNs now() const { return now_; }
+
+  void schedule_at(TimeNs t, Action action) {
+    if (t < now_) t = now_;  // never schedule into the past
+    heap_.push(Event{t, next_seq_++, std::move(action)});
+  }
+  void schedule_in(TimeNs dt, Action action) { schedule_at(now_ + dt, std::move(action)); }
+
+  // Runs events until the queue drains or simulated time would exceed
+  // `until`. Returns the number of events processed by this call.
+  std::uint64_t run(TimeNs until = std::numeric_limits<TimeNs>::max()) {
+    std::uint64_t processed = 0;
+    while (!heap_.empty() && heap_.top().time <= until) {
+      // Move the action out before popping so it may schedule new events.
+      Event ev = std::move(const_cast<Event&>(heap_.top()));
+      heap_.pop();
+      now_ = ev.time;
+      ev.action();
+      ++processed;
+      ++total_events_;
+    }
+    if (heap_.empty() && until != std::numeric_limits<TimeNs>::max()) now_ = until;
+    return processed;
+  }
+
+  bool empty() const { return heap_.empty(); }
+  std::uint64_t total_events() const { return total_events_; }
+
+ private:
+  struct Event {
+    TimeNs time;
+    std::uint64_t seq;
+    Action action;
+    bool operator>(const Event& o) const {
+      return time != o.time ? time > o.time : seq > o.seq;
+    }
+  };
+
+  std::priority_queue<Event, std::vector<Event>, std::greater<>> heap_;
+  TimeNs now_ = 0;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t total_events_ = 0;
+};
+
+}  // namespace r2c2::sim

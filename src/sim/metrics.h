@@ -1,0 +1,95 @@
+// Per-flow and per-queue measurements shared by all simulated transports.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "common/stats.h"
+#include "common/types.h"
+
+namespace r2c2::sim {
+
+struct FlowRecord {
+  FlowId id = 0;
+  NodeId src = 0;
+  NodeId dst = 0;
+  std::uint64_t bytes = 0;
+  TimeNs arrival = 0;      // when the application opened the flow
+  TimeNs completed = -1;   // when the last byte was received (-1: unfinished)
+  std::uint32_t max_reorder_pkts = 0;  // receiver reorder-buffer high-water mark
+  // Time-weighted average of the control plane's assigned rate over the
+  // sending lifetime (R2C2 only; Figs. 15/16 compare it across rho values).
+  double avg_assigned_rate_bps = 0.0;
+
+  bool finished() const { return completed >= 0; }
+  TimeNs fct() const { return completed - arrival; }
+  // Average goodput over the flow's lifetime, in bps.
+  double throughput_bps() const {
+    const TimeNs d = fct();
+    return d > 0 ? static_cast<double>(bytes) * 8.0 * 1e9 / static_cast<double>(d) : 0.0;
+  }
+};
+
+struct RunMetrics {
+  std::vector<FlowRecord> flows;
+  std::vector<std::uint64_t> max_queue_bytes;  // per directed link
+  std::uint64_t data_bytes_on_wire = 0;
+  std::uint64_t control_bytes_on_wire = 0;
+  std::uint64_t drops = 0;
+  std::uint64_t events = 0;
+  TimeNs sim_end = 0;
+
+  // Convenience selectors used by the figures: FCTs (us) of flows smaller
+  // than `cutoff` and throughputs (Gbps) of flows at least `cutoff` bytes.
+  std::vector<double> short_flow_fct_us(std::uint64_t cutoff = 100 * 1024) const {
+    std::vector<double> v;
+    for (const FlowRecord& f : flows) {
+      if (f.finished() && f.bytes < cutoff) v.push_back(static_cast<double>(f.fct()) / 1e3);
+    }
+    return v;
+  }
+  std::vector<double> long_flow_tput_gbps(std::uint64_t cutoff = 1024 * 1024) const {
+    std::vector<double> v;
+    for (const FlowRecord& f : flows) {
+      if (f.finished() && f.bytes >= cutoff) v.push_back(f.throughput_bps() / 1e9);
+    }
+    return v;
+  }
+};
+
+// Tracks the receiver-side reorder buffer of one flow: number of packets
+// buffered because an earlier packet is still missing (Section 5.2 reports
+// its 95th percentile and max).
+class ReorderTracker {
+ public:
+  // Called for each arriving packet with its 0-based packet index; returns
+  // the current buffer occupancy after this arrival.
+  std::uint32_t on_packet(std::uint32_t pkt_index) {
+    if (pkt_index == next_) {
+      ++next_;
+      // Drain buffered in-order packets.
+      while (!buffered_.empty()) {
+        auto it = std::find(buffered_.begin(), buffered_.end(), next_);
+        if (it == buffered_.end()) break;
+        // Swap-remove: order within the buffer does not matter.
+        *it = buffered_.back();
+        buffered_.pop_back();
+        ++next_;
+      }
+    } else if (pkt_index > next_) {
+      buffered_.push_back(pkt_index);
+    }  // duplicates / stale retransmits are ignored
+    max_depth_ = std::max(max_depth_, static_cast<std::uint32_t>(buffered_.size()));
+    return static_cast<std::uint32_t>(buffered_.size());
+  }
+
+  std::uint32_t max_depth() const { return max_depth_; }
+
+ private:
+  std::uint32_t next_ = 0;
+  std::vector<std::uint32_t> buffered_;
+  std::uint32_t max_depth_ = 0;
+};
+
+}  // namespace r2c2::sim

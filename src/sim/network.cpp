@@ -1,0 +1,94 @@
+#include "sim/network.h"
+
+#include <cassert>
+#include <utility>
+
+namespace r2c2::sim {
+
+Network::Network(Engine& engine, const Topology& topo, NetworkConfig config)
+    : engine_(engine), topo_(topo), config_(config), ports_(topo.num_links()),
+      corruption_rng_(config.corruption_seed) {}
+
+void Network::send_on_link(LinkId link, SimPacket&& pkt) {
+  Port& port = ports_[link];
+  const bool ctrl = is_control(pkt);
+  if (!ctrl && config_.data_buffer_bytes > 0 &&
+      port.queued_bytes + pkt.wire_bytes > config_.data_buffer_bytes) {
+    ++drops_;
+    if (dropped_) dropped_(topo_.link(link).from, pkt);
+    return;
+  }
+  port.queued_bytes += pkt.wire_bytes;
+  port.max_queued_bytes = std::max(port.max_queued_bytes, port.queued_bytes);
+  if (ctrl && config_.control_priority) {
+    port.ctrl_q.push_back(std::move(pkt));
+  } else {
+    port.data_q.push_back(std::move(pkt));
+  }
+  if (!port.busy) try_transmit(link);
+}
+
+void Network::try_transmit(LinkId link) {
+  Port& port = ports_[link];
+  assert(!port.busy);
+  std::deque<SimPacket>* q = nullptr;
+  if (!port.ctrl_q.empty()) {
+    q = &port.ctrl_q;
+  } else if (!port.data_q.empty()) {
+    q = &port.data_q;
+  } else {
+    return;
+  }
+  SimPacket pkt = std::move(q->front());
+  q->pop_front();
+  port.queued_bytes -= pkt.wire_bytes;
+  port.busy = true;
+
+  const Link& l = topo_.link(link);
+  const TimeNs tx = transmission_time_ns(pkt.wire_bytes, l.bandwidth);
+  if (is_control(pkt)) {
+    control_bytes_ += pkt.wire_bytes;
+  } else {
+    data_bytes_ += pkt.wire_bytes;
+  }
+
+  // The link frees after serialization; the packet arrives after
+  // serialization + propagation (+ forwarding overhead at the next node).
+  engine_.schedule_in(tx, [this, link] {
+    ports_[link].busy = false;
+    try_transmit(link);
+  });
+  // Failure injection: a corrupted packet fails its checksum at the next
+  // hop and is discarded. Corrupted control packets are reported through
+  // the drop callback so the transport's Section 3.2 recovery (retransmit
+  // the broadcast copy) runs; corrupted data is the reliability layer's
+  // problem (Section 6).
+  if (config_.corruption_rate > 0.0 && corruption_rng_.bernoulli(config_.corruption_rate)) {
+    ++corrupted_;
+    if (is_control(pkt) && dropped_) dropped_(l.from, pkt);
+    return;
+  }
+  const NodeId to = l.to;
+  engine_.schedule_in(tx + l.latency + config_.forwarding_delay,
+                      [this, to, p = std::move(pkt)]() mutable { deliver_(to, std::move(p)); });
+}
+
+void Network::forward(NodeId at, SimPacket&& pkt) {
+  if (pkt.ridx >= pkt.route.length()) {
+    deliver_(at, std::move(pkt));
+    return;
+  }
+  const int port = pkt.route.port_at(pkt.ridx);
+  ++pkt.ridx;
+  const LinkId link = topo_.out_link_by_port(at, port);
+  send_on_link(link, std::move(pkt));
+}
+
+std::vector<std::uint64_t> Network::max_queue_snapshot() const {
+  std::vector<std::uint64_t> snapshot;
+  snapshot.reserve(ports_.size());
+  for (const Port& p : ports_) snapshot.push_back(p.max_queued_bytes);
+  return snapshot;
+}
+
+}  // namespace r2c2::sim

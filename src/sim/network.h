@@ -1,0 +1,132 @@
+// Shared packet-level network model: output-queued nodes, links with
+// serialization + propagation delay, per-port FIFO queues with an optional
+// strict-priority control class, finite buffers with drop-tail.
+//
+// Forwarding follows the R2C2 data plane (Section 3.5): the sender encodes
+// the packet's path; intermediate nodes forward to the port indicated by
+// the route index and increment it. Broadcast packets are forwarded by the
+// broadcast FIB instead (handled by the transport's deliver callback
+// re-injecting copies).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/types.h"
+#include "packet/packet.h"
+#include "sim/engine.h"
+#include "topology/topology.h"
+
+namespace r2c2::sim {
+
+// In-memory packet. `wire_bytes` is what occupies links and buffers; the
+// header fields mirror the Section 4.2 formats without byte serialization
+// (the packet codec is exercised by the emulator and its tests).
+struct SimPacket {
+  PacketType type = PacketType::kData;
+  FlowId flow = 0;
+  NodeId src = 0;
+  NodeId dst = 0;           // data: receiver. broadcast: unused
+  std::uint32_t seq = 0;    // data: payload byte offset; ack: cumulative ack
+  std::uint32_t payload = 0;  // payload bytes carried
+  std::uint32_t wire_bytes = 0;
+  // Source route (data/ack packets).
+  RouteCode route;
+  std::uint8_t ridx = 0;
+  // Broadcast routing state (control packets).
+  std::uint8_t tree = 0;
+  NodeId bcast_src = 0;
+  std::uint64_t bcast_id = 0;  // which broadcast event this copy belongs to
+  TimeNs sent_at = 0;
+  // Reliability-extension ACK payload (type kAck): cumulative byte offset
+  // plus up to two SACK ranges (begin/end pairs; 0/0 = unused).
+  std::uint64_t ack_cum = 0;
+  std::uint64_t sack[4] = {0, 0, 0, 0};
+};
+
+struct NetworkConfig {
+  // Per-port buffer for the data class, in bytes; 0 = unbounded. R2C2 runs
+  // measure occupancy with effectively unbounded buffers (queues stay tiny);
+  // TCP runs use finite drop-tail buffers.
+  std::uint64_t data_buffer_bytes = 0;
+  // Give 16-byte control packets strict priority over data at every port,
+  // so flow events propagate with minimal queuing. Ablatable.
+  bool control_priority = true;
+  // Extra per-node forwarding delay beyond link propagation (0: folded into
+  // the link latency, as the paper's 100-500 ns per-hop figure suggests).
+  TimeNs forwarding_delay = 0;
+  // Failure injection: probability that a transmitted packet is corrupted
+  // in flight and discarded at the receiving hop (checksum detection,
+  // Section 3.2). Exercises the reliability extension (Section 6).
+  double corruption_rate = 0.0;
+  std::uint64_t corruption_seed = 99;
+};
+
+class Network {
+ public:
+  // `deliver` is invoked when a packet reaches the head of `to`'s pipeline
+  // (either its destination or an intermediate hop for broadcast fan-out is
+  // decided by the transport). `dropped` is invoked on buffer overflow.
+  using DeliverFn = std::function<void(NodeId at, SimPacket&& pkt)>;
+  using DropFn = std::function<void(NodeId at, const SimPacket& pkt)>;
+
+  Network(Engine& engine, const Topology& topo, NetworkConfig config);
+
+  void set_deliver(DeliverFn fn) { deliver_ = std::move(fn); }
+  void set_drop(DropFn fn) { dropped_ = std::move(fn); }
+
+  const Topology& topology() const { return topo_; }
+  Engine& engine() { return engine_; }
+  const NetworkConfig& config() const { return config_; }
+
+  // Enqueues `pkt` on the directed link `link`. Data packets overflowing
+  // the buffer are dropped (DropFn). Control packets (anything but kData
+  // and kAck) are never dropped here when control_priority is on — their
+  // queue is unbounded, mirroring reserved control buffers.
+  void send_on_link(LinkId link, SimPacket&& pkt);
+
+  // Routes a data/ack packet out of `at` using its source route; delivers
+  // locally if the route is exhausted.
+  void forward(NodeId at, SimPacket&& pkt);
+
+  // --- Introspection for metrics ---
+  std::uint64_t queue_bytes(LinkId link) const { return ports_[link].queued_bytes; }
+  std::uint64_t max_queue_bytes(LinkId link) const { return ports_[link].max_queued_bytes; }
+  std::uint64_t total_data_bytes_sent() const { return data_bytes_; }
+  std::uint64_t total_control_bytes_sent() const { return control_bytes_; }
+  std::uint64_t drops() const { return drops_; }
+  std::uint64_t corrupted() const { return corrupted_; }
+  // Max occupancy per port, for the queue-occupancy CDFs (Figs. 7b, 14).
+  std::vector<std::uint64_t> max_queue_snapshot() const;
+
+ private:
+  struct Port {
+    std::deque<SimPacket> data_q;
+    std::deque<SimPacket> ctrl_q;
+    std::uint64_t queued_bytes = 0;  // both classes
+    std::uint64_t max_queued_bytes = 0;
+    bool busy = false;
+  };
+
+  void try_transmit(LinkId link);
+  static bool is_control(const SimPacket& pkt) {
+    return pkt.type != PacketType::kData && pkt.type != PacketType::kAck;
+  }
+
+  Engine& engine_;
+  const Topology& topo_;
+  NetworkConfig config_;
+  std::vector<Port> ports_;  // one per directed link
+  DeliverFn deliver_;
+  DropFn dropped_;
+  Rng corruption_rng_;
+  std::uint64_t data_bytes_ = 0;
+  std::uint64_t control_bytes_ = 0;
+  std::uint64_t drops_ = 0;
+  std::uint64_t corrupted_ = 0;
+};
+
+}  // namespace r2c2::sim

@@ -1,0 +1,447 @@
+#include "sim/r2c2_sim.h"
+
+#include <algorithm>
+#include <cassert>
+#include <stdexcept>
+
+namespace r2c2::sim {
+
+namespace {
+constexpr std::uint32_t kBcastWireBytes = 16;
+}
+
+R2c2Sim::R2c2Sim(const Topology& topo, const Router& router, R2c2SimConfig config)
+    : topo_(topo),
+      router_(router),
+      config_(config),
+      net_(engine_, topo, config.net),
+      trees_(topo, config.broadcast_trees),
+      rng_(config.seed),
+      next_fseq_(topo.num_nodes(), 0),
+      link_denom_(topo.num_links(), 0.0) {
+  net_.set_deliver([this](NodeId at, SimPacket&& pkt) { deliver(at, std::move(pkt)); });
+  // Control packets use an unbounded priority queue by default, so they are
+  // never dropped. When control priority is disabled (ablation) they share
+  // the finite data buffers; a dropped broadcast copy is retransmitted by
+  // the node that dropped it after a short delay — the Section 3.2 "inform
+  // the sender who can then re-transmit" recovery, collapsed to its effect.
+  net_.set_drop([this](NodeId at, const SimPacket& pkt) {
+    if (pkt.type == PacketType::kData || pkt.type == PacketType::kAck) return;
+    const LinkId link = topo_.find_link(at, pkt.dst);
+    if (link == kInvalidLink) return;
+    engine_.schedule_in(5 * kNsPerUs, [this, link, copy = pkt]() mutable {
+      net_.send_on_link(link, std::move(copy));
+    });
+  });
+}
+
+void R2c2Sim::add_flows(const std::vector<FlowArrival>& flows) {
+  for (const FlowArrival& f : flows) {
+    engine_.schedule_at(f.start, [this, f] { start_flow(f); });
+  }
+}
+
+RunMetrics R2c2Sim::run(TimeNs until) {
+  engine_.run(until);
+  RunMetrics m;
+  m.flows = records_;
+  m.max_queue_bytes = net_.max_queue_snapshot();
+  m.data_bytes_on_wire = net_.total_data_bytes_sent();
+  m.control_bytes_on_wire = net_.total_control_bytes_sent();
+  m.drops = net_.drops();
+  m.events = engine_.total_events();
+  m.sim_end = engine_.now();
+  return m;
+}
+
+void R2c2Sim::add_denom(const FlowSpec& spec, double sign) {
+  for (const LinkFraction& lf : router_.link_weights(spec.alg, spec.src, spec.dst, spec.id)) {
+    link_denom_[lf.link] += sign * spec.weight * lf.fraction;
+    if (link_denom_[lf.link] < 0.0) link_denom_[lf.link] = 0.0;
+  }
+}
+
+double R2c2Sim::start_rate_estimate(const FlowSpec& spec) const {
+  // Fair-share estimate from the sender's view: the globally visible flows
+  // (link_denom_ tracks the view; see apply_global) plus this new flow.
+  // Crucially, concurrent arrivals at other senders are NOT in the
+  // denominator — each sender computes from its own (stale) view, so a
+  // burst of arrivals collectively oversubscribes links until the next
+  // recomputation; the bandwidth headroom absorbs this (Section 3.3.2).
+  double rate = kUnlimitedDemand;
+  for (const LinkFraction& lf : router_.link_weights(spec.alg, spec.src, spec.dst, spec.id)) {
+    const double cap = topo_.link(lf.link).bandwidth * (1.0 - config_.alloc.headroom);
+    const double denom = link_denom_[lf.link] + spec.weight * lf.fraction;
+    rate = std::min(rate, cap * spec.weight / denom);
+  }
+  if (std::isfinite(spec.demand)) rate = std::min(rate, spec.demand);
+  return std::isfinite(rate) ? rate : 0.0;
+}
+
+void R2c2Sim::start_flow(const FlowArrival& arrival) {
+  const FlowId id = static_cast<FlowId>(records_.size() + 1);
+  // Allocate a wire-level (src, fseq) key that is not in use; more than 256
+  // concurrent flows from one source would be a wire-format limit.
+  std::uint8_t fseq = 0;
+  {
+    int tries = 0;
+    std::uint16_t& ctr = next_fseq_[arrival.src];
+    for (;;) {
+      fseq = static_cast<std::uint8_t>(ctr & 0xff);
+      ctr = static_cast<std::uint16_t>(ctr + 1);
+      if (!active_by_key_.contains(FlowTable::key(arrival.src, fseq))) break;
+      if (++tries > 256) throw std::runtime_error("more than 256 concurrent flows from one node");
+    }
+  }
+
+  FlowSpec spec;
+  spec.id = id;
+  spec.src = arrival.src;
+  spec.dst = arrival.dst;
+  spec.alg = config_.route_alg;
+  spec.weight = arrival.weight;
+  spec.priority = arrival.priority;
+  spec.demand = kUnlimitedDemand;
+
+  FlowRecord rec;
+  rec.id = id;
+  rec.src = arrival.src;
+  rec.dst = arrival.dst;
+  rec.bytes = std::max<std::uint64_t>(arrival.bytes, 1);
+  rec.arrival = engine_.now();
+  record_index_[id] = records_.size();
+  records_.push_back(rec);
+  ++unfinished_;
+
+  SenderFlow flow;
+  flow.spec = spec;
+  flow.fseq = fseq;
+  flow.total_bytes = rec.bytes;
+  flow.started_at = engine_.now();
+  flow.rate_since = engine_.now();
+
+  active_by_key_[FlowTable::key(arrival.src, fseq)] = id;
+  ReceiverFlow recv;
+  if (config_.reliable) {
+    flow.rel = std::make_unique<ReliableSender>(
+        rec.bytes, ReliableSender::Config{config_.mtu_payload, config_.rto, 64});
+    recv.rel = std::make_unique<ReliableReceiver>(rec.bytes);
+  }
+  receivers_.emplace(id, std::move(recv));
+  auto [it, inserted] = senders_.emplace(id, std::move(flow));
+  assert(inserted);
+  set_rate(it->second,
+           config_.rate_limit_new_flows ? start_rate_estimate(spec)
+                                        : topo_.link(0).bandwidth,
+           engine_.now());
+
+  // Announce the flow to the rack.
+  BroadcastMsg msg;
+  msg.type = PacketType::kFlowStart;
+  msg.src = spec.src;
+  msg.dst = spec.dst;
+  msg.fseq = fseq;
+  msg.weight = static_cast<std::uint8_t>(std::clamp(spec.weight, 1.0, 255.0));
+  msg.priority = spec.priority;
+  msg.demand_kbps = 0;  // network-limited
+  msg.rp = spec.alg;
+  broadcast(msg, spec.src);
+
+  schedule_emit(id);
+  schedule_recompute_tick();
+}
+
+void R2c2Sim::broadcast(const BroadcastMsg& base, NodeId origin) {
+  if (topo_.num_nodes() <= 1) {
+    apply_global(base);
+    return;
+  }
+  BroadcastMsg msg = base;
+  msg.tree = static_cast<std::uint8_t>(rng_.uniform_int(static_cast<std::uint64_t>(
+      trees_.trees_per_source())));  // load-balance across trees (Section 3.2)
+  const std::uint64_t bcast_id = next_bcast_id_++;
+  pending_[bcast_id] = PendingBroadcast{msg, static_cast<std::uint32_t>(topo_.num_nodes() - 1)};
+  // Send one copy toward each child of the origin; copies fan out further
+  // at every hop via the broadcast FIB.
+  for (const NodeId child : trees_.children(origin, origin, msg.tree)) {
+    SimPacket pkt;
+    pkt.type = msg.type;
+    pkt.src = msg.src;
+    pkt.dst = child;
+    pkt.wire_bytes = kBcastWireBytes;
+    pkt.tree = msg.tree;
+    pkt.bcast_src = origin;
+    pkt.bcast_id = bcast_id;
+    pkt.sent_at = engine_.now();
+    const LinkId link = topo_.find_link(origin, child);
+    assert(link != kInvalidLink);
+    net_.send_on_link(link, std::move(pkt));
+  }
+}
+
+void R2c2Sim::on_broadcast_copy(NodeId at, SimPacket&& pkt) {
+  // Forward to this node's children in the tree before consuming.
+  for (const NodeId child : trees_.children(at, pkt.bcast_src, pkt.tree)) {
+    SimPacket copy = pkt;
+    copy.dst = child;
+    const LinkId link = topo_.find_link(at, child);
+    assert(link != kInvalidLink);
+    net_.send_on_link(link, std::move(copy));
+  }
+  auto it = pending_.find(pkt.bcast_id);
+  if (it == pending_.end()) return;
+  if (--it->second.remaining == 0) {
+    const BroadcastMsg msg = it->second.msg;
+    pending_.erase(it);
+    apply_global(msg);
+  }
+}
+
+void R2c2Sim::apply_global(const BroadcastMsg& msg) {
+  const std::uint32_t key = FlowTable::key(msg.src, msg.fseq);
+  const auto flow_it = active_by_key_.find(key);
+  switch (msg.type) {
+    case PacketType::kFlowStart: {
+      if (flow_it == active_by_key_.end()) break;  // already finished
+      auto sender = senders_.find(flow_it->second);
+      if (sender == senders_.end()) break;
+      global_view_.upsert(msg.src, msg.fseq, sender->second.spec);
+      add_denom(sender->second.spec, +1.0);  // denom mirrors the view
+      break;
+    }
+    case PacketType::kFlowFinish: {
+      if (const auto spec = global_view_.find(msg.src, msg.fseq)) {
+        add_denom(*spec, -1.0);
+        global_view_.remove(msg.src, msg.fseq);
+      }
+      active_by_key_.erase(key);
+      break;
+    }
+    default:
+      break;
+  }
+  if (config_.recompute_interval == 0) recompute_rates();
+}
+
+void R2c2Sim::schedule_recompute_tick() {
+  if (config_.recompute_interval == 0 || tick_scheduled_) return;
+  tick_scheduled_ = true;
+  engine_.schedule_in(config_.recompute_interval, [this] {
+    tick_scheduled_ = false;
+    recompute_rates();
+    if (!senders_.empty() || !global_view_.empty()) schedule_recompute_tick();
+  });
+}
+
+void R2c2Sim::recompute_rates() {
+  ++recomputations_;
+  const std::vector<FlowSpec> flows = global_view_.snapshot();
+  if (flows.empty()) return;
+  const RateAllocation alloc = waterfill(router_, flows, config_.alloc);
+  const TimeNs now = engine_.now();
+  for (std::size_t i = 0; i < flows.size(); ++i) {
+    auto it = senders_.find(flows[i].id);
+    if (it != senders_.end()) set_rate(it->second, alloc.rate[i], now);
+  }
+}
+
+void R2c2Sim::set_rate(SenderFlow& flow, double rate_bps, TimeNs now) {
+  // Maintain the time-weighted rate integral for the Fig. 15/16 metric.
+  flow.rate_integral += flow.rate_bps * static_cast<double>(now - flow.rate_since) / 1e9;
+  flow.rate_since = now;
+  const bool was_stalled = flow.rate_bps <= 0.0;
+  flow.rate_bps = rate_bps;
+  if (was_stalled && rate_bps > 0.0 && flow.sent_bytes < flow.total_bytes) {
+    schedule_emit(flow.spec.id);
+  }
+}
+
+void R2c2Sim::schedule_emit(FlowId id) {
+  auto it = senders_.find(id);
+  if (it == senders_.end()) return;
+  SenderFlow& flow = it->second;
+  if (flow.emit_scheduled || flow.rate_bps <= 0.0) return;
+  flow.emit_scheduled = true;
+  const TimeNs at = std::max(engine_.now(), flow.next_send);
+  engine_.schedule_at(at, [this, id] { emit_packet(id); });
+}
+
+void R2c2Sim::emit_packet(FlowId id) {
+  auto it = senders_.find(id);
+  if (it == senders_.end()) return;
+  SenderFlow& flow = it->second;
+  flow.emit_scheduled = false;
+  if (flow.rate_bps <= 0.0) return;  // stalled; a rate update will resume
+
+  // Decide what to send: the reliability layer hands out new data or an
+  // expired retransmission; without it, the next unsent chunk.
+  std::uint64_t offset = flow.sent_bytes;
+  std::uint32_t payload = 0;
+  if (flow.rel) {
+    const auto seg = flow.rel->next_segment(engine_.now());
+    if (!seg) {
+      // Nothing to send now: either done (ACK handler finishes the flow)
+      // or waiting for an RTO — wake up at the earliest deadline.
+      const TimeNs deadline = flow.rel->next_deadline();
+      if (deadline >= 0 && !flow.rel->fully_acked()) {
+        flow.emit_scheduled = true;
+        engine_.schedule_at(deadline, [this, id] { emit_packet(id); });
+      }
+      return;
+    }
+    offset = seg->offset;
+    payload = seg->length;
+    if (seg->retransmit) ++retransmissions_;
+  } else {
+    const std::uint64_t remaining = flow.total_bytes - flow.sent_bytes;
+    payload = static_cast<std::uint32_t>(std::min<std::uint64_t>(remaining, config_.mtu_payload));
+  }
+
+  SimPacket pkt;
+  pkt.type = PacketType::kData;
+  pkt.flow = id;
+  pkt.src = flow.spec.src;
+  pkt.dst = flow.spec.dst;
+  pkt.seq = static_cast<std::uint32_t>(offset);
+  pkt.payload = payload;
+  pkt.wire_bytes = payload + static_cast<std::uint32_t>(DataHeader::kWireSize);
+  pkt.sent_at = engine_.now();
+  const Path path = router_.pick_path(flow.spec.alg, flow.spec.src, flow.spec.dst, rng_, id);
+  pkt.route = encode_path(topo_, path);
+  flow.sent_bytes = std::max(flow.sent_bytes, offset + payload);
+  const std::uint32_t wire_bytes = pkt.wire_bytes;
+
+  net_.forward(flow.spec.src, std::move(pkt));
+
+  if (!flow.rel && flow.sent_bytes >= flow.total_bytes) {
+    finish_sending(id);
+    return;
+  }
+  // Token-bucket pacing: the next packet leaves one serialization time (at
+  // the allocated rate) after this one.
+  const double gap_ns = static_cast<double>(wire_bytes) * 8.0 * 1e9 / flow.rate_bps;
+  flow.next_send = engine_.now() + static_cast<TimeNs>(gap_ns);
+  schedule_emit(id);
+}
+
+void R2c2Sim::finish_sending(FlowId id) {
+  auto it = senders_.find(id);
+  assert(it != senders_.end());
+  SenderFlow& flow = it->second;
+  // Close the rate integral.
+  set_rate(flow, 0.0, engine_.now());
+
+  BroadcastMsg msg;
+  msg.type = PacketType::kFlowFinish;
+  msg.src = flow.spec.src;
+  msg.dst = flow.spec.dst;
+  msg.fseq = flow.fseq;
+  msg.rp = flow.spec.alg;
+  records_[record_index_[id]].avg_assigned_rate_bps =
+      flow.rate_integral /
+      std::max(1e-9, static_cast<double>(engine_.now() - flow.started_at) / 1e9);
+  // Reliable mode finishes only when fully acked, so the lingering
+  // receiver state can be reaped here. (Unreliable mode finishes when the
+  // last byte is *sent*; the receiver is still draining the pipe.)
+  if (flow.rel) receivers_.erase(id);
+  senders_.erase(it);
+  broadcast(msg, msg.src);
+}
+
+void R2c2Sim::deliver(NodeId at, SimPacket&& pkt) {
+  switch (pkt.type) {
+    case PacketType::kFlowStart:
+    case PacketType::kFlowFinish:
+    case PacketType::kDemandUpdate:
+      on_broadcast_copy(at, std::move(pkt));
+      return;
+    case PacketType::kData:
+    case PacketType::kAck:
+      if (pkt.ridx < pkt.route.length()) {
+        net_.forward(at, std::move(pkt));
+      } else if (pkt.type == PacketType::kData) {
+        on_data_at_receiver(std::move(pkt));
+      } else {
+        on_ack_at_sender(std::move(pkt));
+      }
+      return;
+    default:
+      return;
+  }
+}
+
+void R2c2Sim::on_data_at_receiver(SimPacket&& pkt) {
+  auto rit = receivers_.find(pkt.flow);
+  if (rit == receivers_.end()) return;  // reaped; nothing to do
+  ReceiverFlow& recv = rit->second;
+  recv.reorder.on_packet(pkt.seq / config_.mtu_payload);
+  FlowRecord& rec = records_[record_index_[pkt.flow]];
+
+  bool complete = false;
+  if (recv.rel) {
+    recv.rel->on_data(pkt.seq, pkt.payload);
+    recv.received_bytes = recv.rel->received_bytes();
+    complete = recv.rel->complete();
+    // ACK policy: every N data packets, and always at completion (the
+    // final ACK also lets the sender announce the finish).
+    if (++recv.pkts_since_ack >= config_.ack_every_pkts || complete) {
+      recv.pkts_since_ack = 0;
+      send_ack(pkt.flow, recv, pkt.dst, pkt.src);
+    }
+  } else {
+    recv.received_bytes += pkt.payload;
+    complete = recv.received_bytes >= rec.bytes;
+  }
+  if (complete && !rec.finished()) {
+    rec.completed = engine_.now();
+    rec.max_reorder_pkts = recv.reorder.max_depth();
+    if (recv.rel) {
+      // Linger (TIME_WAIT-style): keep re-acking stale retransmissions in
+      // case the final ACK is lost; finish_sending reaps the state once
+      // the sender is fully acked.
+      --unfinished_;
+    } else {
+      receivers_.erase(rit);
+      --unfinished_;
+    }
+  }
+}
+
+void R2c2Sim::send_ack(FlowId id, ReceiverFlow& recv, NodeId from, NodeId to) {
+  SimPacket ack;
+  ack.type = PacketType::kAck;
+  ack.flow = id;
+  ack.src = from;
+  ack.dst = to;
+  ack.ack_cum = recv.rel->cumulative();
+  const auto sacks = recv.rel->sack_ranges(2);
+  for (std::size_t i = 0; i < sacks.size(); ++i) {
+    ack.sack[2 * i] = sacks[i].begin;
+    ack.sack[2 * i + 1] = sacks[i].end;
+  }
+  // Header + 8 B cumulative + two 16 B SACK blocks.
+  ack.wire_bytes = static_cast<std::uint32_t>(DataHeader::kWireSize) + 8 + 32;
+  ack.sent_at = engine_.now();
+  ack.route = encode_path(topo_, router_.pick_path(RouteAlg::kRps, from, to, rng_, id));
+  net_.forward(from, std::move(ack));
+}
+
+void R2c2Sim::on_ack_at_sender(SimPacket&& pkt) {
+  auto it = senders_.find(pkt.flow);
+  if (it == senders_.end()) return;
+  SenderFlow& flow = it->second;
+  if (!flow.rel) return;
+  ByteRange sacks[2];
+  std::size_t n_sacks = 0;
+  for (int i = 0; i < 2; ++i) {
+    if (pkt.sack[2 * i + 1] > pkt.sack[2 * i]) {
+      sacks[n_sacks++] = {pkt.sack[2 * i], pkt.sack[2 * i + 1]};
+    }
+  }
+  flow.rel->on_ack(pkt.ack_cum, std::span<const ByteRange>(sacks, n_sacks));
+  if (flow.rel->fully_acked()) {
+    finish_sending(pkt.flow);
+  }
+}
+
+}  // namespace r2c2::sim

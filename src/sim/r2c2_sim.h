@@ -1,0 +1,153 @@
+// Packet-level simulation of the R2C2 stack (Sections 3 and 5.2).
+//
+// Mechanisms modeled:
+//  - Flow start/finish events travel as real 16-byte broadcast packets
+//    along per-source shortest-path trees, sharing links (and queues) with
+//    data traffic. Their bytes are accounted separately (Fig. 9, Fig. 19).
+//  - Senders rate-limit each flow (one rate limiter per flow) and source-
+//    route every packet with a per-packet path from the flow's routing
+//    protocol. Intermediate nodes only follow the route (Section 3.5).
+//  - Rates are recomputed periodically, every `recompute_interval` (rho),
+//    with the weighted water-filling allocator over the set of flows whose
+//    broadcasts have propagated; a new flow is immediately assigned a
+//    conservative fair-share estimate by its sender, and headroom absorbs
+//    the visibility lag (Section 3.3.2). rho == 0 reproduces the "ideal"
+//    per-event recomputation of Fig. 15.
+//
+// Simplification (documented in DESIGN.md): rather than giving each of the
+// n nodes its own divergent flow table, the simulator applies a flow event
+// to the shared view when the *last* broadcast copy is delivered — i.e.
+// every node is treated as learning at the worst-case time. The sender
+// itself uses the flow immediately (exactly as in the paper), so the
+// visibility lag that headroom must absorb is fully — if conservatively —
+// modeled, while rate computation stays one water-fill per epoch.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include <memory>
+
+#include "broadcast/broadcast.h"
+#include "common/rng.h"
+#include "congestion/waterfill.h"
+#include "control/flow_table.h"
+#include "routing/routing.h"
+#include "sim/engine.h"
+#include "sim/metrics.h"
+#include "sim/network.h"
+#include "topology/topology.h"
+#include "transport/reliability.h"
+#include "workload/generator.h"
+
+namespace r2c2::sim {
+
+struct R2c2SimConfig {
+  AllocationConfig alloc{};                    // headroom etc.
+  TimeNs recompute_interval = 500 * kNsPerUs;  // rho; 0 = recompute per event
+  RouteAlg route_alg = RouteAlg::kRps;
+  int broadcast_trees = 4;
+  NetworkConfig net{};  // default: unbounded data buffers, control priority
+  std::uint32_t mtu_payload = static_cast<std::uint32_t>(kMaxPayloadBytes);
+  // Assign a fresh flow its estimated fair share immediately (Section 3.1).
+  // If false, new flows send unpaced until the first recomputation — the
+  // "don't rate-limit short flows" reading; ablatable.
+  bool rate_limit_new_flows = true;
+  // Section 6 reliability extension: selective-repeat retransmission with
+  // cumulative+SACK acknowledgements used *only* for reliability (rates
+  // still come from the allocator). Required when the network corrupts or
+  // drops data packets.
+  bool reliable = false;
+  TimeNs rto = 500 * kNsPerUs;
+  int ack_every_pkts = 4;  // receiver acks every N data packets + at gaps/end
+  std::uint64_t seed = 7;
+};
+
+class R2c2Sim {
+ public:
+  R2c2Sim(const Topology& topo, const Router& router, R2c2SimConfig config);
+
+  // Registers the workload; flows start at their arrival times.
+  void add_flows(const std::vector<FlowArrival>& flows);
+
+  // Runs to completion (or `until`); returns collected metrics.
+  RunMetrics run(TimeNs until = std::numeric_limits<TimeNs>::max());
+
+  // Exposed for tests: the number of rate recomputations performed.
+  std::uint64_t recomputations() const { return recomputations_; }
+  // Reliability-extension retransmissions across all flows.
+  std::uint64_t retransmissions() const { return retransmissions_; }
+
+ private:
+  struct SenderFlow {
+    FlowSpec spec;
+    std::uint8_t fseq = 0;
+    std::uint64_t total_bytes = 0;
+    std::uint64_t sent_bytes = 0;
+    double rate_bps = 0.0;
+    bool emit_scheduled = false;
+    TimeNs next_send = 0;
+    // Time-weighted average of the assigned rate (Figs. 15/16).
+    TimeNs rate_since = 0;
+    double rate_integral = 0.0;  // bits "allowed" so far
+    TimeNs started_at = 0;
+    // Reliability extension state (null when config.reliable is false).
+    std::unique_ptr<ReliableSender> rel;
+    bool finish_announced = false;
+  };
+
+  struct ReceiverFlow {
+    std::uint64_t received_bytes = 0;
+    ReorderTracker reorder;
+    std::unique_ptr<ReliableReceiver> rel;
+    int pkts_since_ack = 0;
+  };
+
+  struct PendingBroadcast {
+    BroadcastMsg msg;
+    std::uint32_t remaining = 0;  // copies still in flight
+  };
+
+  void start_flow(const FlowArrival& arrival);
+  void finish_sending(FlowId id);
+  void on_data_at_receiver(SimPacket&& pkt);
+  void on_ack_at_sender(SimPacket&& pkt);
+  void send_ack(FlowId id, ReceiverFlow& recv, NodeId from, NodeId to);
+  void deliver(NodeId at, SimPacket&& pkt);
+  void on_broadcast_copy(NodeId at, SimPacket&& pkt);
+  void apply_global(const BroadcastMsg& msg);
+  void broadcast(const BroadcastMsg& msg, NodeId origin);
+  void schedule_emit(FlowId id);
+  void emit_packet(FlowId id);
+  void set_rate(SenderFlow& flow, double rate_bps, TimeNs now);
+  double start_rate_estimate(const FlowSpec& spec) const;
+  void recompute_rates();
+  void schedule_recompute_tick();
+  void add_denom(const FlowSpec& spec, double sign);
+
+  const Topology& topo_;
+  const Router& router_;
+  R2c2SimConfig config_;
+  Engine engine_;
+  Network net_;
+  BroadcastTrees trees_;
+  Rng rng_;
+
+  FlowTable global_view_;  // flows whose start broadcast fully propagated
+  std::unordered_map<FlowId, SenderFlow> senders_;
+  std::unordered_map<FlowId, ReceiverFlow> receivers_;
+  std::unordered_map<std::uint64_t, PendingBroadcast> pending_;
+  std::unordered_map<std::uint32_t, FlowId> active_by_key_;  // (src,fseq) -> flow
+  std::vector<std::uint16_t> next_fseq_;                     // per node
+  std::vector<double> link_denom_;  // sum of weight*fraction of active flows
+  std::vector<FlowRecord> records_;
+  std::unordered_map<FlowId, std::size_t> record_index_;
+  std::uint64_t next_bcast_id_ = 1;
+  std::uint64_t recomputations_ = 0;
+  std::uint64_t retransmissions_ = 0;
+  std::size_t unfinished_ = 0;
+  bool tick_scheduled_ = false;
+};
+
+}  // namespace r2c2::sim

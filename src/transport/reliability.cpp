@@ -1,0 +1,110 @@
+#include "transport/reliability.h"
+
+#include <algorithm>
+#include <cassert>
+#include <stdexcept>
+
+namespace r2c2 {
+
+// --- ReliableReceiver ---
+
+void ReliableReceiver::on_data(std::uint64_t offset, std::uint32_t length) {
+  if (length == 0) return;
+  std::uint64_t begin = offset;
+  std::uint64_t end = offset + length;
+  if (end <= cumulative_) return;  // stale duplicate
+  begin = std::max(begin, cumulative_);
+
+  // Merge [begin, end) into the out-of-order range set.
+  auto it = ranges_.upper_bound(begin);
+  if (it != ranges_.begin()) {
+    auto prev = std::prev(it);
+    if (prev->second >= begin) {
+      begin = prev->first;
+      end = std::max(end, prev->second);
+      it = ranges_.erase(prev);
+    }
+  }
+  while (it != ranges_.end() && it->first <= end) {
+    end = std::max(end, it->second);
+    it = ranges_.erase(it);
+  }
+  ranges_[begin] = end;
+
+  // Advance the cumulative point through any now-contiguous ranges.
+  for (auto r = ranges_.begin(); r != ranges_.end() && r->first <= cumulative_;) {
+    cumulative_ = std::max(cumulative_, r->second);
+    r = ranges_.erase(r);
+  }
+}
+
+std::uint64_t ReliableReceiver::received_bytes() const {
+  std::uint64_t bytes = cumulative_;
+  for (const auto& [begin, end] : ranges_) bytes += end - begin;
+  return bytes;
+}
+
+std::vector<ByteRange> ReliableReceiver::sack_ranges(std::size_t max_ranges) const {
+  std::vector<ByteRange> out;
+  for (const auto& [begin, end] : ranges_) {
+    if (out.size() >= max_ranges) break;
+    out.push_back({begin, end});
+  }
+  return out;
+}
+
+// --- ReliableSender ---
+
+ReliableSender::ReliableSender(std::uint64_t total_bytes, Config config)
+    : total_(total_bytes), config_(config) {
+  if (config.mtu_payload == 0) throw std::invalid_argument("mtu_payload must be positive");
+}
+
+std::optional<ReliableSender::Segment> ReliableSender::next_segment(TimeNs now) {
+  // Expired in-flight segment first (selective repeat).
+  for (auto& [offset, seg] : in_flight_) {
+    if (seg.expires <= now) {
+      if (seg.attempts > config_.max_retransmits) {
+        throw std::runtime_error("reliability: segment exceeded retransmit budget");
+      }
+      ++seg.attempts;
+      seg.expires = now + config_.rto;
+      ++retransmissions_;
+      return Segment{offset, seg.length, true};
+    }
+  }
+  // New data.
+  if (next_new_ < total_) {
+    const std::uint32_t length = static_cast<std::uint32_t>(
+        std::min<std::uint64_t>(config_.mtu_payload, total_ - next_new_));
+    const std::uint64_t offset = next_new_;
+    next_new_ += length;
+    in_flight_[offset] = InFlight{length, now + config_.rto, 1};
+    return Segment{offset, length, false};
+  }
+  return std::nullopt;
+}
+
+void ReliableSender::on_ack(std::uint64_t cumulative, std::span<const ByteRange> sacks) {
+  acked_cumulative_ = std::max(acked_cumulative_, cumulative);
+  // Retire fully-acked in-flight segments.
+  for (auto it = in_flight_.begin(); it != in_flight_.end();) {
+    const std::uint64_t begin = it->first;
+    const std::uint64_t end = begin + it->second.length;
+    bool covered = end <= acked_cumulative_;
+    for (const ByteRange& sack : sacks) {
+      covered = covered || (sack.begin <= begin && end <= sack.end);
+    }
+    it = covered ? in_flight_.erase(it) : std::next(it);
+  }
+}
+
+TimeNs ReliableSender::next_deadline() const {
+  TimeNs deadline = -1;
+  for (const auto& [offset, seg] : in_flight_) {
+    if (deadline < 0 || seg.expires < deadline) deadline = seg.expires;
+  }
+  return deadline;
+}
+
+}  // namespace r2c2

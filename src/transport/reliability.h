@@ -1,0 +1,110 @@
+// End-to-end reliability for R2C2 (the Section 6 extension).
+//
+// R2C2 deliberately decouples congestion control from reliability: rates
+// come from the broadcast-based allocator, so acknowledgements serve
+// *only* reliability — there is no ACK clocking (unlike TCP) and no rate
+// interpretation of losses. This module implements the resulting
+// machinery: selective-repeat retransmission driven by a retransmission
+// timer, with cumulative ACKs plus SACK ranges so that the heavy packet
+// reordering of multipath routing is never mistaken for loss.
+//
+// The classes are pure state machines (no I/O, no timers of their own) so
+// they are unit-testable and host-agnostic; the simulator and emulator
+// drive them with their own clocks.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "common/types.h"
+
+namespace r2c2 {
+
+// Half-open byte range [begin, end).
+struct ByteRange {
+  std::uint64_t begin = 0;
+  std::uint64_t end = 0;
+  bool operator==(const ByteRange&) const = default;
+};
+
+// Receiver side: tracks which bytes of the message have arrived, exposes
+// the cumulative ack point and SACK ranges above it.
+class ReliableReceiver {
+ public:
+  explicit ReliableReceiver(std::uint64_t total_bytes) : total_(total_bytes) {}
+
+  // Registers payload [offset, offset + length). Duplicates are fine.
+  void on_data(std::uint64_t offset, std::uint32_t length);
+
+  // Longest contiguous prefix received.
+  std::uint64_t cumulative() const { return cumulative_; }
+  std::uint64_t total() const { return total_; }
+  bool complete() const { return cumulative_ >= total_; }
+  // Bytes received (without duplicates).
+  std::uint64_t received_bytes() const;
+
+  // Up to `max_ranges` received ranges strictly above the cumulative point
+  // (for the ACK's SACK blocks), lowest first.
+  std::vector<ByteRange> sack_ranges(std::size_t max_ranges) const;
+
+ private:
+  std::uint64_t total_;
+  std::uint64_t cumulative_ = 0;
+  // Out-of-order ranges above cumulative_, disjoint, keyed by begin.
+  std::map<std::uint64_t, std::uint64_t> ranges_;
+};
+
+// Sender side: hands out segments to transmit (new data first, then
+// timer-expired retransmissions), retires them on ACK.
+class ReliableSender {
+ public:
+  struct Config {
+    std::uint32_t mtu_payload = 1465;
+    TimeNs rto = 500 * kNsPerUs;  // retransmit timeout; no fast retransmit
+    int max_retransmits = 64;     // give-up bound (asserts liveness bugs)
+  };
+
+  struct Segment {
+    std::uint64_t offset = 0;
+    std::uint32_t length = 0;
+    bool retransmit = false;
+  };
+
+  ReliableSender(std::uint64_t total_bytes, Config config);
+
+  // The next segment to put on the wire at `now`, if any: an expired
+  // unacked segment first, else the next new segment. Marks it in flight.
+  std::optional<Segment> next_segment(TimeNs now);
+  // True if some segment is (or will be) pending: not everything is acked.
+  bool fully_acked() const { return acked_cumulative_ >= total_ && in_flight_.empty(); }
+  // All bytes have been transmitted at least once.
+  bool all_sent() const { return next_new_ >= total_; }
+
+  // Processes an ACK: cumulative point + SACK ranges.
+  void on_ack(std::uint64_t cumulative, std::span<const ByteRange> sacks);
+
+  // Earliest retransmission deadline among in-flight segments, or -1.
+  TimeNs next_deadline() const;
+
+  std::uint64_t total_bytes() const { return total_; }
+  std::uint64_t retransmissions() const { return retransmissions_; }
+
+ private:
+  struct InFlight {
+    std::uint32_t length = 0;
+    TimeNs expires = 0;
+    int attempts = 1;
+  };
+
+  std::uint64_t total_;
+  Config config_;
+  std::uint64_t next_new_ = 0;          // frontier of never-sent data
+  std::uint64_t acked_cumulative_ = 0;
+  std::map<std::uint64_t, InFlight> in_flight_;  // keyed by offset
+  std::uint64_t retransmissions_ = 0;
+};
+
+}  // namespace r2c2

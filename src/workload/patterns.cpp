@@ -1,0 +1,128 @@
+#include "workload/patterns.h"
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+
+namespace r2c2 {
+
+std::string_view to_string(TrafficPattern pattern) {
+  switch (pattern) {
+    case TrafficPattern::kUniform: return "uniform";
+    case TrafficPattern::kNearestNeighbor: return "nearest-neighbor";
+    case TrafficPattern::kBitComplement: return "bit-complement";
+    case TrafficPattern::kTranspose: return "transpose";
+    case TrafficPattern::kTornado: return "tornado";
+  }
+  return "?";
+}
+
+std::vector<std::pair<NodeId, NodeId>> pattern_pairs(const Topology& topo,
+                                                     TrafficPattern pattern) {
+  const std::size_t n = topo.num_nodes();
+  std::vector<std::pair<NodeId, NodeId>> pairs;
+  switch (pattern) {
+    case TrafficPattern::kUniform: {
+      pairs.reserve(n * (n - 1));
+      for (NodeId s = 0; s < n; ++s) {
+        for (NodeId d = 0; d < n; ++d) {
+          if (s != d) pairs.emplace_back(s, d);
+        }
+      }
+      return pairs;
+    }
+    case TrafficPattern::kNearestNeighbor: {
+      for (NodeId s = 0; s < n; ++s) {
+        for (const LinkId l : topo.out_links(s)) pairs.emplace_back(s, topo.link(l).to);
+      }
+      return pairs;
+    }
+    case TrafficPattern::kBitComplement: {
+      // Complement the node address bit-by-bit. Requires a power-of-two
+      // node count so the complement stays in range.
+      std::size_t bits = 0;
+      while ((std::size_t{1} << bits) < n) ++bits;
+      if ((std::size_t{1} << bits) != n) {
+        throw std::invalid_argument("bit-complement needs a power-of-two node count");
+      }
+      const std::size_t mask = n - 1;
+      for (NodeId s = 0; s < n; ++s) {
+        const NodeId d = static_cast<NodeId>(~static_cast<std::size_t>(s) & mask);
+        if (s != d) pairs.emplace_back(s, d);
+      }
+      return pairs;
+    }
+    case TrafficPattern::kTranspose: {
+      if (!topo.grid() || topo.grid()->dims.size() != 2 ||
+          topo.grid()->dims[0] != topo.grid()->dims[1]) {
+        throw std::invalid_argument("transpose needs a square 2D grid");
+      }
+      for (NodeId s = 0; s < n; ++s) {
+        const auto c = topo.coords_of(s);
+        const int swapped[2] = {c[1], c[0]};
+        const NodeId d = topo.node_at(swapped);
+        if (s != d) pairs.emplace_back(s, d);
+      }
+      return pairs;
+    }
+    case TrafficPattern::kTornado: {
+      if (!topo.grid()) throw std::invalid_argument("tornado needs a grid");
+      const auto& dims = topo.grid()->dims;
+      for (NodeId s = 0; s < n; ++s) {
+        auto c = topo.coords_of(s);
+        for (std::size_t i = 0; i < dims.size(); ++i) {
+          const int k = dims[i];
+          c[i] = (c[i] + (k + 1) / 2 - 1) % k;  // ceil(k/2) - 1 around the ring
+        }
+        const NodeId d = topo.node_at(c);
+        if (s != d) pairs.emplace_back(s, d);
+      }
+      return pairs;
+    }
+  }
+  throw std::invalid_argument("unknown traffic pattern");
+}
+
+std::vector<std::pair<NodeId, NodeId>> random_permutation_pairs(const Topology& topo, Rng& rng) {
+  const std::size_t n = topo.num_nodes();
+  std::vector<NodeId> perm(n);
+  std::iota(perm.begin(), perm.end(), NodeId{0});
+  for (std::size_t i = n; i > 1; --i) {
+    std::swap(perm[i - 1], perm[rng.uniform_int(i)]);
+  }
+  std::vector<std::pair<NodeId, NodeId>> pairs;
+  pairs.reserve(n);
+  for (NodeId s = 0; s < n; ++s) {
+    if (perm[s] != s) pairs.emplace_back(s, perm[s]);
+  }
+  return pairs;
+}
+
+std::vector<std::pair<NodeId, NodeId>> partial_permutation_pairs(const Topology& topo, double load,
+                                                                 Rng& rng) {
+  if (load < 0.0 || load > 1.0) throw std::invalid_argument("load must be in [0, 1]");
+  const std::size_t n = topo.num_nodes();
+  const std::size_t sources = static_cast<std::size_t>(load * static_cast<double>(n) + 0.5);
+  // Choose `sources` distinct sources and a matching set of distinct
+  // destinations, pair them randomly, avoiding fixed points greedily.
+  std::vector<NodeId> nodes(n);
+  std::iota(nodes.begin(), nodes.end(), NodeId{0});
+  for (std::size_t i = n; i > 1; --i) std::swap(nodes[i - 1], nodes[rng.uniform_int(i)]);
+  std::vector<NodeId> srcs(nodes.begin(), nodes.begin() + static_cast<std::ptrdiff_t>(sources));
+  for (std::size_t i = n; i > 1; --i) std::swap(nodes[i - 1], nodes[rng.uniform_int(i)]);
+  std::vector<NodeId> dsts(nodes.begin(), nodes.begin() + static_cast<std::ptrdiff_t>(sources));
+
+  std::vector<std::pair<NodeId, NodeId>> pairs;
+  pairs.reserve(sources);
+  for (std::size_t i = 0; i < sources; ++i) {
+    if (srcs[i] == dsts[i]) {
+      // Swap with any other destination to break the fixed point.
+      const std::size_t j = (i + 1) % sources;
+      if (sources > 1) std::swap(dsts[i], dsts[j]);
+    }
+    if (srcs[i] != dsts[i]) pairs.emplace_back(srcs[i], dsts[i]);
+  }
+  return pairs;
+}
+
+}  // namespace r2c2

@@ -1,0 +1,40 @@
+// Classic interconnect traffic patterns (Dally & Towles [20]) used by the
+// Fig. 2 routing-algorithm comparison, plus helpers to build adversarial
+// ("worst-case") permutations per routing algorithm.
+#pragma once
+
+#include <span>
+#include <string_view>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/types.h"
+#include "topology/topology.h"
+
+namespace r2c2 {
+
+enum class TrafficPattern {
+  kUniform,          // every node sends to every other node equally
+  kNearestNeighbor,  // every node sends to each of its direct neighbors
+  kBitComplement,    // node b_{n-1}..b_0 sends to ~b_{n-1}..~b_0
+  kTranspose,        // (x, y) sends to (y, x); diagonal nodes idle
+  kTornado,          // each coordinate offset by ceil(k/2)-1 around its ring
+};
+
+std::string_view to_string(TrafficPattern pattern);
+
+// Source-destination demand pairs of a pattern, each representing one unit
+// of demand. Pairs with src == dst are omitted.
+std::vector<std::pair<NodeId, NodeId>> pattern_pairs(const Topology& topo, TrafficPattern pattern);
+
+// A uniformly random permutation traffic pattern (src i -> perm[i], no
+// fixed points kept): the candidate pool for worst-case search.
+std::vector<std::pair<NodeId, NodeId>> random_permutation_pairs(const Topology& topo, Rng& rng);
+
+// A permutation workload at partial load: a fraction `load` of nodes each
+// source one long-running flow; every node is the source and destination of
+// at most one flow (the Fig. 18 workload).
+std::vector<std::pair<NodeId, NodeId>> partial_permutation_pairs(const Topology& topo, double load,
+                                                                 Rng& rng);
+
+}  // namespace r2c2

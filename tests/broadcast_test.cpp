@@ -1,0 +1,133 @@
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+#include "broadcast/broadcast.h"
+#include "topology/topology.h"
+
+namespace r2c2 {
+namespace {
+
+// Walks tree <src, t> from the root and returns (visited set, max depth).
+std::pair<std::set<NodeId>, int> walk_tree(const BroadcastTrees& trees, NodeId src, int t) {
+  std::set<NodeId> visited{src};
+  int max_depth = 0;
+  std::vector<std::pair<NodeId, int>> stack{{src, 0}};
+  while (!stack.empty()) {
+    const auto [at, depth] = stack.back();
+    stack.pop_back();
+    max_depth = std::max(max_depth, depth);
+    for (const NodeId child : trees.children(at, src, t)) {
+      EXPECT_TRUE(visited.insert(child).second) << "node visited twice: not a tree";
+      stack.push_back({child, depth + 1});
+    }
+  }
+  return {visited, max_depth};
+}
+
+class BroadcastOnTopo : public ::testing::TestWithParam<std::vector<int>> {
+ protected:
+  BroadcastOnTopo() : topo_(make_torus(GetParam(), 10 * kGbps, 100)), trees_(topo_, 3) {}
+  Topology topo_;
+  BroadcastTrees trees_;
+};
+
+TEST_P(BroadcastOnTopo, TreesSpanAllNodes) {
+  for (NodeId src = 0; src < topo_.num_nodes(); ++src) {
+    for (int t = 0; t < trees_.trees_per_source(); ++t) {
+      const auto [visited, depth] = walk_tree(trees_, src, t);
+      EXPECT_EQ(visited.size(), topo_.num_nodes()) << "src " << src << " tree " << t;
+      (void)depth;
+    }
+  }
+}
+
+TEST_P(BroadcastOnTopo, TreesAreShortestPath) {
+  // Every node sits at its BFS distance from the source: the broadcast
+  // time (tree height) is minimal (Section 3.2's optimization goal).
+  for (NodeId src = 0; src < topo_.num_nodes(); ++src) {
+    for (int t = 0; t < trees_.trees_per_source(); ++t) {
+      for (NodeId v = 0; v < topo_.num_nodes(); ++v) {
+        EXPECT_EQ(trees_.depth_of(src, t, v), topo_.distance(src, v));
+      }
+      EXPECT_EQ(trees_.height(src, t), topo_.distances_from(src).back() >= 0
+                                           ? *std::max_element(topo_.distances_from(src).begin(),
+                                                               topo_.distances_from(src).end())
+                                           : 0);
+    }
+  }
+}
+
+TEST_P(BroadcastOnTopo, ChildrenAreNeighbors) {
+  for (NodeId src = 0; src < topo_.num_nodes(); ++src) {
+    for (int t = 0; t < trees_.trees_per_source(); ++t) {
+      for (NodeId v = 0; v < topo_.num_nodes(); ++v) {
+        for (const NodeId child : trees_.children(v, src, t)) {
+          EXPECT_NE(topo_.find_link(v, child), kInvalidLink);
+        }
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Tori, BroadcastOnTopo,
+                         ::testing::Values(std::vector<int>{4, 4}, std::vector<int>{3, 3, 3},
+                                           std::vector<int>{8, 8}, std::vector<int>{4, 4, 4}));
+
+TEST(Broadcast, MultipleTreesDiffer) {
+  // Rotated BFS neighbor order must produce distinct trees so broadcast
+  // load can be balanced across links.
+  const Topology topo = make_torus({4, 4, 4}, 10 * kGbps, 100);
+  const BroadcastTrees trees(topo, 4);
+  int differing_nodes = 0;
+  for (NodeId v = 0; v < topo.num_nodes(); ++v) {
+    const auto c0 = trees.children(v, 0, 0);
+    const auto c1 = trees.children(v, 0, 1);
+    if (std::vector<NodeId>(c0.begin(), c0.end()) != std::vector<NodeId>(c1.begin(), c1.end())) {
+      ++differing_nodes;
+    }
+  }
+  EXPECT_GT(differing_nodes, 5);
+}
+
+TEST(Broadcast, Paper512NodeBroadcastIs8KB) {
+  // Section 3.2: "with a 512-node rack, each broadcast results in
+  // 511 * 16 ~= 8 KB on the wire".
+  const Topology topo = make_torus({8, 8, 8}, 10 * kGbps, 100);
+  const BroadcastTrees trees(topo, 1);
+  EXPECT_EQ(trees.bytes_per_broadcast(), 511u * 16);
+  EXPECT_NEAR(static_cast<double>(trees.bytes_per_broadcast()) / 1024.0, 8.0, 0.02);
+}
+
+TEST(Broadcast, CloserNodesReceiveEarlierThanHeight) {
+  const Topology topo = make_torus({8, 8, 8}, 10 * kGbps, 100);
+  const BroadcastTrees trees(topo, 1);
+  // A 512-node 3D torus has diameter 12: every node hears a broadcast
+  // within 12 hops.
+  EXPECT_EQ(trees.height(0, 0), 12);
+}
+
+TEST(Broadcast, SwitchedClosBroadcastCost) {
+  // Section 6: a 512-server two-level folded Clos broadcast costs ~8.7 KB
+  // (the tree also spans switch nodes).
+  const Topology topo = make_folded_clos({.servers_per_leaf = 16,
+                                          .num_leaves = 32,
+                                          .num_spines = 16,
+                                          .bandwidth = 10 * kGbps,
+                                          .latency = 100});
+  const BroadcastTrees trees(topo, 1);
+  const double kb = static_cast<double>(trees.bytes_per_broadcast()) / 1024.0;
+  EXPECT_NEAR(kb, 8.7, 0.3);
+}
+
+TEST(Broadcast, RejectsBadArguments) {
+  const Topology topo = make_torus({4, 4}, kGbps, 100);
+  EXPECT_THROW(BroadcastTrees(topo, 0), std::invalid_argument);
+  Topology unfinalized;
+  unfinalized.add_node();
+  EXPECT_THROW(BroadcastTrees(unfinalized, 1), std::logic_error);
+}
+
+}  // namespace
+}  // namespace r2c2

@@ -1,0 +1,272 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/rng.h"
+#include "control/control_traffic.h"
+#include "control/flow_table.h"
+#include "control/route_selection.h"
+#include "topology/topology.h"
+#include "workload/patterns.h"
+
+namespace r2c2 {
+namespace {
+
+BroadcastMsg start_msg(NodeId src, NodeId dst, std::uint8_t fseq, RouteAlg rp = RouteAlg::kRps) {
+  BroadcastMsg m;
+  m.type = PacketType::kFlowStart;
+  m.src = src;
+  m.dst = dst;
+  m.fseq = fseq;
+  m.weight = 1;
+  m.rp = rp;
+  return m;
+}
+
+// --- FlowTable ---
+
+TEST(FlowTable, StartAddsFinishRemoves) {
+  FlowTable table;
+  table.apply(start_msg(1, 2, 0));
+  EXPECT_EQ(table.size(), 1u);
+  const auto spec = table.find(1, 0);
+  ASSERT_TRUE(spec.has_value());
+  EXPECT_EQ(spec->src, 1);
+  EXPECT_EQ(spec->dst, 2);
+  EXPECT_EQ(spec->id, (1u << 16) | 0u);
+
+  BroadcastMsg fin = start_msg(1, 2, 0);
+  fin.type = PacketType::kFlowFinish;
+  table.apply(fin);
+  EXPECT_TRUE(table.empty());
+}
+
+TEST(FlowTable, FinishOfUnknownFlowIsNoop) {
+  FlowTable table;
+  BroadcastMsg fin = start_msg(9, 2, 3);
+  fin.type = PacketType::kFlowFinish;
+  table.apply(fin);
+  EXPECT_TRUE(table.empty());
+}
+
+TEST(FlowTable, DistinctFseqKeepsConcurrentFlows) {
+  FlowTable table;
+  table.apply(start_msg(1, 2, 0));
+  table.apply(start_msg(1, 2, 1));
+  table.apply(start_msg(1, 3, 2));
+  EXPECT_EQ(table.size(), 3u);
+}
+
+TEST(FlowTable, DemandUpdateChangesDemand) {
+  FlowTable table;
+  table.apply(start_msg(1, 2, 0));
+  EXPECT_TRUE(std::isinf(table.find(1, 0)->demand));
+
+  BroadcastMsg upd = start_msg(1, 2, 0);
+  upd.type = PacketType::kDemandUpdate;
+  upd.demand_kbps = 1'000'000;  // 1 Gbps
+  table.apply(upd);
+  EXPECT_NEAR(table.find(1, 0)->demand, 1 * kGbps, 1.0);
+
+  upd.demand_kbps = 0;  // back to unlimited
+  table.apply(upd);
+  EXPECT_TRUE(std::isinf(table.find(1, 0)->demand));
+}
+
+TEST(FlowTable, DemandUpdateForUnknownFlowIgnored) {
+  FlowTable table;
+  BroadcastMsg upd = start_msg(4, 2, 0);
+  upd.type = PacketType::kDemandUpdate;
+  upd.demand_kbps = 5;
+  table.apply(upd);
+  EXPECT_TRUE(table.empty());
+}
+
+TEST(FlowTable, RouteUpdateChangesProtocol) {
+  FlowTable table;
+  table.apply(start_msg(1, 2, 0, RouteAlg::kRps));
+  RouteUpdatePacket pkt;
+  pkt.entries.push_back({1, 0, RouteAlg::kVlb});
+  table.apply(pkt);
+  EXPECT_EQ(table.find(1, 0)->alg, RouteAlg::kVlb);
+}
+
+TEST(FlowTable, ViewHashIsOrderIndependent) {
+  FlowTable a, b;
+  a.apply(start_msg(1, 2, 0));
+  a.apply(start_msg(3, 4, 1));
+  b.apply(start_msg(3, 4, 1));
+  b.apply(start_msg(1, 2, 0));
+  EXPECT_EQ(a.view_hash(), b.view_hash());
+}
+
+TEST(FlowTable, ViewHashReturnsAfterAddRemove) {
+  FlowTable table;
+  const std::uint64_t empty_hash = table.view_hash();
+  table.apply(start_msg(1, 2, 0));
+  EXPECT_NE(table.view_hash(), empty_hash);
+  BroadcastMsg fin = start_msg(1, 2, 0);
+  fin.type = PacketType::kFlowFinish;
+  table.apply(fin);
+  EXPECT_EQ(table.view_hash(), empty_hash);
+}
+
+TEST(FlowTable, ViewHashTracksFieldChanges) {
+  FlowTable a, b;
+  a.apply(start_msg(1, 2, 0, RouteAlg::kRps));
+  b.apply(start_msg(1, 2, 0, RouteAlg::kVlb));
+  EXPECT_NE(a.view_hash(), b.view_hash());
+}
+
+TEST(FlowTable, VersionMonotone) {
+  FlowTable table;
+  const auto v0 = table.version();
+  table.apply(start_msg(1, 2, 0));
+  EXPECT_GT(table.version(), v0);
+}
+
+TEST(FlowTable, SnapshotContainsAllFlows) {
+  FlowTable table;
+  for (std::uint8_t i = 0; i < 10; ++i) table.apply(start_msg(1, 2, i));
+  EXPECT_EQ(table.snapshot().size(), 10u);
+}
+
+// --- Route selection ---
+
+class RouteSelectionTest : public ::testing::Test {
+ protected:
+  RouteSelectionTest() : topo_(make_torus({4, 4}, 10 * kGbps, 100)), router_(topo_) {}
+
+  std::vector<FlowSpec> permutation_flows(double load, std::uint64_t seed) {
+    Rng rng(seed);
+    std::vector<FlowSpec> flows;
+    FlowId id = 1;
+    for (const auto& [s, d] : partial_permutation_pairs(topo_, load, rng)) {
+      flows.push_back({id++, s, d, RouteAlg::kRps, 1.0, 0, kUnlimitedDemand});
+    }
+    return flows;
+  }
+
+  Topology topo_;
+  Router router_;
+};
+
+TEST_F(RouteSelectionTest, GaNeverWorseThanStartingAssignment) {
+  const auto flows = permutation_flows(0.5, 3);
+  SelectionConfig cfg;
+  cfg.population = 20;
+  cfg.max_generations = 10;
+  std::vector<RouteAlg> current(flows.size(), RouteAlg::kRps);
+  const double base = route_assignment_utility(router_, flows, current, cfg.utility, cfg.alloc);
+  const auto result = select_routes_ga(router_, flows, cfg);
+  EXPECT_GE(result.utility, base - 1.0);
+}
+
+TEST_F(RouteSelectionTest, GaFindsExhaustiveOptimumOnTinyInstance) {
+  const auto flows = permutation_flows(0.25, 5);  // 4 flows -> 16 assignments
+  ASSERT_LE(flows.size(), 6u);
+  SelectionConfig cfg;
+  cfg.population = 30;
+  cfg.max_generations = 20;
+  const auto best = select_routes_exhaustive(router_, flows, cfg);
+  const auto ga = select_routes_ga(router_, flows, cfg);
+  EXPECT_NEAR(ga.utility, best.utility, best.utility * 1e-9);
+}
+
+TEST_F(RouteSelectionTest, GaBeatsOrMatchesSingleProtocols) {
+  // The core Fig. 18 property: mixing protocols per flow is at least as
+  // good as the best single-protocol assignment.
+  for (const double load : {0.25, 0.75}) {
+    const auto flows = permutation_flows(load, 11);
+    SelectionConfig cfg;
+    cfg.population = 40;
+    cfg.max_generations = 15;
+    cfg.seed = 7;
+    const auto ga = select_routes_ga(router_, flows, cfg);
+    const auto rps = uniform_assignment(router_, flows, RouteAlg::kRps, cfg);
+    const auto vlb = uniform_assignment(router_, flows, RouteAlg::kVlb, cfg);
+    EXPECT_GE(ga.utility, rps.utility * 0.999) << "load " << load;
+    EXPECT_GE(ga.utility, vlb.utility * 0.999) << "load " << load;
+  }
+}
+
+TEST_F(RouteSelectionTest, HillClimbImprovesOrEqualsBase) {
+  const auto flows = permutation_flows(0.5, 13);
+  SelectionConfig cfg;
+  cfg.eval_budget = 200;
+  std::vector<RouteAlg> current(flows.size(), RouteAlg::kRps);
+  const double base = route_assignment_utility(router_, flows, current, cfg.utility, cfg.alloc);
+  const auto hc = select_routes_hill_climb(router_, flows, cfg);
+  EXPECT_GE(hc.utility, base - 1.0);
+}
+
+TEST_F(RouteSelectionTest, RandomSearchRespectsBudget) {
+  const auto flows = permutation_flows(0.5, 17);
+  SelectionConfig cfg;
+  cfg.eval_budget = 10;
+  const auto result = select_routes_random(router_, flows, cfg);
+  EXPECT_LE(result.evaluations, 10);
+  EXPECT_GT(result.utility, 0.0);
+}
+
+TEST_F(RouteSelectionTest, MinThroughputUtility) {
+  const auto flows = permutation_flows(0.5, 19);
+  SelectionConfig cfg;
+  cfg.utility = UtilityKind::kMinThroughput;
+  cfg.population = 20;
+  cfg.max_generations = 8;
+  const auto ga = select_routes_ga(router_, flows, cfg);
+  const auto rps = uniform_assignment(router_, flows, RouteAlg::kRps, cfg);
+  EXPECT_GE(ga.utility, rps.utility * 0.999);
+}
+
+TEST_F(RouteSelectionTest, EmptyChoicesRejected) {
+  SelectionConfig cfg;
+  cfg.choices.clear();
+  EXPECT_THROW(select_routes_ga(router_, {}, cfg), std::invalid_argument);
+}
+
+TEST_F(RouteSelectionTest, ExhaustiveRejectsHugeSpace) {
+  const auto flows = permutation_flows(1.0, 23);
+  SelectionConfig cfg;
+  cfg.choices = {RouteAlg::kRps, RouteAlg::kVlb, RouteAlg::kWlb};  // 3^15+ states
+  ASSERT_GT(flows.size(), 12u);
+  EXPECT_THROW(select_routes_exhaustive(router_, flows, cfg), std::length_error);
+}
+
+TEST_F(RouteSelectionTest, AssignmentSizeMismatchRejected) {
+  const auto flows = permutation_flows(0.5, 29);
+  std::vector<RouteAlg> wrong(flows.size() + 1, RouteAlg::kRps);
+  EXPECT_THROW(
+      route_assignment_utility(router_, flows, wrong, UtilityKind::kAggregateThroughput),
+      std::invalid_argument);
+}
+
+// --- Control traffic model (Fig. 19) ---
+
+TEST(ControlTraffic, DecentralizedIndependentOfFlowCount) {
+  const Topology topo = make_torus({8, 8, 8}, 10 * kGbps, 100);
+  const BroadcastTrees trees(topo, 1);
+  EXPECT_EQ(decentralized_event_bytes(trees), 511u * 16);
+}
+
+TEST(ControlTraffic, CentralizedGrowsWithFlows) {
+  const Topology topo = make_torus({8, 8, 8}, 10 * kGbps, 100);
+  const CentralizedModel model;
+  const auto few = centralized_event_bytes(topo, model, 100, 512, 1.0);
+  const auto many = centralized_event_bytes(topo, model, 100, 512, 10.0);
+  EXPECT_GT(many, few);
+  EXPECT_GT(static_cast<double>(many) / static_cast<double>(few), 2.0);
+}
+
+TEST(ControlTraffic, CentralizedCheaperWithVeryFewSenders) {
+  // With a handful of senders, unicasts beat an all-rack broadcast.
+  const Topology topo = make_torus({8, 8, 8}, 10 * kGbps, 100);
+  const BroadcastTrees trees(topo, 1);
+  const CentralizedModel model;
+  EXPECT_LT(centralized_event_bytes(topo, model, 100, 4, 1.0), decentralized_event_bytes(trees));
+  EXPECT_GT(centralized_event_bytes(topo, model, 100, 512, 1.0), decentralized_event_bytes(trees));
+}
+
+}  // namespace
+}  // namespace r2c2

@@ -1,0 +1,135 @@
+// Cross-module integration: the paper's headline qualitative results on a
+// scaled-down rack, exercised end to end through the three simulated
+// transports and the control plane.
+#include <gtest/gtest.h>
+
+#include "common/stats.h"
+#include "control/route_selection.h"
+#include "sim/pfq_sim.h"
+#include "sim/r2c2_sim.h"
+#include "sim/tcp_sim.h"
+#include "workload/generator.h"
+#include "workload/patterns.h"
+
+namespace r2c2 {
+namespace {
+
+using sim::PfqSim;
+using sim::R2c2Sim;
+using sim::RunMetrics;
+using sim::TcpSim;
+
+struct Suite {
+  RunMetrics r2c2;
+  RunMetrics tcp;
+  RunMetrics pfq;
+};
+
+// One shared workload on a 64-node 3D torus, run through all transports.
+Suite run_suite() {
+  static const Topology topo = make_torus({4, 4, 4}, 10 * kGbps, 100);
+  static const Router router(topo);
+  WorkloadConfig wl;
+  wl.num_nodes = topo.num_nodes();
+  wl.num_flows = 400;
+  wl.mean_interarrival = 1 * kNsPerUs;
+  wl.max_bytes = 1 << 20;
+  wl.seed = 2025;
+  const auto arrivals = generate_poisson_uniform(wl);
+
+  Suite suite;
+  {
+    R2c2Sim sim(topo, router, {});
+    sim.add_flows(arrivals);
+    suite.r2c2 = sim.run();
+  }
+  {
+    TcpSim sim(topo, router, {});
+    sim.add_flows(arrivals);
+    suite.tcp = sim.run();
+  }
+  {
+    PfqSim sim(topo, router, {});
+    sim.add_flows(arrivals);
+    suite.pfq = sim.run();
+  }
+  return suite;
+}
+
+const Suite& suite() {
+  static const Suite s = run_suite();
+  return s;
+}
+
+TEST(Integration, EveryTransportDeliversEveryFlow) {
+  for (const RunMetrics* m : {&suite().r2c2, &suite().tcp, &suite().pfq}) {
+    ASSERT_EQ(m->flows.size(), 400u);
+    for (const auto& f : m->flows) EXPECT_TRUE(f.finished()) << f.id;
+  }
+}
+
+TEST(Integration, R2c2BeatsTcpOnShortFlowTails) {
+  // Fig. 10 / Fig. 12: TCP's 99th-percentile short-flow FCT is a multiple
+  // of R2C2's.
+  const double r2c2_p99 = percentile(suite().r2c2.short_flow_fct_us(), 99);
+  const double tcp_p99 = percentile(suite().tcp.short_flow_fct_us(), 99);
+  EXPECT_GT(tcp_p99, 1.5 * r2c2_p99) << "tcp " << tcp_p99 << " r2c2 " << r2c2_p99;
+}
+
+TEST(Integration, R2c2TracksPfqOnShortFlows) {
+  // Fig. 10: R2C2 closely matches the idealized per-flow-queues baseline
+  // with a single queue per port.
+  const double r2c2_p99 = percentile(suite().r2c2.short_flow_fct_us(), 99);
+  const double pfq_p99 = percentile(suite().pfq.short_flow_fct_us(), 99);
+  EXPECT_LT(r2c2_p99, 4.0 * pfq_p99);
+}
+
+TEST(Integration, R2c2BeatsTcpOnLongFlowThroughput) {
+  // Fig. 11 / Fig. 13: multipath + rate control vs single path.
+  const auto mean = [](const std::vector<double>& v) {
+    double s = 0;
+    for (double x : v) s += x;
+    return s / static_cast<double>(v.size());
+  };
+  EXPECT_GT(mean(suite().r2c2.long_flow_tput_gbps()),
+            1.3 * mean(suite().tcp.long_flow_tput_gbps()));
+}
+
+TEST(Integration, R2c2QueuesFarBelowTcp) {
+  // Fig. 14's mechanism: rate-based control keeps queues near-empty while
+  // TCP fills drop-tail buffers.
+  std::vector<double> rq(suite().r2c2.max_queue_bytes.begin(), suite().r2c2.max_queue_bytes.end());
+  std::vector<double> tq(suite().tcp.max_queue_bytes.begin(), suite().tcp.max_queue_bytes.end());
+  EXPECT_LT(percentile(rq, 99), percentile(tq, 99));
+}
+
+TEST(Integration, BroadcastOverheadSmallForByteHeavyWorkload) {
+  // Section 3.2: control bytes are a small fraction of data bytes when
+  // most bytes come from non-tiny flows.
+  const double frac = static_cast<double>(suite().r2c2.control_bytes_on_wire) /
+                      static_cast<double>(suite().r2c2.data_bytes_on_wire);
+  EXPECT_LT(frac, 0.05);
+}
+
+TEST(Integration, AdaptiveRoutingBeatsWorstSingleProtocol) {
+  // Fig. 18's mechanism at small scale: for a low-load permutation, the
+  // GA assignment's utility is at least max(all-RPS, all-VLB).
+  const Topology topo = make_torus({4, 4}, 10 * kGbps, 100);
+  const Router router(topo);
+  Rng rng(77);
+  std::vector<FlowSpec> flows;
+  FlowId id = 1;
+  for (const auto& [s, d] : partial_permutation_pairs(topo, 0.25, rng)) {
+    flows.push_back({id++, s, d, RouteAlg::kRps, 1.0, 0, kUnlimitedDemand});
+  }
+  SelectionConfig cfg;
+  cfg.population = 30;
+  cfg.max_generations = 12;
+  const auto ga = select_routes_ga(router, flows, cfg);
+  const auto rps = uniform_assignment(router, flows, RouteAlg::kRps, cfg);
+  const auto vlb = uniform_assignment(router, flows, RouteAlg::kVlb, cfg);
+  EXPECT_GE(ga.utility, std::max(rps.utility, vlb.utility) * 0.999);
+}
+
+}  // namespace
+}  // namespace r2c2

@@ -1,0 +1,266 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/checksum.h"
+#include "common/rng.h"
+#include "packet/packet.h"
+#include "topology/topology.h"
+
+namespace r2c2 {
+namespace {
+
+// --- RouteCode ---
+
+TEST(RouteCode, EncodeDecodeRoundTrip) {
+  const std::vector<int> ports{0, 7, 3, 5, 1, 2, 6, 4, 0, 7};
+  const RouteCode code = RouteCode::encode(ports);
+  ASSERT_EQ(code.length(), 10);
+  for (std::size_t i = 0; i < ports.size(); ++i) {
+    EXPECT_EQ(code.port_at(static_cast<int>(i)), ports[i]) << "hop " << i;
+  }
+}
+
+TEST(RouteCode, MaxLengthRoute) {
+  // Section 4.2: 3 bits per hop in a 128-bit field = 42 hops.
+  std::vector<int> ports(kMaxRouteHops);
+  Rng rng(3);
+  for (auto& p : ports) p = static_cast<int>(rng.uniform_int(8));
+  const RouteCode code = RouteCode::encode(ports);
+  for (int i = 0; i < kMaxRouteHops; ++i) EXPECT_EQ(code.port_at(i), ports[static_cast<std::size_t>(i)]);
+}
+
+TEST(RouteCode, RejectsTooLongRoute) {
+  std::vector<int> ports(kMaxRouteHops + 1, 0);
+  EXPECT_THROW(RouteCode::encode(ports), std::length_error);
+}
+
+TEST(RouteCode, RejectsWidePort) {
+  const std::vector<int> ports{8};
+  EXPECT_THROW(RouteCode::encode(ports), std::out_of_range);
+}
+
+TEST(RouteCode, RejectsOutOfRangeIndex) {
+  const RouteCode code = RouteCode::encode(std::vector<int>{1, 2});
+  EXPECT_THROW(code.port_at(2), std::out_of_range);
+  EXPECT_THROW(code.port_at(-1), std::out_of_range);
+}
+
+TEST(RouteCode, EncodePathAgainstTopology) {
+  const Topology topo = make_torus({4, 4}, kGbps, 100);
+  const Path path{0, 1, 2, 6};
+  const RouteCode code = encode_path(topo, path);
+  ASSERT_EQ(code.length(), 3);
+  // Following the encoded ports reproduces the path.
+  NodeId at = 0;
+  for (int i = 0; i < code.length(); ++i) {
+    at = topo.link(topo.out_link_by_port(at, code.port_at(i))).to;
+    EXPECT_EQ(at, path[static_cast<std::size_t>(i) + 1]);
+  }
+}
+
+TEST(RouteCode, EncodePathRejectsNonAdjacent) {
+  const Topology topo = make_torus({4, 4}, kGbps, 100);
+  EXPECT_THROW(encode_path(topo, Path{0, 5}), std::invalid_argument);
+}
+
+// --- DataHeader ---
+
+TEST(DataHeader, WireSizeMatchesPaperFieldList) {
+  // Fig. 6: type, rlen, ridx, flow(4), src(2), dst(2), seq(4), checksum(2),
+  // plen(2), route(16) = 35 bytes.
+  EXPECT_EQ(DataHeader::kWireSize, 35u);
+}
+
+TEST(DataHeader, SerializeParseRoundTrip) {
+  DataHeader h;
+  h.rlen = 6;
+  h.ridx = 2;
+  h.flow = 0xdeadbeef;
+  h.src = 511;
+  h.dst = 42;
+  h.seq = 123456789;
+  h.plen = 1465;
+  for (std::size_t i = 0; i < h.route.size(); ++i) h.route[i] = static_cast<std::uint8_t>(i * 17);
+
+  std::vector<std::uint8_t> wire(DataHeader::kWireSize);
+  h.serialize(wire);
+  const auto parsed = DataHeader::parse(wire);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->rlen, h.rlen);
+  EXPECT_EQ(parsed->ridx, h.ridx);
+  EXPECT_EQ(parsed->flow, h.flow);
+  EXPECT_EQ(parsed->src, h.src);
+  EXPECT_EQ(parsed->dst, h.dst);
+  EXPECT_EQ(parsed->seq, h.seq);
+  EXPECT_EQ(parsed->plen, h.plen);
+  EXPECT_EQ(parsed->route, h.route);
+}
+
+TEST(DataHeader, ChecksumDetectsEveryByteFlip) {
+  DataHeader h;
+  h.rlen = 3;
+  h.flow = 7;
+  h.src = 1;
+  h.dst = 2;
+  std::vector<std::uint8_t> wire(DataHeader::kWireSize);
+  h.serialize(wire);
+  for (std::size_t i = 0; i < wire.size(); ++i) {
+    std::vector<std::uint8_t> corrupted = wire;
+    corrupted[i] ^= 0xff;
+    if (i == 0) {
+      // A corrupted type byte is rejected as not-a-data-packet.
+      EXPECT_FALSE(DataHeader::parse(corrupted).has_value());
+    } else {
+      EXPECT_FALSE(DataHeader::parse(corrupted).has_value()) << "byte " << i;
+    }
+  }
+}
+
+TEST(DataHeader, ParseRejectsShortBuffer) {
+  std::vector<std::uint8_t> wire(DataHeader::kWireSize - 1);
+  EXPECT_FALSE(DataHeader::parse(wire).has_value());
+}
+
+TEST(DataHeader, SerializeRejectsSmallBuffer) {
+  DataHeader h;
+  std::vector<std::uint8_t> wire(DataHeader::kWireSize - 1);
+  EXPECT_THROW(h.serialize(wire), std::length_error);
+}
+
+// --- BroadcastMsg ---
+
+TEST(BroadcastMsg, Is16Bytes) { EXPECT_EQ(BroadcastMsg::kWireSize, 16u); }
+
+TEST(BroadcastMsg, SerializeParseRoundTrip) {
+  BroadcastMsg m;
+  m.type = PacketType::kFlowStart;
+  m.src = 300;
+  m.dst = 17;
+  m.fseq = 200;
+  m.weight = 3;
+  m.priority = 2;
+  m.demand_kbps = 4'000'000'000u;  // 4 Tbps, the paper's max
+  m.tree = 5;
+  m.rp = RouteAlg::kVlb;
+
+  std::vector<std::uint8_t> wire(BroadcastMsg::kWireSize);
+  m.serialize(wire);
+  const auto parsed = BroadcastMsg::parse(wire);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->type, m.type);
+  EXPECT_EQ(parsed->src, m.src);
+  EXPECT_EQ(parsed->dst, m.dst);
+  EXPECT_EQ(parsed->fseq, m.fseq);
+  EXPECT_EQ(parsed->weight, m.weight);
+  EXPECT_EQ(parsed->priority, m.priority);
+  EXPECT_EQ(parsed->demand_kbps, m.demand_kbps);
+  EXPECT_EQ(parsed->tree, m.tree);
+  EXPECT_EQ(parsed->rp, m.rp);
+}
+
+TEST(BroadcastMsg, AllEventTypesRoundTrip) {
+  for (const PacketType type :
+       {PacketType::kFlowStart, PacketType::kFlowFinish, PacketType::kDemandUpdate}) {
+    BroadcastMsg m;
+    m.type = type;
+    std::vector<std::uint8_t> wire(BroadcastMsg::kWireSize);
+    m.serialize(wire);
+    const auto parsed = BroadcastMsg::parse(wire);
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_EQ(parsed->type, type);
+  }
+}
+
+TEST(BroadcastMsg, ChecksumDetectsCorruption) {
+  BroadcastMsg m;
+  m.src = 12;
+  m.dst = 34;
+  m.demand_kbps = 999;
+  std::vector<std::uint8_t> wire(BroadcastMsg::kWireSize);
+  m.serialize(wire);
+  for (std::size_t i = 1; i < wire.size(); ++i) {
+    std::vector<std::uint8_t> corrupted = wire;
+    corrupted[i] ^= 0xa5;
+    EXPECT_FALSE(BroadcastMsg::parse(corrupted).has_value()) << "byte " << i;
+  }
+}
+
+TEST(BroadcastMsg, RejectsDataPacketType) {
+  std::vector<std::uint8_t> wire(BroadcastMsg::kWireSize, 0);
+  wire[0] = static_cast<std::uint8_t>(PacketType::kData);
+  EXPECT_FALSE(BroadcastMsg::parse(wire).has_value());
+}
+
+TEST(BroadcastMsg, RejectsUnknownRoutingProtocol) {
+  BroadcastMsg m;
+  std::vector<std::uint8_t> wire(BroadcastMsg::kWireSize);
+  m.serialize(wire);
+  wire[13] = 200;  // invalid rp
+  // Fix up checksum so only the rp check can reject.
+  wire[14] = wire[15] = 0;
+  std::vector<std::uint8_t> scratch = wire;
+  const std::uint16_t sum = internet_checksum(scratch);
+  wire[14] = static_cast<std::uint8_t>(sum >> 8);
+  wire[15] = static_cast<std::uint8_t>(sum & 0xff);
+  EXPECT_FALSE(BroadcastMsg::parse(wire).has_value());
+}
+
+// --- RouteUpdatePacket ---
+
+TEST(RouteUpdate, SerializeParseRoundTrip) {
+  RouteUpdatePacket pkt;
+  pkt.origin = 99;
+  pkt.tree = 2;
+  for (int i = 0; i < 10; ++i) {
+    pkt.entries.push_back({static_cast<NodeId>(i * 3), static_cast<std::uint8_t>(i),
+                           i % 2 ? RouteAlg::kVlb : RouteAlg::kRps});
+  }
+  const auto wire = pkt.serialize();
+  EXPECT_EQ(wire.size(), pkt.wire_size());
+  const auto parsed = RouteUpdatePacket::parse(wire);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->origin, pkt.origin);
+  EXPECT_EQ(parsed->tree, pkt.tree);
+  ASSERT_EQ(parsed->entries.size(), pkt.entries.size());
+  for (std::size_t i = 0; i < pkt.entries.size(); ++i) {
+    EXPECT_EQ(parsed->entries[i].flow_src, pkt.entries[i].flow_src);
+    EXPECT_EQ(parsed->entries[i].fseq, pkt.entries[i].fseq);
+    EXPECT_EQ(parsed->entries[i].rp, pkt.entries[i].rp);
+  }
+}
+
+TEST(RouteUpdate, PaperCapacityClaim) {
+  // Section 3.4: ~300 {flow, routing protocol} pairs fit one 1,500-byte
+  // packet (4-byte flow id + 1-byte protocol each).
+  EXPECT_GE(RouteUpdatePacket::max_entries_per_packet(), 290u);
+  EXPECT_LE(RouteUpdatePacket::max_entries_per_packet(), 300u);
+}
+
+TEST(RouteUpdate, MaxEntriesFitMtu) {
+  RouteUpdatePacket pkt;
+  pkt.entries.resize(RouteUpdatePacket::max_entries_per_packet());
+  EXPECT_LE(pkt.serialize().size(), kMtuBytes);
+  pkt.entries.emplace_back();
+  EXPECT_THROW(pkt.serialize(), std::length_error);
+}
+
+TEST(RouteUpdate, ChecksumDetectsCorruption) {
+  RouteUpdatePacket pkt;
+  pkt.entries.push_back({7, 1, RouteAlg::kWlb});
+  auto wire = pkt.serialize();
+  wire[6] ^= 0x1;
+  EXPECT_FALSE(RouteUpdatePacket::parse(wire).has_value());
+}
+
+TEST(RouteUpdate, ParseRejectsTruncatedEntries) {
+  RouteUpdatePacket pkt;
+  pkt.entries.push_back({7, 1, RouteAlg::kWlb});
+  pkt.entries.push_back({8, 2, RouteAlg::kRps});
+  auto wire = pkt.serialize();
+  wire.resize(wire.size() - 3);
+  EXPECT_FALSE(RouteUpdatePacket::parse(wire).has_value());
+}
+
+}  // namespace
+}  // namespace r2c2

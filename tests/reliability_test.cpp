@@ -1,0 +1,237 @@
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "sim/r2c2_sim.h"
+#include "transport/reliability.h"
+
+namespace r2c2 {
+namespace {
+
+// --- ReliableReceiver ---
+
+TEST(ReliableReceiver, InOrderAdvancesCumulative) {
+  ReliableReceiver r(3000);
+  r.on_data(0, 1000);
+  EXPECT_EQ(r.cumulative(), 1000u);
+  r.on_data(1000, 1000);
+  r.on_data(2000, 1000);
+  EXPECT_TRUE(r.complete());
+  EXPECT_TRUE(r.sack_ranges(4).empty());
+}
+
+TEST(ReliableReceiver, OutOfOrderHeldInSack) {
+  ReliableReceiver r(4000);
+  r.on_data(2000, 1000);
+  EXPECT_EQ(r.cumulative(), 0u);
+  const auto sacks = r.sack_ranges(4);
+  ASSERT_EQ(sacks.size(), 1u);
+  EXPECT_EQ(sacks[0], (ByteRange{2000, 3000}));
+  r.on_data(0, 1000);
+  EXPECT_EQ(r.cumulative(), 1000u);
+  r.on_data(1000, 1000);
+  EXPECT_EQ(r.cumulative(), 3000u);  // merged through the held range
+  EXPECT_TRUE(r.sack_ranges(4).empty());
+}
+
+TEST(ReliableReceiver, MergesAdjacentAndOverlapping) {
+  ReliableReceiver r(10000);
+  r.on_data(4000, 1000);
+  r.on_data(6000, 1000);
+  r.on_data(5000, 1000);  // bridges the two
+  const auto sacks = r.sack_ranges(4);
+  ASSERT_EQ(sacks.size(), 1u);
+  EXPECT_EQ(sacks[0], (ByteRange{4000, 7000}));
+  r.on_data(4500, 2000);  // fully contained duplicate
+  EXPECT_EQ(r.received_bytes(), 3000u);
+}
+
+TEST(ReliableReceiver, DuplicatesDoNotInflate) {
+  ReliableReceiver r(2000);
+  r.on_data(0, 1000);
+  r.on_data(0, 1000);
+  r.on_data(500, 500);
+  EXPECT_EQ(r.received_bytes(), 1000u);
+  EXPECT_EQ(r.cumulative(), 1000u);
+}
+
+TEST(ReliableReceiver, RandomizedArrivalAlwaysCompletes) {
+  Rng rng(9);
+  for (int trial = 0; trial < 20; ++trial) {
+    const std::uint64_t total = 50000;
+    const std::uint32_t chunk = 1465;
+    std::vector<std::uint64_t> offsets;
+    for (std::uint64_t o = 0; o < total; o += chunk) offsets.push_back(o);
+    for (std::size_t i = offsets.size(); i > 1; --i) {
+      std::swap(offsets[i - 1], offsets[rng.uniform_int(i)]);
+    }
+    ReliableReceiver r(total);
+    for (const auto o : offsets) {
+      r.on_data(o, static_cast<std::uint32_t>(std::min<std::uint64_t>(chunk, total - o)));
+      // Duplicate a random earlier chunk.
+      const auto d = offsets[rng.uniform_int(offsets.size())];
+      r.on_data(d, static_cast<std::uint32_t>(std::min<std::uint64_t>(chunk, total - d)));
+    }
+    EXPECT_TRUE(r.complete());
+    EXPECT_EQ(r.received_bytes(), total);
+  }
+}
+
+// --- ReliableSender ---
+
+TEST(ReliableSender, HandsOutSequentialSegments) {
+  ReliableSender s(3000, {.mtu_payload = 1000, .rto = 100});
+  const auto a = s.next_segment(0);
+  const auto b = s.next_segment(0);
+  const auto c = s.next_segment(0);
+  ASSERT_TRUE(a && b && c);
+  EXPECT_EQ(a->offset, 0u);
+  EXPECT_EQ(b->offset, 1000u);
+  EXPECT_EQ(c->offset, 2000u);
+  EXPECT_TRUE(s.all_sent());
+  EXPECT_FALSE(s.next_segment(0).has_value());  // nothing expired yet
+  EXPECT_FALSE(s.fully_acked());
+}
+
+TEST(ReliableSender, AckRetiresSegments) {
+  ReliableSender s(3000, {.mtu_payload = 1000, .rto = 100});
+  while (s.next_segment(0)) {
+  }
+  s.on_ack(2000, {});
+  EXPECT_FALSE(s.fully_acked());
+  s.on_ack(3000, {});
+  EXPECT_TRUE(s.fully_acked());
+}
+
+TEST(ReliableSender, SackRetiresMidStream) {
+  ReliableSender s(3000, {.mtu_payload = 1000, .rto = 100});
+  while (s.next_segment(0)) {
+  }
+  const ByteRange sack{2000, 3000};
+  s.on_ack(0, std::span<const ByteRange>(&sack, 1));
+  // Only [0,1000) and [1000,2000) remain in flight; at t=100 both expire.
+  const auto r1 = s.next_segment(100);
+  const auto r2 = s.next_segment(100);
+  ASSERT_TRUE(r1 && r2);
+  EXPECT_TRUE(r1->retransmit);
+  EXPECT_EQ(r1->offset + r2->offset, 1000u);  // 0 and 1000 in some order
+  EXPECT_FALSE(s.next_segment(100).has_value());
+}
+
+TEST(ReliableSender, RetransmitOnlyAfterRto) {
+  ReliableSender s(1000, {.mtu_payload = 1000, .rto = 500});
+  ASSERT_TRUE(s.next_segment(0).has_value());
+  EXPECT_FALSE(s.next_segment(499).has_value());
+  const auto r = s.next_segment(500);
+  ASSERT_TRUE(r.has_value());
+  EXPECT_TRUE(r->retransmit);
+  EXPECT_EQ(s.retransmissions(), 1u);
+}
+
+TEST(ReliableSender, NextDeadlineTracksEarliest) {
+  ReliableSender s(2000, {.mtu_payload = 1000, .rto = 100});
+  EXPECT_EQ(s.next_deadline(), -1);
+  s.next_segment(0);
+  s.next_segment(50);
+  EXPECT_EQ(s.next_deadline(), 100);
+  s.on_ack(1000, {});
+  EXPECT_EQ(s.next_deadline(), 150);
+}
+
+TEST(ReliableSender, GivesUpAfterBudget) {
+  ReliableSender s(1000, {.mtu_payload = 1000, .rto = 1, .max_retransmits = 3});
+  TimeNs t = 0;
+  s.next_segment(t);
+  for (int i = 0; i < 3; ++i) {
+    t += 2;
+    ASSERT_TRUE(s.next_segment(t).has_value());
+  }
+  t += 2;
+  EXPECT_THROW(s.next_segment(t), std::runtime_error);
+}
+
+// --- End-to-end: R2C2 with corruption + reliability ---
+
+TEST(Reliability, FlowsCompleteDespiteCorruption) {
+  const Topology topo = make_torus({4, 4}, 10 * kGbps, 100);
+  const Router router(topo);
+  sim::R2c2SimConfig cfg;
+  cfg.reliable = true;
+  cfg.rto = 200 * kNsPerUs;
+  cfg.net.corruption_rate = 0.02;  // 2% of transmissions corrupted
+  sim::R2c2Sim sim(topo, router, cfg);
+  WorkloadConfig wl;
+  wl.num_nodes = topo.num_nodes();
+  wl.num_flows = 60;
+  wl.mean_interarrival = 5 * kNsPerUs;
+  wl.max_bytes = 128 * 1024;
+  sim.add_flows(generate_poisson_uniform(wl));
+  const sim::RunMetrics m = sim.run();
+  for (const auto& f : m.flows) EXPECT_TRUE(f.finished()) << "flow " << f.id;
+  EXPECT_GT(sim.retransmissions(), 0u);
+}
+
+TEST(Reliability, NoCorruptionMeansNoRetransmissions) {
+  const Topology topo = make_torus({4, 4}, 10 * kGbps, 100);
+  const Router router(topo);
+  sim::R2c2SimConfig cfg;
+  cfg.reliable = true;
+  sim::R2c2Sim sim(topo, router, cfg);
+  WorkloadConfig wl;
+  wl.num_nodes = topo.num_nodes();
+  wl.num_flows = 40;
+  wl.mean_interarrival = 5 * kNsPerUs;
+  wl.max_bytes = 64 * 1024;
+  sim.add_flows(generate_poisson_uniform(wl));
+  const sim::RunMetrics m = sim.run();
+  for (const auto& f : m.flows) EXPECT_TRUE(f.finished());
+  EXPECT_EQ(sim.retransmissions(), 0u);
+}
+
+TEST(Reliability, ReliableModeMatchesUnreliableWhenClean) {
+  // Decoupling check: on a loss-free network, adding the reliability layer
+  // barely changes FCTs (ACKs are tiny and carry no rate semantics).
+  const Topology topo = make_torus({4, 4}, 10 * kGbps, 100);
+  const Router router(topo);
+  WorkloadConfig wl;
+  wl.num_nodes = topo.num_nodes();
+  wl.num_flows = 60;
+  wl.mean_interarrival = 5 * kNsPerUs;
+  wl.max_bytes = 128 * 1024;
+  const auto flows = generate_poisson_uniform(wl);
+  const auto run = [&](bool reliable) {
+    sim::R2c2SimConfig cfg;
+    cfg.reliable = reliable;
+    sim::R2c2Sim s(topo, router, cfg);
+    s.add_flows(flows);
+    const auto m = s.run();
+    double total = 0;
+    for (const auto& f : m.flows) total += static_cast<double>(f.fct());
+    return total / static_cast<double>(m.flows.size());
+  };
+  const double plain = run(false);
+  const double reliable = run(true);
+  EXPECT_LT(reliable, plain * 1.25);
+}
+
+TEST(Reliability, CorruptedBroadcastsAreRecovered) {
+  // Even flow-event broadcasts ride over lossy links; the Section 3.2
+  // drop-notice recovery keeps the control plane consistent (no leaked
+  // view entries would mean rates never converge and flows starve).
+  const Topology topo = make_torus({4, 4}, 10 * kGbps, 100);
+  const Router router(topo);
+  sim::R2c2SimConfig cfg;
+  cfg.reliable = true;
+  cfg.net.corruption_rate = 0.05;
+  sim::R2c2Sim sim(topo, router, cfg);
+  WorkloadConfig wl;
+  wl.num_nodes = topo.num_nodes();
+  wl.num_flows = 50;
+  wl.mean_interarrival = 10 * kNsPerUs;
+  wl.max_bytes = 32 * 1024;
+  sim.add_flows(generate_poisson_uniform(wl));
+  const sim::RunMetrics m = sim.run();
+  for (const auto& f : m.flows) EXPECT_TRUE(f.finished()) << "flow " << f.id;
+}
+
+}  // namespace
+}  // namespace r2c2

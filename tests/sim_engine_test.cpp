@@ -1,0 +1,247 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/engine.h"
+#include "sim/metrics.h"
+#include "sim/network.h"
+#include "topology/topology.h"
+
+namespace r2c2::sim {
+namespace {
+
+// --- Engine ---
+
+TEST(Engine, ProcessesInTimeOrder) {
+  Engine e;
+  std::vector<int> order;
+  e.schedule_at(30, [&] { order.push_back(3); });
+  e.schedule_at(10, [&] { order.push_back(1); });
+  e.schedule_at(20, [&] { order.push_back(2); });
+  e.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(e.now(), 30);
+}
+
+TEST(Engine, TiesBreakInScheduleOrder) {
+  Engine e;
+  std::vector<int> order;
+  e.schedule_at(5, [&] { order.push_back(1); });
+  e.schedule_at(5, [&] { order.push_back(2); });
+  e.schedule_at(5, [&] { order.push_back(3); });
+  e.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(Engine, EventsCanScheduleEvents) {
+  Engine e;
+  int count = 0;
+  std::function<void()> chain = [&] {
+    if (++count < 5) e.schedule_in(10, chain);
+  };
+  e.schedule_at(0, chain);
+  e.run();
+  EXPECT_EQ(count, 5);
+  EXPECT_EQ(e.now(), 40);
+}
+
+TEST(Engine, RunUntilStopsEarly) {
+  Engine e;
+  int fired = 0;
+  e.schedule_at(10, [&] { ++fired; });
+  e.schedule_at(100, [&] { ++fired; });
+  e.run(50);
+  EXPECT_EQ(fired, 1);
+  EXPECT_FALSE(e.empty());
+}
+
+TEST(Engine, PastSchedulingClampsToNow) {
+  Engine e;
+  TimeNs seen = -1;
+  e.schedule_at(50, [&] {
+    e.schedule_at(10, [&] { seen = e.now(); });  // in the past
+  });
+  e.run();
+  EXPECT_EQ(seen, 50);
+}
+
+TEST(Engine, CountsEvents) {
+  Engine e;
+  for (int i = 0; i < 7; ++i) e.schedule_at(i, [] {});
+  e.run();
+  EXPECT_EQ(e.total_events(), 7u);
+}
+
+// --- Network ---
+
+class NetworkTest : public ::testing::Test {
+ protected:
+  NetworkTest() : topo_(make_torus({4}, 10 * kGbps, 100)) {}
+
+  SimPacket data_packet(const Path& path, std::uint32_t bytes) {
+    SimPacket p;
+    p.type = PacketType::kData;
+    p.flow = 1;
+    p.src = path.front();
+    p.dst = path.back();
+    p.payload = bytes - static_cast<std::uint32_t>(DataHeader::kWireSize);
+    p.wire_bytes = bytes;
+    p.route = encode_path(topo_, path);
+    return p;
+  }
+
+  Topology topo_;
+};
+
+TEST_F(NetworkTest, SerializationPlusPropagationDelay) {
+  Engine e;
+  Network net(e, topo_, {});
+  TimeNs arrival = -1;
+  NodeId where = kInvalidNode;
+  net.set_deliver([&](NodeId at, SimPacket&&) {
+    arrival = e.now();
+    where = at;
+  });
+  net.forward(0, data_packet({0, 1}, 1500));
+  e.run();
+  // 1500 B at 10 Gbps = 1200 ns, plus 100 ns propagation.
+  EXPECT_EQ(arrival, 1300);
+  EXPECT_EQ(where, 1);
+}
+
+TEST_F(NetworkTest, MultiHopForwarding) {
+  Engine e;
+  Network net(e, topo_, {});
+  TimeNs arrival = -1;
+  net.set_deliver([&](NodeId at, SimPacket&& p) {
+    if (p.ridx < p.route.length()) {
+      net.forward(at, std::move(p));
+    } else {
+      arrival = e.now();
+    }
+  });
+  net.forward(0, data_packet({0, 1, 2}, 1500));
+  e.run();
+  EXPECT_EQ(arrival, 2 * 1300);
+}
+
+TEST_F(NetworkTest, QueueingDelaysBackToBackPackets) {
+  Engine e;
+  Network net(e, topo_, {});
+  std::vector<TimeNs> arrivals;
+  net.set_deliver([&](NodeId, SimPacket&&) { arrivals.push_back(e.now()); });
+  net.forward(0, data_packet({0, 1}, 1500));
+  net.forward(0, data_packet({0, 1}, 1500));
+  e.run();
+  ASSERT_EQ(arrivals.size(), 2u);
+  EXPECT_EQ(arrivals[1] - arrivals[0], 1200);  // one serialization time apart
+}
+
+TEST_F(NetworkTest, FiniteBufferDropsData) {
+  Engine e;
+  Network net(e, topo_, {.data_buffer_bytes = 3000, .control_priority = false});
+  int delivered = 0, dropped = 0;
+  net.set_deliver([&](NodeId, SimPacket&&) { ++delivered; });
+  net.set_drop([&](NodeId, const SimPacket&) { ++dropped; });
+  // First packet starts transmitting immediately (not queued); the buffer
+  // then holds two more.
+  for (int i = 0; i < 5; ++i) net.forward(0, data_packet({0, 1}, 1500));
+  e.run();
+  EXPECT_EQ(delivered, 3);
+  EXPECT_EQ(dropped, 2);
+  EXPECT_EQ(net.drops(), 2u);
+}
+
+TEST_F(NetworkTest, ControlPacketsBypassDataQueue) {
+  Engine e;
+  Network net(e, topo_, {.data_buffer_bytes = 0, .control_priority = true});
+  std::vector<PacketType> order;
+  net.set_deliver([&](NodeId, SimPacket&& p) { order.push_back(p.type); });
+  net.forward(0, data_packet({0, 1}, 1500));  // starts transmitting
+  net.forward(0, data_packet({0, 1}, 1500));  // queued
+  SimPacket ctrl;
+  ctrl.type = PacketType::kFlowStart;
+  ctrl.wire_bytes = 16;
+  const LinkId link = topo_.find_link(0, 1);
+  net.send_on_link(link, std::move(ctrl));
+  e.run();
+  ASSERT_EQ(order.size(), 3u);
+  // The control packet overtakes the queued data packet.
+  EXPECT_EQ(order[1], PacketType::kFlowStart);
+  EXPECT_EQ(net.total_control_bytes_sent(), 16u);
+}
+
+TEST_F(NetworkTest, MaxQueueTracksHighWaterMark) {
+  Engine e;
+  Network net(e, topo_, {});
+  net.set_deliver([](NodeId, SimPacket&&) {});
+  for (int i = 0; i < 4; ++i) net.forward(0, data_packet({0, 1}, 1500));
+  e.run();
+  const auto snapshot = net.max_queue_snapshot();
+  // Three packets queued behind the first one transmitting.
+  EXPECT_EQ(snapshot[topo_.find_link(0, 1)], 3u * 1500);
+}
+
+// --- ReorderTracker ---
+
+TEST(ReorderTracker, InOrderNeverBuffers) {
+  ReorderTracker t;
+  for (std::uint32_t i = 0; i < 10; ++i) EXPECT_EQ(t.on_packet(i), 0u);
+  EXPECT_EQ(t.max_depth(), 0u);
+}
+
+TEST(ReorderTracker, OutOfOrderBuffersAndDrains) {
+  ReorderTracker t;
+  EXPECT_EQ(t.on_packet(1), 1u);
+  EXPECT_EQ(t.on_packet(2), 2u);
+  EXPECT_EQ(t.on_packet(0), 0u);  // gap filled, buffer drains
+  EXPECT_EQ(t.max_depth(), 2u);
+}
+
+TEST(ReorderTracker, DuplicatesIgnored) {
+  ReorderTracker t;
+  t.on_packet(0);
+  EXPECT_EQ(t.on_packet(0), 0u);
+  EXPECT_EQ(t.on_packet(1), 0u);
+}
+
+TEST(ReorderTracker, InterleavedGaps) {
+  ReorderTracker t;
+  t.on_packet(2);
+  t.on_packet(4);
+  t.on_packet(0);
+  EXPECT_EQ(t.on_packet(1), 1u);  // drains 2, keeps 4
+  EXPECT_EQ(t.on_packet(3), 0u);  // drains 4
+  EXPECT_EQ(t.max_depth(), 2u);
+}
+
+// --- FlowRecord ---
+
+TEST(FlowRecord, ThroughputFromFct) {
+  FlowRecord r;
+  r.bytes = 1'000'000;
+  r.arrival = 0;
+  r.completed = 8 * kNsPerMs;  // 8 Mbit in 8 ms = 1 Gbps
+  EXPECT_TRUE(r.finished());
+  EXPECT_NEAR(r.throughput_bps(), 1e9, 1e3);
+}
+
+TEST(FlowRecord, SelectorsSplitBySize) {
+  RunMetrics m;
+  FlowRecord small;
+  small.bytes = 10 * 1024;
+  small.arrival = 0;
+  small.completed = 1000;
+  FlowRecord big;
+  big.bytes = 10 << 20;
+  big.arrival = 0;
+  big.completed = kNsPerMs;
+  FlowRecord unfinished;
+  unfinished.bytes = 5;
+  m.flows = {small, big, unfinished};
+  EXPECT_EQ(m.short_flow_fct_us().size(), 1u);
+  EXPECT_EQ(m.long_flow_tput_gbps().size(), 1u);
+}
+
+}  // namespace
+}  // namespace r2c2::sim

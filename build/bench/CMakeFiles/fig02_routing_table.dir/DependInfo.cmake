@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/fig02_routing_table.cpp" "bench/CMakeFiles/fig02_routing_table.dir/fig02_routing_table.cpp.o" "gcc" "bench/CMakeFiles/fig02_routing_table.dir/fig02_routing_table.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/congestion/CMakeFiles/r2c2_congestion.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/r2c2_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/routing/CMakeFiles/r2c2_routing.dir/DependInfo.cmake"
+  "/root/repo/build/src/topology/CMakeFiles/r2c2_topology.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/r2c2_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig02_routing_table.dir/fig02_routing_table.cpp.o"
+  "CMakeFiles/fig02_routing_table.dir/fig02_routing_table.cpp.o.d"
+  "fig02_routing_table"
+  "fig02_routing_table.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig02_routing_table.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig07_crossvalidation.dir/fig07_crossvalidation.cpp.o"
+  "CMakeFiles/fig07_crossvalidation.dir/fig07_crossvalidation.cpp.o.d"
+  "fig07_crossvalidation"
+  "fig07_crossvalidation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig07_crossvalidation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig09_broadcast_overhead.dir/fig09_broadcast_overhead.cpp.o"
+  "CMakeFiles/fig09_broadcast_overhead.dir/fig09_broadcast_overhead.cpp.o.d"
+  "fig09_broadcast_overhead"
+  "fig09_broadcast_overhead.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_broadcast_overhead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

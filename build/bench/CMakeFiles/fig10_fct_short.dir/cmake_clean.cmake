@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_fct_short.dir/fig10_fct_short.cpp.o"
+  "CMakeFiles/fig10_fct_short.dir/fig10_fct_short.cpp.o.d"
+  "fig10_fct_short"
+  "fig10_fct_short.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_fct_short.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_tput_long.dir/fig11_tput_long.cpp.o"
+  "CMakeFiles/fig11_tput_long.dir/fig11_tput_long.cpp.o.d"
+  "fig11_tput_long"
+  "fig11_tput_long.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_tput_long.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

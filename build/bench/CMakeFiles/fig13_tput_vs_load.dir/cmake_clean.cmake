@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig13_tput_vs_load.dir/fig13_tput_vs_load.cpp.o"
+  "CMakeFiles/fig13_tput_vs_load.dir/fig13_tput_vs_load.cpp.o.d"
+  "fig13_tput_vs_load"
+  "fig13_tput_vs_load.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_tput_vs_load.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

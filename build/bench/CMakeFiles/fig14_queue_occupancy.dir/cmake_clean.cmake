@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig14_queue_occupancy.dir/fig14_queue_occupancy.cpp.o"
+  "CMakeFiles/fig14_queue_occupancy.dir/fig14_queue_occupancy.cpp.o.d"
+  "fig14_queue_occupancy"
+  "fig14_queue_occupancy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig14_queue_occupancy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

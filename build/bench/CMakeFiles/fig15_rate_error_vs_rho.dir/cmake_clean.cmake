@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig15_rate_error_vs_rho.dir/fig15_rate_error_vs_rho.cpp.o"
+  "CMakeFiles/fig15_rate_error_vs_rho.dir/fig15_rate_error_vs_rho.cpp.o.d"
+  "fig15_rate_error_vs_rho"
+  "fig15_rate_error_vs_rho.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig15_rate_error_vs_rho.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

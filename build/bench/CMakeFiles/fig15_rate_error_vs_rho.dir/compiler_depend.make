@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig15_rate_error_vs_rho.
+# This may be replaced when dependencies are built.

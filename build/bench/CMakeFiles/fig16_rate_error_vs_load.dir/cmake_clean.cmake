@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig16_rate_error_vs_load.dir/fig16_rate_error_vs_load.cpp.o"
+  "CMakeFiles/fig16_rate_error_vs_load.dir/fig16_rate_error_vs_load.cpp.o.d"
+  "fig16_rate_error_vs_load"
+  "fig16_rate_error_vs_load.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig16_rate_error_vs_load.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig16_rate_error_vs_load.
+# This may be replaced when dependencies are built.

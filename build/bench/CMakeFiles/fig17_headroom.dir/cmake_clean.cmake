@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig17_headroom.dir/fig17_headroom.cpp.o"
+  "CMakeFiles/fig17_headroom.dir/fig17_headroom.cpp.o.d"
+  "fig17_headroom"
+  "fig17_headroom.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig17_headroom.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

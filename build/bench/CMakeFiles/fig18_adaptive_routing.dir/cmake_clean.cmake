@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig18_adaptive_routing.dir/fig18_adaptive_routing.cpp.o"
+  "CMakeFiles/fig18_adaptive_routing.dir/fig18_adaptive_routing.cpp.o.d"
+  "fig18_adaptive_routing"
+  "fig18_adaptive_routing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig18_adaptive_routing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig19_control_traffic.dir/fig19_control_traffic.cpp.o"
+  "CMakeFiles/fig19_control_traffic.dir/fig19_control_traffic.cpp.o.d"
+  "fig19_control_traffic"
+  "fig19_control_traffic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig19_control_traffic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/routing_playground.dir/routing_playground.cpp.o"
+  "CMakeFiles/routing_playground.dir/routing_playground.cpp.o.d"
+  "routing_playground"
+  "routing_playground.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/routing_playground.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

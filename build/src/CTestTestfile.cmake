@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("common")
+subdirs("topology")
+subdirs("routing")
+subdirs("broadcast")
+subdirs("packet")
+subdirs("congestion")
+subdirs("control")
+subdirs("workload")
+subdirs("sim")
+subdirs("maze")
+subdirs("r2c2")
+subdirs("transport")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/r2c2_broadcast.dir/broadcast.cpp.o"
+  "CMakeFiles/r2c2_broadcast.dir/broadcast.cpp.o.d"
+  "libr2c2_broadcast.a"
+  "libr2c2_broadcast.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/r2c2_broadcast.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

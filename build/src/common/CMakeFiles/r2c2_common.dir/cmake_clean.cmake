@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/r2c2_common.dir/checksum.cpp.o"
+  "CMakeFiles/r2c2_common.dir/checksum.cpp.o.d"
+  "CMakeFiles/r2c2_common.dir/stats.cpp.o"
+  "CMakeFiles/r2c2_common.dir/stats.cpp.o.d"
+  "libr2c2_common.a"
+  "libr2c2_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/r2c2_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

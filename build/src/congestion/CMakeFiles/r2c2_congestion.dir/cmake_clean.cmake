@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/r2c2_congestion.dir/waterfill.cpp.o"
+  "CMakeFiles/r2c2_congestion.dir/waterfill.cpp.o.d"
+  "libr2c2_congestion.a"
+  "libr2c2_congestion.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/r2c2_congestion.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/control/control_traffic.cpp" "src/control/CMakeFiles/r2c2_control.dir/control_traffic.cpp.o" "gcc" "src/control/CMakeFiles/r2c2_control.dir/control_traffic.cpp.o.d"
+  "/root/repo/src/control/flow_table.cpp" "src/control/CMakeFiles/r2c2_control.dir/flow_table.cpp.o" "gcc" "src/control/CMakeFiles/r2c2_control.dir/flow_table.cpp.o.d"
+  "/root/repo/src/control/route_selection.cpp" "src/control/CMakeFiles/r2c2_control.dir/route_selection.cpp.o" "gcc" "src/control/CMakeFiles/r2c2_control.dir/route_selection.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/congestion/CMakeFiles/r2c2_congestion.dir/DependInfo.cmake"
+  "/root/repo/build/src/packet/CMakeFiles/r2c2_packet.dir/DependInfo.cmake"
+  "/root/repo/build/src/broadcast/CMakeFiles/r2c2_broadcast.dir/DependInfo.cmake"
+  "/root/repo/build/src/routing/CMakeFiles/r2c2_routing.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/r2c2_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/topology/CMakeFiles/r2c2_topology.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

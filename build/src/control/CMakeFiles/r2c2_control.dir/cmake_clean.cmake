@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/r2c2_control.dir/control_traffic.cpp.o"
+  "CMakeFiles/r2c2_control.dir/control_traffic.cpp.o.d"
+  "CMakeFiles/r2c2_control.dir/flow_table.cpp.o"
+  "CMakeFiles/r2c2_control.dir/flow_table.cpp.o.d"
+  "CMakeFiles/r2c2_control.dir/route_selection.cpp.o"
+  "CMakeFiles/r2c2_control.dir/route_selection.cpp.o.d"
+  "libr2c2_control.a"
+  "libr2c2_control.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/r2c2_control.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

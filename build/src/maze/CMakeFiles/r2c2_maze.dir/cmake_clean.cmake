@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/r2c2_maze.dir/maze.cpp.o"
+  "CMakeFiles/r2c2_maze.dir/maze.cpp.o.d"
+  "libr2c2_maze.a"
+  "libr2c2_maze.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/r2c2_maze.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/r2c2_packet.dir/packet.cpp.o"
+  "CMakeFiles/r2c2_packet.dir/packet.cpp.o.d"
+  "libr2c2_packet.a"
+  "libr2c2_packet.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/r2c2_packet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

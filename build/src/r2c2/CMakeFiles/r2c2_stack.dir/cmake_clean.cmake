@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/r2c2_stack.dir/stack.cpp.o"
+  "CMakeFiles/r2c2_stack.dir/stack.cpp.o.d"
+  "libr2c2_stack.a"
+  "libr2c2_stack.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/r2c2_stack.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

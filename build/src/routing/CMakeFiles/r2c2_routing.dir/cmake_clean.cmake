@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/r2c2_routing.dir/routing.cpp.o"
+  "CMakeFiles/r2c2_routing.dir/routing.cpp.o.d"
+  "libr2c2_routing.a"
+  "libr2c2_routing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/r2c2_routing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/r2c2_sim.dir/network.cpp.o"
+  "CMakeFiles/r2c2_sim.dir/network.cpp.o.d"
+  "CMakeFiles/r2c2_sim.dir/pfq_sim.cpp.o"
+  "CMakeFiles/r2c2_sim.dir/pfq_sim.cpp.o.d"
+  "CMakeFiles/r2c2_sim.dir/r2c2_sim.cpp.o"
+  "CMakeFiles/r2c2_sim.dir/r2c2_sim.cpp.o.d"
+  "CMakeFiles/r2c2_sim.dir/tcp_sim.cpp.o"
+  "CMakeFiles/r2c2_sim.dir/tcp_sim.cpp.o.d"
+  "libr2c2_sim.a"
+  "libr2c2_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/r2c2_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

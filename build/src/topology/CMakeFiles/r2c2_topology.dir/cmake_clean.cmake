@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/r2c2_topology.dir/topology.cpp.o"
+  "CMakeFiles/r2c2_topology.dir/topology.cpp.o.d"
+  "libr2c2_topology.a"
+  "libr2c2_topology.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/r2c2_topology.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/r2c2_transport.dir/reliability.cpp.o"
+  "CMakeFiles/r2c2_transport.dir/reliability.cpp.o.d"
+  "libr2c2_transport.a"
+  "libr2c2_transport.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/r2c2_transport.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

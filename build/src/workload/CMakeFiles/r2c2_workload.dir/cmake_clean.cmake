@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/r2c2_workload.dir/generator.cpp.o"
+  "CMakeFiles/r2c2_workload.dir/generator.cpp.o.d"
+  "CMakeFiles/r2c2_workload.dir/patterns.cpp.o"
+  "CMakeFiles/r2c2_workload.dir/patterns.cpp.o.d"
+  "libr2c2_workload.a"
+  "libr2c2_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/r2c2_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

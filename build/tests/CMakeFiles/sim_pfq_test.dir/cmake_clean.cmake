@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sim_pfq_test.dir/sim_pfq_test.cpp.o"
+  "CMakeFiles/sim_pfq_test.dir/sim_pfq_test.cpp.o.d"
+  "sim_pfq_test"
+  "sim_pfq_test.pdb"
+  "sim_pfq_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sim_pfq_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sim_r2c2_test.dir/sim_r2c2_test.cpp.o"
+  "CMakeFiles/sim_r2c2_test.dir/sim_r2c2_test.cpp.o.d"
+  "sim_r2c2_test"
+  "sim_r2c2_test.pdb"
+  "sim_r2c2_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sim_r2c2_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sim_tcp_test.dir/sim_tcp_test.cpp.o"
+  "CMakeFiles/sim_tcp_test.dir/sim_tcp_test.cpp.o.d"
+  "sim_tcp_test"
+  "sim_tcp_test.pdb"
+  "sim_tcp_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sim_tcp_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

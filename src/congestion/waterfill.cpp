@@ -9,143 +9,281 @@ namespace r2c2 {
 namespace {
 
 constexpr double kEps = 1e-9;
-
-// Per-flow working state for one priority round.
-struct FlowState {
-  std::size_t index = 0;            // into the input span
-  const LinkWeights* weights = nullptr;
-  double weight = 1.0;
-  Bps demand = kUnlimitedDemand;
-  bool frozen = false;
-};
+constexpr double kInf = std::numeric_limits<double>::infinity();
 
 }  // namespace
 
-RateAllocation waterfill(const Router& router, std::span<const FlowSpec> flows,
-                         const AllocationConfig& config) {
-  const Topology& topo = router.topology();
-  RateAllocation result;
-  result.rate.assign(flows.size(), 0.0);
+void WaterfillProblem::build(const Router& router, std::span<const FlowSpec> flows,
+                             const AllocationConfig& config) {
+  build_rows(router, flows, {}, config);
+}
 
-  // Residual capacity per link after headroom.
-  std::vector<double> resid(topo.num_links());
-  for (LinkId l = 0; l < topo.num_links(); ++l) {
-    resid[l] = topo.link(l).bandwidth * (1.0 - config.headroom);
+void WaterfillProblem::build_with_choices(const Router& router, std::span<const FlowSpec> flows,
+                                          std::span<const RouteAlg> choices,
+                                          const AllocationConfig& config) {
+  assert(!choices.empty());
+  build_rows(router, flows, choices, config);
+}
+
+void WaterfillProblem::build_rows(const Router& router, std::span<const FlowSpec> flows,
+                                  std::span<const RouteAlg> choices,
+                                  const AllocationConfig& config) {
+  const Topology& topo = router.topology();
+  n_flows_ = flows.size();
+  n_choices_ = choices.empty() ? 1 : choices.size();
+
+  const std::size_t n_links = topo.num_links();
+  cap_.resize(n_links);
+  sat_eps_.resize(n_links);
+  for (LinkId l = 0; l < n_links; ++l) {
+    const double bw = topo.link(l).bandwidth;
+    cap_[l] = bw * (1.0 - config.headroom);
+    sat_eps_[l] = kEps * bw + kEps;
   }
 
-  // Group flows by priority (strict: lower value first).
-  std::vector<std::size_t> order(flows.size());
-  for (std::size_t i = 0; i < flows.size(); ++i) order[i] = i;
-  std::stable_sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
-    return flows[a].priority < flows[b].priority;
-  });
+  weight_.resize(n_flows_);
+  demand_.resize(n_flows_);
+  priority_.resize(n_flows_);
+  active_.resize(n_flows_);
+  selected_.resize(n_flows_);
 
-  std::vector<double> denom(topo.num_links(), 0.0);  // sum of active weight*fraction
-  std::vector<std::vector<std::uint32_t>> flows_on_link(topo.num_links());
+  csr_link_.clear();
+  csr_wfrac_.clear();
+  row_off_.clear();
+  row_off_.reserve(n_flows_ * n_choices_ + 1);
+  row_off_.push_back(0);
+  for (std::size_t i = 0; i < n_flows_; ++i) {
+    const FlowSpec& f = flows[i];
+    weight_[i] = f.weight;
+    demand_[i] = std::max<Bps>(f.demand, 0.0);
+    priority_[i] = f.priority;
+    active_[i] = (f.src != f.dst && f.weight > 0.0) ? 1 : 0;
+    selected_[i] = static_cast<std::uint32_t>(i * n_choices_);
+    for (std::size_t c = 0; c < n_choices_; ++c) {
+      if (active_[i]) {
+        const RouteAlg alg = choices.empty() ? f.alg : choices[c];
+        for (const LinkFraction& lf : router.link_weights(alg, f.src, f.dst, f.id)) {
+          csr_link_.push_back(lf.link);
+          csr_wfrac_.push_back(f.weight * lf.fraction);
+        }
+      }
+      row_off_.push_back(static_cast<std::uint32_t>(csr_link_.size()));
+    }
+  }
+
+  // Active flows in strict priority order. Ties keep input order (same as
+  // the reference's stable_sort), via the index tie-break.
+  order_.clear();
+  order_.reserve(n_flows_);
+  for (std::uint32_t i = 0; i < n_flows_; ++i) {
+    if (active_[i]) order_.push_back(i);
+  }
+  std::sort(order_.begin(), order_.end(), [&](std::uint32_t a, std::uint32_t b) {
+    return priority_[a] != priority_[b] ? priority_[a] < priority_[b] : a < b;
+  });
+}
+
+void waterfill(const WaterfillProblem& p, WaterfillScratch& s, RateAllocation& out) {
+  const std::size_t n_links = p.cap_.size();
+  const std::size_t n_flows = p.n_flows_;
+  out.rate.assign(n_flows, 0.0);
+  out.iterations = 0;
+
+  s.resid.assign(p.cap_.begin(), p.cap_.end());
+  s.theta_mark.assign(n_links, 0.0);
+  s.denom.assign(n_links, 0.0);
+  s.link_ver.assign(n_links, 0u);
+  s.in_class.assign(n_links, 0);
+  if (s.lnk_off.size() < n_links) s.lnk_off.resize(n_links);
+  if (s.lnk_cursor.size() < n_links) s.lnk_cursor.resize(n_links);
+  s.frozen.assign(n_flows, 0);
+  s.touched.clear();
+  s.heap.clear();
+
+  const auto row_begin = [&](std::uint32_t f) { return p.row_off_[p.selected_[f]]; };
+  const auto row_end = [&](std::uint32_t f) { return p.row_off_[p.selected_[f] + 1]; };
+  const auto heap_after = [](const WaterfillScratch::SatEvent& a,
+                             const WaterfillScratch::SatEvent& b) { return a.theta > b.theta; };
 
   std::size_t at = 0;
-  while (at < order.size()) {
+  while (at < p.order_.size()) {
     // Collect one priority class.
-    const std::uint8_t prio = flows[order[at]].priority;
-    std::vector<FlowState> cls;
-    for (; at < order.size() && flows[order[at]].priority == prio; ++at) {
-      const FlowSpec& f = flows[order[at]];
-      if (f.src == f.dst || f.weight <= 0.0) continue;  // degenerate: rate 0
-      FlowState st;
-      st.index = order[at];
-      st.weights = &router.link_weights(f.alg, f.src, f.dst, f.id);
-      st.weight = f.weight;
-      st.demand = std::max<Bps>(f.demand, 0.0);
-      cls.push_back(st);
+    const std::uint8_t prio = p.priority_[p.order_[at]];
+    s.cls.clear();
+    for (; at < p.order_.size() && p.priority_[p.order_[at]] == prio; ++at) {
+      s.cls.push_back(p.order_[at]);
     }
-    if (cls.empty()) continue;
 
-    // Set up per-link denominators for this class.
-    std::vector<LinkId> touched;
-    for (std::uint32_t i = 0; i < cls.size(); ++i) {
-      for (const LinkFraction& lf : *cls[i].weights) {
-        if (denom[lf.link] == 0.0 && flows_on_link[lf.link].empty()) touched.push_back(lf.link);
-        denom[lf.link] += cls[i].weight * lf.fraction;
-        flows_on_link[lf.link].push_back(i);
+    // Per-link denominators for the class, plus the CSR transpose (which
+    // flows cross each touched link) via counting sort.
+    for (const std::uint32_t f : s.cls) {
+      for (std::uint32_t k = row_begin(f); k < row_end(f); ++k) {
+        const LinkId l = p.csr_link_[k];
+        if (!s.in_class[l]) {
+          s.in_class[l] = 1;
+          s.touched.push_back(l);
+          s.theta_mark[l] = 0.0;  // theta restarts at 0 each class
+          s.lnk_off[l] = 0;
+        }
+        s.denom[l] += p.csr_wfrac_[k];
+        ++s.lnk_off[l];  // per-link entry count, for now
+      }
+    }
+    std::uint32_t running = 0;
+    for (const LinkId l : s.touched) {
+      const std::uint32_t count = s.lnk_off[l];
+      s.lnk_off[l] = running;
+      s.lnk_cursor[l] = running;
+      running += count;
+    }
+    if (s.lnk_flow.size() < running) s.lnk_flow.resize(running);
+    for (const std::uint32_t f : s.cls) {
+      for (std::uint32_t k = row_begin(f); k < row_end(f); ++k) {
+        s.lnk_flow[s.lnk_cursor[p.csr_link_[k]]++] = f;
       }
     }
 
-    // Progressive filling: water level theta grows; flow rate = weight*theta
-    // until the flow freezes (at a bottleneck link or at its demand).
+    // Seed the saturation-event heap: every touched link's water level at
+    // exhaustion, assuming its denominator never changes. Entries go stale
+    // (link_ver bump) when a freeze shrinks the denominator; stale entries
+    // are lazily refreshed on pop. Stored levels are lower bounds, so the
+    // heap minimum is a safe next-event candidate.
+    for (const LinkId l : s.touched) {
+      if (s.denom[l] > kEps) {
+        s.heap.push_back({std::max(0.0, s.resid[l]) / s.denom[l], l, s.link_ver[l]});
+      }
+    }
+    std::make_heap(s.heap.begin(), s.heap.end(), heap_after);
+
+    // Demand events, in increasing water-level order: a sorted walk
+    // replaces the reference's per-iteration scan over the class.
+    s.demand_order.clear();
+    for (const std::uint32_t f : s.cls) {
+      if (std::isfinite(p.demand_[f])) s.demand_order.push_back(f);
+    }
+    std::sort(s.demand_order.begin(), s.demand_order.end(),
+              [&](std::uint32_t a, std::uint32_t b) {
+                const double da = p.demand_[a] / p.weight_[a];
+                const double db = p.demand_[b] / p.weight_[b];
+                return da != db ? da < db : a < b;
+              });
+
     double theta = 0.0;
-    std::size_t remaining = cls.size();
+    std::size_t remaining = s.cls.size();
+    std::size_t dp = 0;
+
+    // resid[l] is materialized lazily: between denominator changes,
+    // resid_now = resid[l] - denom[l] * (theta - theta_mark[l]), so only
+    // the frozen flow's links are touched per freeze, not every link.
+    const auto cur_resid = [&](LinkId l) {
+      return s.resid[l] - s.denom[l] * (theta - s.theta_mark[l]);
+    };
+    const auto freeze_flow = [&](std::uint32_t f, double rate) {
+      s.frozen[f] = 1;
+      out.rate[f] = rate;
+      --remaining;
+      for (std::uint32_t k = row_begin(f); k < row_end(f); ++k) {
+        const LinkId l = p.csr_link_[k];
+        s.resid[l] = cur_resid(l);
+        s.theta_mark[l] = theta;
+        s.denom[l] -= p.csr_wfrac_[k];
+        if (s.denom[l] < kEps) s.denom[l] = 0.0;
+        ++s.link_ver[l];
+      }
+    };
+    // Drops stale heap entries, re-pushing a refreshed bound while the
+    // link still has active flows.
+    const auto refresh_top = [&]() {
+      for (;;) {
+        if (s.heap.empty()) return;
+        const WaterfillScratch::SatEvent top = s.heap.front();
+        if (top.ver == s.link_ver[top.link]) return;
+        std::pop_heap(s.heap.begin(), s.heap.end(), heap_after);
+        s.heap.pop_back();
+        const LinkId l = top.link;
+        if (s.denom[l] > kEps) {
+          const double sat = s.theta_mark[l] + std::max(0.0, s.resid[l]) / s.denom[l];
+          s.heap.push_back({sat, l, s.link_ver[l]});
+          std::push_heap(s.heap.begin(), s.heap.end(), heap_after);
+        }
+      }
+    };
+
     while (remaining > 0) {
-      ++result.iterations;
-      // Next event: a link saturating or a flow reaching its demand.
-      double theta_link = std::numeric_limits<double>::infinity();
-      for (const LinkId l : touched) {
-        if (denom[l] > kEps) {
-          theta_link = std::min(theta_link, theta + std::max(0.0, resid[l]) / denom[l]);
-        }
-      }
-      double theta_demand = std::numeric_limits<double>::infinity();
-      for (const FlowState& st : cls) {
-        if (!st.frozen && std::isfinite(st.demand)) {
-          theta_demand = std::min(theta_demand, st.demand / st.weight);
-        }
-      }
+      ++out.iterations;
+      refresh_top();
+      const double theta_link = s.heap.empty() ? kInf : s.heap.front().theta;
+      while (dp < s.demand_order.size() && s.frozen[s.demand_order[dp]]) ++dp;
+      const double theta_demand =
+          dp < s.demand_order.size()
+              ? p.demand_[s.demand_order[dp]] / p.weight_[s.demand_order[dp]]
+              : kInf;
       const double theta_next = std::min(theta_link, theta_demand);
       if (!std::isfinite(theta_next)) {
-        // No flow crosses a capacitated link (e.g. all fractions zero) and
-        // no demands bound: freeze everything at the current level.
-        for (FlowState& st : cls) {
-          if (!st.frozen) {
-            st.frozen = true;
-            result.rate[st.index] = st.weight * theta;
+        // No flow crosses a capacitated link and no demands bound: freeze
+        // everything at the current level.
+        for (const std::uint32_t f : s.cls) {
+          if (!s.frozen[f]) {
+            s.frozen[f] = 1;
+            out.rate[f] = p.weight_[f] * theta;
           }
         }
         remaining = 0;
         break;
       }
-
-      // Advance the water level and charge the links.
-      const double dtheta = theta_next - theta;
-      if (dtheta > 0.0) {
-        for (const LinkId l : touched) resid[l] -= denom[l] * dtheta;
-      }
       theta = theta_next;
 
-      // Freeze flows: demand-limited ones, then flows on saturated links.
-      auto freeze = [&](FlowState& st, Bps rate) {
-        st.frozen = true;
-        result.rate[st.index] = rate;
-        for (const LinkFraction& lf : *st.weights) {
-          denom[lf.link] -= st.weight * lf.fraction;
-          if (denom[lf.link] < kEps) denom[lf.link] = 0.0;
+      // Freeze demand-limited flows first (the reference's in-iteration
+      // order); the sorted walk stops at the first level beyond theta.
+      while (dp < s.demand_order.size()) {
+        const std::uint32_t f = s.demand_order[dp];
+        if (s.frozen[f]) {
+          ++dp;
+          continue;
         }
-        --remaining;
-      };
-      for (FlowState& st : cls) {
-        if (!st.frozen && std::isfinite(st.demand) && st.demand / st.weight <= theta + kEps) {
-          freeze(st, st.demand);
+        if (p.demand_[f] / p.weight_[f] <= theta + kEps) {
+          freeze_flow(f, p.demand_[f]);
+          ++dp;
+        } else {
+          break;
         }
       }
-      // A link is saturated when its residual is (numerically) exhausted
-      // while it still carries active flows.
-      for (const LinkId l : touched) {
-        if (denom[l] > kEps && resid[l] <= kEps * topo.link(l).bandwidth + kEps) {
-          // Freeze every active flow crossing l.
-          for (const std::uint32_t fi : flows_on_link[l]) {
-            FlowState& st = cls[fi];
-            if (!st.frozen) freeze(st, st.weight * theta);
-          }
+      // Freeze flows on every link whose residual is exhausted at theta.
+      for (;;) {
+        refresh_top();
+        if (s.heap.empty()) break;
+        const LinkId l = s.heap.front().link;
+        if (cur_resid(l) > p.sat_eps_[l]) break;
+        std::pop_heap(s.heap.begin(), s.heap.end(), heap_after);
+        s.heap.pop_back();
+        for (std::uint32_t idx = s.lnk_off[l]; idx < s.lnk_cursor[l]; ++idx) {
+          const std::uint32_t f = s.lnk_flow[idx];
+          if (!s.frozen[f]) freeze_flow(f, p.weight_[f] * theta);
         }
       }
     }
 
     // Clean per-link state for the next priority class; residuals persist.
-    for (const LinkId l : touched) {
-      denom[l] = 0.0;
-      flows_on_link[l].clear();
-      if (resid[l] < 0.0) resid[l] = 0.0;
+    for (const LinkId l : s.touched) {
+      s.resid[l] = std::max(0.0, cur_resid(l));
+      s.theta_mark[l] = 0.0;
+      s.denom[l] = 0.0;
+      s.in_class[l] = 0;
+      ++s.link_ver[l];
     }
+    s.touched.clear();
+    s.heap.clear();
   }
-  return result;
+}
+
+RateAllocation waterfill(const Router& router, std::span<const FlowSpec> flows,
+                         const AllocationConfig& config) {
+  WaterfillProblem problem;
+  problem.build(router, flows, config);
+  WaterfillScratch scratch;
+  RateAllocation out;
+  waterfill(problem, scratch, out);
+  return out;
 }
 
 std::vector<double> link_loads(const Router& router, std::span<const FlowSpec> flows,

@@ -15,9 +15,21 @@
 // level is allocated in its own round over the residual capacities
 // (Section 3.3.2). A configurable headroom fraction is subtracted from
 // every link's capacity to absorb flows whose start broadcast is still in
-// flight (Section 3.3.2). Complexity is O(N*L + N^2) as in the paper.
+// flight (Section 3.3.2).
+//
+// This is the hottest kernel in the repository: every node re-runs it each
+// recomputation interval rho (Fig. 8), and the Section 3.4 genetic
+// algorithm calls it thousands of times per generation as its fitness
+// function (Fig. 18). The fast path therefore separates the *problem*
+// (per-flow link weights flattened into a CSR layout, built once per flow
+// set) from the *scratch* (every per-call vector, owned by the caller and
+// reused), and finds the next saturation event with incrementally
+// maintained minima instead of a per-iteration linear scan. Steady-state
+// calls perform no heap allocation. The straightforward O(N*L + N^2)
+// implementation is kept as waterfill_reference() for differential testing.
 #pragma once
 
+#include <cstdint>
 #include <limits>
 #include <span>
 #include <vector>
@@ -53,10 +65,112 @@ struct RateAllocation {
   int iterations = 0;     // water-filling freeze rounds (diagnostics)
 };
 
-// Computes max-min fair rates for `flows`. Flows with src == dst or zero
-// weight get rate 0. Thread-safe (Router's cache is internally locked).
+// An immutable-topology waterfill instance: the flow set's link weights
+// flattened into a CSR layout (contiguous link/weighted-fraction arrays
+// with per-row offsets) plus the per-flow scalars and the headroom-reduced
+// link capacities. Build once per flow set, solve many times.
+//
+// Rows can be built with *variants*: one row per (flow, protocol choice),
+// so the GA's delta-fitness evaluation switches a single flow's routing
+// protocol in O(1) (set_choice) without touching the Router. The problem
+// must be rebuilt whenever the topology, the flow set, or any per-flow
+// scalar (weight, priority, demand) changes; set_choice only covers the
+// routing-protocol dimension.
+class WaterfillProblem {
+ public:
+  WaterfillProblem() = default;
+
+  // One row per flow, using each flow's own .alg. Reuses existing vector
+  // capacity, so periodic rebuilds stop allocating once warmed up.
+  void build(const Router& router, std::span<const FlowSpec> flows,
+             const AllocationConfig& config = {});
+
+  // One row per (flow, choice); flow i initially selects choices[0]. The
+  // flows' own .alg fields are ignored (the caller drives selection, as in
+  // route selection where the genotype overrides the current assignment).
+  void build_with_choices(const Router& router, std::span<const FlowSpec> flows,
+                          std::span<const RouteAlg> choices,
+                          const AllocationConfig& config = {});
+
+  // Selects choices[choice] for flow `flow`. O(1): flips the row the
+  // solver reads, nothing is re-derived.
+  void set_choice(std::size_t flow, std::size_t choice) {
+    selected_[flow] = static_cast<std::uint32_t>(flow * n_choices_ + choice);
+  }
+
+  std::size_t num_flows() const { return n_flows_; }
+  std::size_t num_choices() const { return n_choices_; }
+  std::size_t num_links() const { return cap_.size(); }
+
+ private:
+  friend void waterfill(const WaterfillProblem&, struct WaterfillScratch&, RateAllocation&);
+
+  void build_rows(const Router& router, std::span<const FlowSpec> flows,
+                  std::span<const RouteAlg> choices, const AllocationConfig& config);
+
+  // CSR over (flow, choice) rows: row r covers csr entries
+  // [row_off_[r], row_off_[r+1]).
+  std::vector<LinkId> csr_link_;
+  std::vector<double> csr_wfrac_;       // flow weight * link fraction
+  std::vector<std::uint32_t> row_off_;  // n_flows * n_choices + 1 offsets
+  std::vector<std::uint32_t> selected_; // per flow: currently selected row
+  // Per-flow scalars (indexed by input position).
+  std::vector<double> weight_;
+  std::vector<double> demand_;          // clamped >= 0; +inf when unlimited
+  std::vector<std::uint8_t> active_;    // 0: src == dst or weight <= 0
+  std::vector<std::uint32_t> order_;    // active flows, stably sorted by priority
+  std::vector<std::uint8_t> priority_;  // parallel to the input span
+  // Per-link scalars.
+  std::vector<double> cap_;      // bandwidth * (1 - headroom)
+  std::vector<double> sat_eps_;  // saturation threshold (matches reference)
+  std::size_t n_flows_ = 0;
+  std::size_t n_choices_ = 1;
+};
+
+// Caller-owned reusable arena for waterfill(). All per-call vectors live
+// here; after the first solve of a given problem size, subsequent solves
+// allocate nothing. Thread-compatible, not thread-safe: use one scratch
+// per thread. A scratch carries no problem state between calls — any
+// scratch works with any problem.
+struct WaterfillScratch {
+  // Per-link state.
+  std::vector<double> resid;       // residual capacity, valid at theta_mark
+  std::vector<double> theta_mark;  // water level at which resid was materialized
+  std::vector<double> denom;       // sum of active weight*fraction this class
+  std::vector<std::uint32_t> link_ver;  // bumped whenever denom changes
+  std::vector<std::uint8_t> in_class;   // link touched by the current class
+  std::vector<LinkId> touched;
+  // Next-saturation-event min-heap with lazy (versioned) invalidation.
+  struct SatEvent {
+    double theta;       // saturation water level when pushed (a lower bound)
+    LinkId link;
+    std::uint32_t ver;  // stale when != link_ver[link]
+  };
+  std::vector<SatEvent> heap;
+  // Per-class flow state.
+  std::vector<std::uint32_t> cls;           // flow indices in the class
+  std::vector<std::uint8_t> frozen;         // indexed by flow position
+  std::vector<std::uint32_t> demand_order;  // finite-demand flows, sorted
+  // CSR transpose of the class: flows crossing each touched link.
+  std::vector<std::uint32_t> lnk_off;
+  std::vector<std::uint32_t> lnk_cursor;
+  std::vector<std::uint32_t> lnk_flow;
+};
+
+// Zero-allocation fast path: solves `problem` into `out.rate` (resized to
+// the flow count) using `scratch` for all working memory. Deterministic:
+// repeated calls with the same problem produce bit-identical rates.
+void waterfill(const WaterfillProblem& problem, WaterfillScratch& scratch, RateAllocation& out);
+
+// Convenience wrapper: builds a problem and scratch per call. Prefer the
+// three-argument overload anywhere called repeatedly.
 RateAllocation waterfill(const Router& router, std::span<const FlowSpec> flows,
                          const AllocationConfig& config = {});
+
+// The original straightforward allocator, kept verbatim as the oracle for
+// differential testing (tests/waterfill_diff_test.cpp). O(N*L + N^2).
+RateAllocation waterfill_reference(const Router& router, std::span<const FlowSpec> flows,
+                                   const AllocationConfig& config = {});
 
 // Total load placed on each link by `flows` sending at `rates`; useful for
 // computing utilization and asserting feasibility. Indexed by LinkId.

@@ -1,0 +1,155 @@
+// The original straightforward water-filling allocator, kept verbatim as
+// the differential-testing oracle for the CSR/scratch fast path in
+// waterfill.cpp (see tests/waterfill_diff_test.cpp). Per-call allocations
+// and the per-iteration linear scans are intentional — do not optimize
+// this file; its value is being obviously equivalent to Section 3.3.
+#include "congestion/waterfill.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace r2c2 {
+
+namespace {
+
+constexpr double kEps = 1e-9;
+
+// Per-flow working state for one priority round.
+struct FlowState {
+  std::size_t index = 0;            // into the input span
+  const LinkWeights* weights = nullptr;
+  double weight = 1.0;
+  Bps demand = kUnlimitedDemand;
+  bool frozen = false;
+};
+
+}  // namespace
+
+RateAllocation waterfill_reference(const Router& router, std::span<const FlowSpec> flows,
+                                   const AllocationConfig& config) {
+  const Topology& topo = router.topology();
+  RateAllocation result;
+  result.rate.assign(flows.size(), 0.0);
+
+  // Residual capacity per link after headroom.
+  std::vector<double> resid(topo.num_links());
+  for (LinkId l = 0; l < topo.num_links(); ++l) {
+    resid[l] = topo.link(l).bandwidth * (1.0 - config.headroom);
+  }
+
+  // Group flows by priority (strict: lower value first).
+  std::vector<std::size_t> order(flows.size());
+  for (std::size_t i = 0; i < flows.size(); ++i) order[i] = i;
+  std::stable_sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return flows[a].priority < flows[b].priority;
+  });
+
+  std::vector<double> denom(topo.num_links(), 0.0);  // sum of active weight*fraction
+  std::vector<std::vector<std::uint32_t>> flows_on_link(topo.num_links());
+
+  std::size_t at = 0;
+  while (at < order.size()) {
+    // Collect one priority class.
+    const std::uint8_t prio = flows[order[at]].priority;
+    std::vector<FlowState> cls;
+    for (; at < order.size() && flows[order[at]].priority == prio; ++at) {
+      const FlowSpec& f = flows[order[at]];
+      if (f.src == f.dst || f.weight <= 0.0) continue;  // degenerate: rate 0
+      FlowState st;
+      st.index = order[at];
+      st.weights = &router.link_weights(f.alg, f.src, f.dst, f.id);
+      st.weight = f.weight;
+      st.demand = std::max<Bps>(f.demand, 0.0);
+      cls.push_back(st);
+    }
+    if (cls.empty()) continue;
+
+    // Set up per-link denominators for this class.
+    std::vector<LinkId> touched;
+    for (std::uint32_t i = 0; i < cls.size(); ++i) {
+      for (const LinkFraction& lf : *cls[i].weights) {
+        if (denom[lf.link] == 0.0 && flows_on_link[lf.link].empty()) touched.push_back(lf.link);
+        denom[lf.link] += cls[i].weight * lf.fraction;
+        flows_on_link[lf.link].push_back(i);
+      }
+    }
+
+    // Progressive filling: water level theta grows; flow rate = weight*theta
+    // until the flow freezes (at a bottleneck link or at its demand).
+    double theta = 0.0;
+    std::size_t remaining = cls.size();
+    while (remaining > 0) {
+      ++result.iterations;
+      // Next event: a link saturating or a flow reaching its demand.
+      double theta_link = std::numeric_limits<double>::infinity();
+      for (const LinkId l : touched) {
+        if (denom[l] > kEps) {
+          theta_link = std::min(theta_link, theta + std::max(0.0, resid[l]) / denom[l]);
+        }
+      }
+      double theta_demand = std::numeric_limits<double>::infinity();
+      for (const FlowState& st : cls) {
+        if (!st.frozen && std::isfinite(st.demand)) {
+          theta_demand = std::min(theta_demand, st.demand / st.weight);
+        }
+      }
+      const double theta_next = std::min(theta_link, theta_demand);
+      if (!std::isfinite(theta_next)) {
+        // No flow crosses a capacitated link (e.g. all fractions zero) and
+        // no demands bound: freeze everything at the current level.
+        for (FlowState& st : cls) {
+          if (!st.frozen) {
+            st.frozen = true;
+            result.rate[st.index] = st.weight * theta;
+          }
+        }
+        remaining = 0;
+        break;
+      }
+
+      // Advance the water level and charge the links.
+      const double dtheta = theta_next - theta;
+      if (dtheta > 0.0) {
+        for (const LinkId l : touched) resid[l] -= denom[l] * dtheta;
+      }
+      theta = theta_next;
+
+      // Freeze flows: demand-limited ones, then flows on saturated links.
+      auto freeze = [&](FlowState& st, Bps rate) {
+        st.frozen = true;
+        result.rate[st.index] = rate;
+        for (const LinkFraction& lf : *st.weights) {
+          denom[lf.link] -= st.weight * lf.fraction;
+          if (denom[lf.link] < kEps) denom[lf.link] = 0.0;
+        }
+        --remaining;
+      };
+      for (FlowState& st : cls) {
+        if (!st.frozen && std::isfinite(st.demand) && st.demand / st.weight <= theta + kEps) {
+          freeze(st, st.demand);
+        }
+      }
+      // A link is saturated when its residual is (numerically) exhausted
+      // while it still carries active flows.
+      for (const LinkId l : touched) {
+        if (denom[l] > kEps && resid[l] <= kEps * topo.link(l).bandwidth + kEps) {
+          // Freeze every active flow crossing l.
+          for (const std::uint32_t fi : flows_on_link[l]) {
+            FlowState& st = cls[fi];
+            if (!st.frozen) freeze(st, st.weight * theta);
+          }
+        }
+      }
+    }
+
+    // Clean per-link state for the next priority class; residuals persist.
+    for (const LinkId l : touched) {
+      denom[l] = 0.0;
+      flows_on_link[l].clear();
+      if (resid[l] < 0.0) resid[l] = 0.0;
+    }
+  }
+  return result;
+}
+
+}  // namespace r2c2

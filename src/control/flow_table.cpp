@@ -99,9 +99,14 @@ std::optional<FlowSpec> FlowTable::find(NodeId src, std::uint8_t fseq) const {
 
 std::vector<FlowSpec> FlowTable::snapshot() const {
   std::vector<FlowSpec> flows;
-  flows.reserve(entries_.size());
-  for (const auto& [k, spec] : entries_) flows.push_back(spec);
+  snapshot_into(flows);
   return flows;
+}
+
+void FlowTable::snapshot_into(std::vector<FlowSpec>& out) const {
+  out.clear();
+  out.reserve(entries_.size());
+  for (const auto& [k, spec] : entries_) out.push_back(spec);
 }
 
 }  // namespace r2c2

@@ -45,6 +45,9 @@ class FlowTable {
 
   // Snapshot of all known flows, in unspecified order, for the allocator.
   std::vector<FlowSpec> snapshot() const;
+  // Allocation-friendly variant: clears and refills `out`, reusing its
+  // capacity (for per-rho recomputation loops).
+  void snapshot_into(std::vector<FlowSpec>& out) const;
 
   // Order-independent digest of the current contents. Two nodes with equal
   // view_hash see the same traffic matrix (up to hash collision).

@@ -15,16 +15,25 @@ using Genotype = std::vector<std::uint8_t>;
 
 struct Evaluator {
   Evaluator(const Router& r, std::span<const FlowSpec> f, const SelectionConfig& c)
-      : router(r), flows(f), config(c) {}
+      : config(c) {
+    // All (flow, protocol-choice) link weights are derived once, into CSR
+    // rows of one shared WaterfillProblem; evaluating a genotype then only
+    // flips row selections for genes that differ from the previous one
+    // (delta fitness) and solves with a reused scratch arena. The Router
+    // (and its mutex-guarded cache) is never touched again.
+    problem.build_with_choices(r, f, c.choices, c.alloc);
+    current.assign(f.size(), 0);  // build_with_choices selects choice 0
+  }
 
-  const Router& router;
-  std::span<const FlowSpec> flows;
   const SelectionConfig& config;
   int evaluations = 0;
   // Memo keyed by genotype hash: elites reappear every generation and
   // crossover often reproduces known genotypes.
   std::unordered_map<std::uint64_t, double> memo;
-  std::vector<FlowSpec> scratch;
+  WaterfillProblem problem;
+  WaterfillScratch scratch;
+  RateAllocation alloc;
+  Genotype current;  // the genotype the problem's row selection encodes
 
   static std::uint64_t hash(const Genotype& g) {
     std::uint64_t h = 0xcbf29ce484222325ULL;
@@ -35,9 +44,14 @@ struct Evaluator {
   double fitness(const Genotype& g) {
     const std::uint64_t h = hash(g);
     if (auto it = memo.find(h); it != memo.end()) return it->second;
-    scratch.assign(flows.begin(), flows.end());
-    for (std::size_t i = 0; i < g.size(); ++i) scratch[i].alg = config.choices[g[i]];
-    const auto rates = waterfill(router, scratch, config.alloc).rate;
+    for (std::size_t i = 0; i < g.size(); ++i) {
+      if (g[i] != current[i]) {
+        problem.set_choice(i, g[i]);
+        current[i] = g[i];
+      }
+    }
+    waterfill(problem, scratch, alloc);
+    const std::vector<Bps>& rates = alloc.rate;
     double utility = 0.0;
     switch (config.utility) {
       case UtilityKind::kAggregateThroughput:

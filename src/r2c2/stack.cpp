@@ -168,9 +168,13 @@ void R2c2Stack::broadcast_msg(BroadcastMsg msg) {
 
 void R2c2Stack::recompute() {
   if (local_.empty()) return;
-  const std::vector<FlowSpec> flows = view_.snapshot();
-  const RateAllocation alloc = waterfill(*ctx_.router, flows, ctx_.alloc);
-  apply_rates(flows, alloc.rate);
+  if (view_.version() != wf_built_version_) {
+    view_.snapshot_into(wf_flows_);
+    wf_problem_.build(*ctx_.router, wf_flows_, ctx_.alloc);
+    wf_built_version_ = view_.version();
+  }
+  waterfill(wf_problem_, wf_scratch_, wf_alloc_);
+  apply_rates(wf_flows_, wf_alloc_.rate);
 }
 
 void R2c2Stack::apply_rates(std::span<const FlowSpec> flows, std::span<const Bps> rates) {
@@ -188,6 +192,9 @@ void R2c2Stack::update_context(const RackContext& ctx) {
     throw std::invalid_argument("RackContext must reference topology, router and trees");
   }
   ctx_ = ctx;
+  // The cached problem baked in the old topology's link capacities and
+  // routes: force a rebuild at the next recompute().
+  wf_built_version_ = ~0ULL;
 }
 
 int R2c2Stack::rebroadcast_local_flows() {

@@ -140,6 +140,15 @@ class R2c2Stack {
   Callbacks cb_;
   Rng rng_;
   FlowTable view_;
+  // Rate-computation state reused across recompute() calls: the CSR
+  // problem is rebuilt only when the view changed (tracked by its version
+  // counter) and the scratch arena makes steady-state recomputation
+  // allocation-free. Invalidated by update_context().
+  WaterfillProblem wf_problem_;
+  WaterfillScratch wf_scratch_;
+  RateAllocation wf_alloc_;
+  std::vector<FlowSpec> wf_flows_;
+  std::uint64_t wf_built_version_ = ~0ULL;
   std::unordered_map<FlowId, LocalFlow> local_;
   std::uint16_t next_fseq_ = 0;
   std::uint64_t broadcasts_sent_ = 0;

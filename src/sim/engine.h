@@ -3,27 +3,128 @@
 // A binary heap of (time, sequence)-ordered events; ties in time are
 // processed in scheduling order, which makes every simulation fully
 // deterministic for a given seed.
+//
+// The heap is hand-rolled over a std::vector rather than std::priority_queue
+// because extraction must *move* the event's action out (std::priority_queue
+// only exposes a const top(), and const_cast-ing it is undefined-behavior
+// territory). Actions are stored in a small-buffer-optimized callable, so
+// the common case — a lambda capturing `this` plus a couple of ids — costs
+// no heap allocation per event.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
-#include <functional>
 #include <limits>
-#include <queue>
+#include <new>
+#include <type_traits>
+#include <utility>
 #include <vector>
 
 #include "common/types.h"
 
 namespace r2c2::sim {
 
+// Move-only type-erased callable with a 48-byte inline buffer (libstdc++'s
+// std::function only inlines 16 bytes, heap-allocating most simulator
+// lambdas). Callables that are larger or have a throwing move constructor
+// fall back to the heap.
+class Action {
+ public:
+  static constexpr std::size_t kInlineBytes = 48;
+
+  Action() = default;
+
+  template <typename F,
+            typename = std::enable_if_t<!std::is_same_v<std::decay_t<F>, Action> &&
+                                        std::is_invocable_r_v<void, std::decay_t<F>&>>>
+  Action(F&& f) {  // NOLINT(google-explicit-constructor): mirrors std::function
+    using Fn = std::decay_t<F>;
+    if constexpr (fits_inline<Fn>()) {
+      ::new (static_cast<void*>(buf_)) Fn(std::forward<F>(f));
+      ops_ = &kInlineOps<Fn>;
+    } else {
+      ::new (static_cast<void*>(buf_)) (Fn*)(new Fn(std::forward<F>(f)));
+      ops_ = &kHeapOps<Fn>;
+    }
+  }
+
+  Action(Action&& other) noexcept { move_from(other); }
+  Action& operator=(Action&& other) noexcept {
+    if (this != &other) {
+      reset();
+      move_from(other);
+    }
+    return *this;
+  }
+  Action(const Action&) = delete;
+  Action& operator=(const Action&) = delete;
+  ~Action() { reset(); }
+
+  explicit operator bool() const { return ops_ != nullptr; }
+  void operator()() { ops_->invoke(buf_); }
+
+  void reset() {
+    if (ops_ != nullptr) {
+      ops_->destroy(buf_);
+      ops_ = nullptr;
+    }
+  }
+
+ private:
+  struct Ops {
+    void (*invoke)(void* buf);
+    void (*relocate)(void* from, void* to);  // move-construct into to, destroy from
+    void (*destroy)(void* buf);
+  };
+
+  template <typename Fn>
+  static constexpr bool fits_inline() {
+    return sizeof(Fn) <= kInlineBytes && alignof(Fn) <= alignof(std::max_align_t) &&
+           std::is_nothrow_move_constructible_v<Fn>;
+  }
+
+  template <typename Fn>
+  static constexpr Ops kInlineOps{
+      [](void* buf) { (*std::launder(reinterpret_cast<Fn*>(buf)))(); },
+      [](void* from, void* to) {
+        Fn* src = std::launder(reinterpret_cast<Fn*>(from));
+        ::new (to) Fn(std::move(*src));
+        src->~Fn();
+      },
+      [](void* buf) { std::launder(reinterpret_cast<Fn*>(buf))->~Fn(); },
+  };
+
+  template <typename Fn>
+  static constexpr Ops kHeapOps{
+      [](void* buf) { (**std::launder(reinterpret_cast<Fn**>(buf)))(); },
+      [](void* from, void* to) {
+        ::new (to) (Fn*)(*std::launder(reinterpret_cast<Fn**>(from)));
+      },
+      [](void* buf) { delete *std::launder(reinterpret_cast<Fn**>(buf)); },
+  };
+
+  void move_from(Action& other) noexcept {
+    ops_ = other.ops_;
+    if (ops_ != nullptr) {
+      ops_->relocate(other.buf_, buf_);
+      other.ops_ = nullptr;
+    }
+  }
+
+  const Ops* ops_ = nullptr;
+  alignas(std::max_align_t) unsigned char buf_[kInlineBytes];
+};
+
 class Engine {
  public:
-  using Action = std::function<void()>;
+  using Action = r2c2::sim::Action;
 
   TimeNs now() const { return now_; }
 
   void schedule_at(TimeNs t, Action action) {
     if (t < now_) t = now_;  // never schedule into the past
-    heap_.push(Event{t, next_seq_++, std::move(action)});
+    heap_.push_back(Event{t, next_seq_++, std::move(action)});
+    sift_up(heap_.size() - 1);
   }
   void schedule_in(TimeNs dt, Action action) { schedule_at(now_ + dt, std::move(action)); }
 
@@ -31,10 +132,8 @@ class Engine {
   // `until`. Returns the number of events processed by this call.
   std::uint64_t run(TimeNs until = std::numeric_limits<TimeNs>::max()) {
     std::uint64_t processed = 0;
-    while (!heap_.empty() && heap_.top().time <= until) {
-      // Move the action out before popping so it may schedule new events.
-      Event ev = std::move(const_cast<Event&>(heap_.top()));
-      heap_.pop();
+    while (!heap_.empty() && heap_.front().time <= until) {
+      Event ev = pop_min();
       now_ = ev.time;
       ev.action();
       ++processed;
@@ -52,12 +151,45 @@ class Engine {
     TimeNs time;
     std::uint64_t seq;
     Action action;
-    bool operator>(const Event& o) const {
-      return time != o.time ? time > o.time : seq > o.seq;
-    }
+    bool before(const Event& o) const { return time != o.time ? time < o.time : seq < o.seq; }
   };
 
-  std::priority_queue<Event, std::vector<Event>, std::greater<>> heap_;
+  Event pop_min() {
+    Event out = std::move(heap_.front());
+    if (heap_.size() > 1) {
+      heap_.front() = std::move(heap_.back());
+      heap_.pop_back();
+      sift_down(0);
+    } else {
+      heap_.pop_back();
+    }
+    return out;
+  }
+
+  void sift_up(std::size_t i) {
+    while (i > 0) {
+      const std::size_t parent = (i - 1) / 2;
+      if (!heap_[i].before(heap_[parent])) break;
+      std::swap(heap_[i], heap_[parent]);
+      i = parent;
+    }
+  }
+
+  void sift_down(std::size_t i) {
+    const std::size_t n = heap_.size();
+    for (;;) {
+      const std::size_t l = 2 * i + 1;
+      const std::size_t r = 2 * i + 2;
+      std::size_t best = i;
+      if (l < n && heap_[l].before(heap_[best])) best = l;
+      if (r < n && heap_[r].before(heap_[best])) best = r;
+      if (best == i) break;
+      std::swap(heap_[i], heap_[best]);
+      i = best;
+    }
+  }
+
+  std::vector<Event> heap_;
   TimeNs now_ = 0;
   std::uint64_t next_seq_ = 0;
   std::uint64_t total_events_ = 0;

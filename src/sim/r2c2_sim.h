@@ -135,6 +135,14 @@ class R2c2Sim {
   Rng rng_;
 
   FlowTable global_view_;  // flows whose start broadcast fully propagated
+  // Rate-computation state reused across recomputations: the CSR problem
+  // is rebuilt only when the global view changed, and the scratch arena
+  // makes the steady-state waterfill call allocation-free.
+  WaterfillProblem wf_problem_;
+  WaterfillScratch wf_scratch_;
+  RateAllocation wf_alloc_;
+  std::vector<FlowSpec> wf_flows_;
+  std::uint64_t wf_built_version_ = ~0ULL;
   std::unordered_map<FlowId, SenderFlow> senders_;
   std::unordered_map<FlowId, ReceiverFlow> receivers_;
   std::unordered_map<std::uint64_t, PendingBroadcast> pending_;

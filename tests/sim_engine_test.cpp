@@ -1,5 +1,8 @@
 #include <gtest/gtest.h>
 
+#include <array>
+#include <functional>
+#include <memory>
 #include <vector>
 
 #include "sim/engine.h"
@@ -70,6 +73,64 @@ TEST(Engine, CountsEvents) {
   for (int i = 0; i < 7; ++i) e.schedule_at(i, [] {});
   e.run();
   EXPECT_EQ(e.total_events(), 7u);
+}
+
+// --- Action (small-buffer-optimized callable) ---
+
+TEST(Action, LargeCapturesFallBackToHeapAndStillRun) {
+  Engine e;
+  // 256 bytes of captured state: far beyond the inline buffer.
+  std::array<std::uint64_t, 32> big{};
+  big.fill(7);
+  std::uint64_t sum = 0;
+  e.schedule_at(1, [big, &sum] {
+    for (const auto v : big) sum += v;
+  });
+  e.run();
+  EXPECT_EQ(sum, 32u * 7u);
+}
+
+TEST(Action, DestroysCaptureExactlyOnceAcrossHeapMoves) {
+  // shared_ptr use_count tracks copies; after the engine drains, only the
+  // local reference remains — the event's capture was destroyed despite
+  // all the moves the binary heap performs.
+  auto token = std::make_shared<int>(42);
+  {
+    Engine e;
+    // Interleave enough events to force heap sift-up/down moves.
+    for (int i = 9; i >= 0; --i) {
+      e.schedule_at(i, [token] { ASSERT_EQ(*token, 42); });
+    }
+    EXPECT_EQ(token.use_count(), 11);
+    e.run();
+    EXPECT_EQ(token.use_count(), 1);
+  }
+  EXPECT_EQ(token.use_count(), 1);
+}
+
+TEST(Action, MoveTransfersOwnership) {
+  int fired = 0;
+  Action a([&fired] { ++fired; });
+  Action b(std::move(a));
+  EXPECT_FALSE(static_cast<bool>(a));  // NOLINT(bugprone-use-after-move): testing moved-from state
+  ASSERT_TRUE(static_cast<bool>(b));
+  b();
+  EXPECT_EQ(fired, 1);
+  Action c;
+  c = std::move(b);
+  c();
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(Action, PendingActionsDestroyedWithEngine) {
+  auto token = std::make_shared<int>(1);
+  {
+    Engine e;
+    e.schedule_at(10, [token] {});
+    EXPECT_EQ(token.use_count(), 2);
+    // Never run: the engine's destructor must release the capture.
+  }
+  EXPECT_EQ(token.use_count(), 1);
 }
 
 // --- Network ---

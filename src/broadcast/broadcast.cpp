@@ -51,7 +51,12 @@ BroadcastTrees::BroadcastTrees(const Topology& topo, int trees_per_source)
       for (NodeId v = 0; v < n; ++v) {
         if (parent[v] != kInvalidNode) tree.child_nodes[cursor[parent[v]]++] = v;
       }
-      tree.height = *std::max_element(tree.depth.begin(), tree.depth.end());
+      // Unreachable nodes (possible when the topology carries failed,
+      // isolated nodes) keep the 0xffff sentinel and do not count.
+      tree.height = 0;
+      for (const std::uint16_t d : tree.depth) {
+        if (d != 0xffff) tree.height = std::max(tree.height, static_cast<int>(d));
+      }
     }
   }
 }

@@ -4,6 +4,16 @@
 
 namespace r2c2 {
 
+namespace {
+
+bool specs_equal(const FlowSpec& a, const FlowSpec& b) {
+  return a.id == b.id && a.src == b.src && a.dst == b.dst && a.alg == b.alg &&
+         a.weight == b.weight && a.priority == b.priority &&
+         (a.demand == b.demand || (std::isinf(a.demand) && std::isinf(b.demand)));
+}
+
+}  // namespace
+
 std::uint64_t FlowTable::entry_hash(std::uint32_t key, const FlowSpec& spec) {
   // Mix every rate-relevant field; XOR-combining entry hashes makes the
   // view hash order-independent and incrementally updatable.
@@ -19,26 +29,36 @@ std::uint64_t FlowTable::entry_hash(std::uint32_t key, const FlowSpec& spec) {
   return splitmix64(s);
 }
 
-void FlowTable::insert_hashed(std::uint32_t k, const FlowSpec& spec) {
-  auto [it, inserted] = entries_.try_emplace(k, spec);
+void FlowTable::insert_hashed(std::uint32_t k, const FlowSpec& spec, TimeNs now) {
+  auto [it, inserted] = entries_.try_emplace(k, Entry{spec, now});
   if (!inserted) {
-    view_hash_ ^= entry_hash(k, it->second);
-    it->second = spec;
+    // Pure lease refresh: same spec re-announced, only the stamp moves.
+    // Neither the hash nor the version changes, so cached rate problems
+    // keyed on version() stay valid across refresh bursts.
+    it->second.lease = std::max(it->second.lease, now);
+    if (specs_equal(it->second.spec, spec)) return;
+    view_hash_ ^= entry_hash(k, it->second.spec);
+    it->second.spec = spec;
   }
   view_hash_ ^= entry_hash(k, spec);
   ++version_;
 }
 
-void FlowTable::erase_hashed(std::unordered_map<std::uint32_t, FlowSpec>::iterator it) {
-  view_hash_ ^= entry_hash(it->first, it->second);
+void FlowTable::erase_hashed(std::unordered_map<std::uint32_t, Entry>::iterator it) {
+  view_hash_ ^= entry_hash(it->first, it->second.spec);
   entries_.erase(it);
   ++version_;
 }
 
-void FlowTable::apply(const BroadcastMsg& msg) {
+void FlowTable::apply(const BroadcastMsg& msg, TimeNs now) {
   const std::uint32_t k = key(msg.src, msg.fseq);
   switch (msg.type) {
-    case PacketType::kFlowStart: {
+    case PacketType::kFlowStart:
+    case PacketType::kDemandUpdate: {
+      // Demand updates double as lease refreshes and carry every field a
+      // start does, so they also *insert*: a demand update (or periodic
+      // refresh) about a flow whose start broadcast was lost resurrects
+      // the entry instead of leaving the views diverged until the finish.
       FlowSpec spec;
       spec.id = (static_cast<FlowId>(msg.src) << 16) | msg.fseq;
       spec.src = msg.src;
@@ -48,22 +68,12 @@ void FlowTable::apply(const BroadcastMsg& msg) {
       spec.priority = msg.priority;
       spec.demand = msg.demand_kbps == 0 ? kUnlimitedDemand
                                          : static_cast<Bps>(msg.demand_kbps) * kKbps;
-      insert_hashed(k, spec);
+      insert_hashed(k, spec, now);
       break;
     }
     case PacketType::kFlowFinish: {
       auto it = entries_.find(k);
       if (it != entries_.end()) erase_hashed(it);
-      break;
-    }
-    case PacketType::kDemandUpdate: {
-      auto it = entries_.find(k);
-      if (it != entries_.end()) {
-        FlowSpec spec = it->second;
-        spec.demand = msg.demand_kbps == 0 ? kUnlimitedDemand
-                                           : static_cast<Bps>(msg.demand_kbps) * kKbps;
-        insert_hashed(k, spec);
-      }
       break;
     }
     default:
@@ -74,16 +84,16 @@ void FlowTable::apply(const BroadcastMsg& msg) {
 void FlowTable::apply(const RouteUpdatePacket& pkt) {
   for (const RouteUpdateEntry& e : pkt.entries) {
     auto it = entries_.find(key(e.flow_src, e.fseq));
-    if (it != entries_.end() && it->second.alg != e.rp) {
-      FlowSpec spec = it->second;
+    if (it != entries_.end() && it->second.spec.alg != e.rp) {
+      FlowSpec spec = it->second.spec;
       spec.alg = e.rp;
-      insert_hashed(it->first, spec);
+      insert_hashed(it->first, spec, it->second.lease);
     }
   }
 }
 
-void FlowTable::upsert(NodeId src, std::uint8_t fseq, const FlowSpec& spec) {
-  insert_hashed(key(src, fseq), spec);
+void FlowTable::upsert(NodeId src, std::uint8_t fseq, const FlowSpec& spec, TimeNs now) {
+  insert_hashed(key(src, fseq), spec, now);
 }
 
 void FlowTable::remove(NodeId src, std::uint8_t fseq) {
@@ -94,7 +104,32 @@ void FlowTable::remove(NodeId src, std::uint8_t fseq) {
 std::optional<FlowSpec> FlowTable::find(NodeId src, std::uint8_t fseq) const {
   auto it = entries_.find(key(src, fseq));
   if (it == entries_.end()) return std::nullopt;
-  return it->second;
+  return it->second.spec;
+}
+
+std::optional<TimeNs> FlowTable::lease_of(NodeId src, std::uint8_t fseq) const {
+  auto it = entries_.find(key(src, fseq));
+  if (it == entries_.end()) return std::nullopt;
+  return it->second.lease;
+}
+
+std::size_t FlowTable::expire_stale(TimeNs now, TimeNs ttl, NodeId immune_src,
+                                    std::vector<FlowSpec>* removed) {
+  std::size_t collected = 0;
+  for (auto it = entries_.begin(); it != entries_.end();) {
+    const Entry& e = it->second;
+    if (e.spec.src != immune_src && now - e.lease > ttl) {
+      if (removed != nullptr) removed->push_back(e.spec);
+      view_hash_ ^= entry_hash(it->first, e.spec);
+      it = entries_.erase(it);
+      ++version_;
+      ++collected;
+    } else {
+      ++it;
+    }
+  }
+  ghosts_expired_ += collected;
+  return collected;
 }
 
 std::vector<FlowSpec> FlowTable::snapshot() const {
@@ -106,7 +141,7 @@ std::vector<FlowSpec> FlowTable::snapshot() const {
 void FlowTable::snapshot_into(std::vector<FlowSpec>& out) const {
   out.clear();
   out.reserve(entries_.size());
-  for (const auto& [k, spec] : entries_) out.push_back(spec);
+  for (const auto& [k, e] : entries_) out.push_back(e.spec);
 }
 
 }  // namespace r2c2

@@ -43,6 +43,7 @@ enum class PacketType : std::uint8_t {
   kRouteUpdate = 4,   // broadcast: new {flow, routing protocol} assignments
   kAck = 5,           // reliability extension (Section 6)
   kDropNotice = 6,    // a node dropped a broadcast; sender should retransmit
+  kKeepalive = 7,     // per-link liveness probe (failure detection, Section 3.2)
 };
 
 // --- Source route encoding: 3 bits per hop, 128-bit field ---

@@ -46,7 +46,7 @@ FlowId R2c2Stack::open_flow(NodeId dst, const FlowOptions& options) {
 
   // The sender's own view learns the flow immediately; everyone else via
   // broadcast.
-  view_.upsert(self_, fseq, flow.spec);
+  view_.upsert(self_, fseq, flow.spec, now_);
   local_.emplace(id, std::move(flow));
 
   BroadcastMsg msg;
@@ -97,7 +97,7 @@ void R2c2Stack::note_backlog(FlowId flow, std::uint64_t queued_bytes,
   if (!meaningful_change) return;
   lf.demand_limited = limited;
   lf.spec.demand = limited ? estimate : kUnlimitedDemand;
-  view_.upsert(self_, lf.fseq, lf.spec);
+  view_.upsert(self_, lf.fseq, lf.spec, now_);
 
   BroadcastMsg msg;
   msg.type = PacketType::kDemandUpdate;
@@ -146,7 +146,7 @@ void R2c2Stack::on_control_packet(std::span<const std::uint8_t> bytes) {
   if (!msg) return;  // corrupted: drop
   fan_out(msg->src, msg->tree, bytes);
   if (msg->src == self_) return;  // our own event echoed back
-  view_.apply(*msg);
+  view_.apply(*msg, now_);
 }
 
 void R2c2Stack::fan_out(NodeId tree_src, std::uint8_t tree, std::span<const std::uint8_t> bytes) {
@@ -184,6 +184,44 @@ void R2c2Stack::apply_rates(std::span<const FlowSpec> flows, std::span<const Bps
     if (it == local_.end()) continue;
     it->second.rate = rates[i];
     if (cb_.set_rate) cb_.set_rate(flows[i].id, rates[i]);
+  }
+}
+
+void R2c2Stack::tick(TimeNs now) {
+  now_ = std::max(now_, now);
+  const TimeNs interval = ctx_.lease_interval;
+  if (interval <= 0) return;
+  const TimeNs ttl = ctx_.lease_ttl > 0 ? ctx_.lease_ttl : 4 * interval;
+  if (now_ - last_refresh_ >= interval) {
+    last_refresh_ = now_;
+    // Re-advertise every local flow. The demand-update message is reused
+    // verbatim: receivers treat it as INSERT-or-refresh, so a start event
+    // lost to corruption or a failed link heals on the next refresh.
+    for (auto& [id, lf] : local_) {
+      view_.upsert(self_, lf.fseq, lf.spec, now_);
+      BroadcastMsg msg;
+      msg.type = PacketType::kDemandUpdate;
+      msg.src = self_;
+      msg.dst = lf.spec.dst;
+      msg.fseq = lf.fseq;
+      msg.weight = quantize_weight(lf.spec.weight);
+      msg.priority = lf.spec.priority;
+      msg.demand_kbps = std::isfinite(lf.spec.demand)
+                            ? static_cast<std::uint32_t>(std::min(lf.spec.demand / kKbps, 4e9))
+                            : 0;
+      msg.rp = lf.spec.alg;
+      broadcast_msg(msg);
+      ++lease_refreshes_;
+    }
+  }
+  if (now_ - last_gc_ >= interval) {
+    last_gc_ = now_;
+    // Collect remote entries whose lease expired (e.g. a finish broadcast
+    // that never arrived). Our own flows are authoritative locally and
+    // immune — close_flow is what removes them. Scanned every refresh
+    // interval (not every ttl) so a ghost is collected within one interval
+    // of its lease running out instead of waiting for the next ttl tick.
+    view_.expire_stale(now_, ttl, self_);
   }
 }
 

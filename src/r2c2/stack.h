@@ -51,6 +51,14 @@ struct RackContext {
   AllocationConfig alloc{};
   TimeNs recompute_interval = 500 * kNsPerUs;
   TimeNs demand_period = 1 * kNsPerMs;
+  // Lease protocol (Section 3.1 hardening): every `lease_interval` each
+  // stack re-advertises its local flows (demand-update broadcasts double
+  // as lease refreshes), and entries not refreshed within `lease_ttl` are
+  // garbage-collected. Heals views that diverged because a flow event was
+  // lost (corrupted control packet, failed link). 0 disables the protocol;
+  // lease_ttl defaults to 4 * lease_interval when left 0.
+  TimeNs lease_interval = 0;
+  TimeNs lease_ttl = 0;
 };
 
 struct FlowOptions {
@@ -102,6 +110,14 @@ class R2c2Stack {
   // invoked every recompute interval by the host's timer.
   void recompute();
 
+  // Advances the stack's notion of time (monotone; stale values are
+  // clamped). Drives the lease protocol: emits periodic refresh broadcasts
+  // for local flows and garbage-collects remote entries whose lease
+  // expired. The host calls this from its timer loop; without a
+  // lease_interval in the context it only tracks time (incoming events are
+  // lease-stamped with the latest tick).
+  void tick(TimeNs now);
+
   // Runs the route-selection heuristic over the visible long flows and
   // broadcasts new assignments (Section 3.4). Returns the number of
   // reassigned flows.
@@ -121,6 +137,11 @@ class R2c2Stack {
   const FlowTable& view() const { return view_; }
   std::size_t own_flows() const { return local_.size(); }
   std::uint64_t broadcasts_sent() const { return broadcasts_sent_; }
+  // Lease-protocol counters: refresh broadcasts emitted, and stale entries
+  // this stack's GC collected (ghosts from lost finish events).
+  std::uint64_t lease_refreshes() const { return lease_refreshes_; }
+  std::uint64_t ghosts_expired() const { return view_.ghosts_expired(); }
+  TimeNs now() const { return now_; }
 
  private:
   struct LocalFlow {
@@ -152,6 +173,11 @@ class R2c2Stack {
   std::unordered_map<FlowId, LocalFlow> local_;
   std::uint16_t next_fseq_ = 0;
   std::uint64_t broadcasts_sent_ = 0;
+  // Lease-protocol clock and cadence state (driven by tick()).
+  TimeNs now_ = 0;
+  TimeNs last_refresh_ = 0;
+  TimeNs last_gc_ = 0;
+  std::uint64_t lease_refreshes_ = 0;
 };
 
 }  // namespace r2c2

@@ -1,0 +1,134 @@
+#include "sim/fault.h"
+
+#include <algorithm>
+#include <deque>
+#include <stdexcept>
+
+namespace r2c2::sim {
+
+namespace {
+
+// Connectivity probe over the undirected live-cable graph: BFS from node 0
+// over links whose cable is not in `down` (a bitmap over directed links;
+// both directions of a cable are always marked together).
+bool still_connected(const Topology& topo, const std::vector<char>& down) {
+  const std::size_t n = topo.num_nodes();
+  if (n <= 1) return true;
+  std::vector<char> seen(n, 0);
+  std::deque<NodeId> queue{0};
+  seen[0] = 1;
+  std::size_t reached = 1;
+  while (!queue.empty()) {
+    const NodeId u = queue.front();
+    queue.pop_front();
+    for (const LinkId id : topo.out_links(u)) {
+      if (down[id]) continue;
+      const NodeId v = topo.link(id).to;
+      if (!seen[v]) {
+        seen[v] = 1;
+        ++reached;
+        queue.push_back(v);
+      }
+    }
+  }
+  return reached == n;
+}
+
+void mark_cable(const Topology& topo, std::vector<char>& down, LinkId link, bool is_down) {
+  const Link& l = topo.link(link);
+  down[link] = is_down ? 1 : 0;
+  const LinkId reverse = topo.find_link(l.to, l.from);
+  if (reverse != kInvalidLink) down[reverse] = is_down ? 1 : 0;
+}
+
+}  // namespace
+
+FaultScript make_chaos_script(const Topology& topo, Rng& rng, const ChaosConfig& config) {
+  if (!topo.finalized()) throw std::logic_error("topology must be finalized");
+  FaultScript script;
+  std::vector<char> down(topo.num_links(), 0);
+  // Restores already scheduled but not yet "applied" while generating: the
+  // connectivity check at time t must see exactly the cables down at t.
+  std::vector<std::pair<TimeNs, LinkId>> pending_restores;
+
+  TimeNs t = config.start;
+  for (int wave = 0; wave < config.waves; ++wave) {
+    t += static_cast<TimeNs>(rng.exponential(static_cast<double>(config.mean_wave_gap)));
+    // Apply restores that happen before this wave.
+    for (auto it = pending_restores.begin(); it != pending_restores.end();) {
+      if (it->first <= t) {
+        mark_cable(topo, down, it->second, false);
+        it = pending_restores.erase(it);
+      } else {
+        ++it;
+      }
+    }
+    for (int f = 0; f < config.fails_per_wave; ++f) {
+      // Draw cables until one keeps the rack connected; a bounded number of
+      // retries guards against pathological topologies (e.g. a ring where
+      // any second cut disconnects).
+      bool placed = false;
+      for (int attempt = 0; attempt < 64 && !placed; ++attempt) {
+        const LinkId cand = random_link(topo, rng);
+        if (down[cand]) continue;
+        mark_cable(topo, down, cand, true);
+        if (!still_connected(topo, down)) {
+          mark_cable(topo, down, cand, false);
+          continue;
+        }
+        const TimeNs up_at =
+            t + static_cast<TimeNs>(rng.exponential(static_cast<double>(config.mean_down_time)));
+        script.events.push_back(FaultScript::fail_link(t, cand));
+        script.events.push_back(FaultScript::restore_link(up_at, cand));
+        pending_restores.emplace_back(up_at, cand);
+        placed = true;
+      }
+    }
+  }
+  std::stable_sort(script.events.begin(), script.events.end(),
+                   [](const FaultEvent& a, const FaultEvent& b) { return a.at < b.at; });
+  return script;
+}
+
+FaultInjector::FaultInjector(Engine& engine, Network& net, const Topology& topo,
+                             FaultScript script)
+    : engine_(engine), net_(net), topo_(topo), script_(std::move(script)) {}
+
+void FaultInjector::arm() {
+  if (armed_) throw std::logic_error("FaultInjector armed twice");
+  armed_ = true;
+  for (const FaultEvent& ev : script_.events) {
+    engine_.schedule_at(ev.at, [this, ev] { apply(ev); });
+  }
+}
+
+void FaultInjector::set_cable(LinkId link, bool up) {
+  const Link& l = topo_.link(link);
+  net_.set_link_up(link, up);
+  const LinkId reverse = topo_.find_link(l.to, l.from);
+  if (reverse != kInvalidLink) net_.set_link_up(reverse, up);
+}
+
+void FaultInjector::apply(const FaultEvent& ev) {
+  switch (ev.kind) {
+    case FaultEvent::Kind::kFailLink:
+      set_cable(ev.link, false);
+      ++failures_injected_;
+      break;
+    case FaultEvent::Kind::kRestoreLink:
+      set_cable(ev.link, true);
+      ++restores_injected_;
+      break;
+    case FaultEvent::Kind::kFailNode:
+      for (const LinkId id : topo_.out_links(ev.node)) set_cable(id, false);
+      ++failures_injected_;
+      break;
+    case FaultEvent::Kind::kRestoreNode:
+      for (const LinkId id : topo_.out_links(ev.node)) set_cable(id, true);
+      ++restores_injected_;
+      break;
+  }
+  if (on_event_) on_event_(ev);
+}
+
+}  // namespace r2c2::sim

@@ -3,6 +3,7 @@
 
 #include <algorithm>
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "common/stats.h"
@@ -31,6 +32,25 @@ struct FlowRecord {
   }
 };
 
+// One fault-to-recovery episode (Section 3.2 made dynamic): a cable fails
+// (or is restored) at `injected_at`; keepalive deadlines detect it at
+// `detected_at`; the control plane finishes rebuilding topology, routes and
+// broadcast trees at `recovered_at`; and `reconverged_at` stamps the moment
+// the post-recovery flow rebroadcasts have fully propagated, i.e. every
+// view agrees again (view_hash agreement in the per-stack world; the
+// last-copy-delivered shared view in the simulator). -1 = did not happen.
+struct RecoveryRecord {
+  LinkId link = kInvalidLink;  // one direction of the affected cable
+  bool failure = true;         // false: a restore episode
+  TimeNs injected_at = -1;     // -1 for false-positive detections
+  TimeNs detected_at = -1;
+  TimeNs recovered_at = -1;
+  TimeNs reconverged_at = -1;
+
+  TimeNs detection_ns() const { return detected_at - injected_at; }
+  TimeNs reconvergence_ns() const { return reconverged_at - injected_at; }
+};
+
 struct RunMetrics {
   std::vector<FlowRecord> flows;
   std::vector<std::uint64_t> max_queue_bytes;  // per directed link
@@ -39,6 +59,22 @@ struct RunMetrics {
   std::uint64_t drops = 0;
   std::uint64_t events = 0;
   TimeNs sim_end = 0;
+
+  // --- Fault injection & self-healing (zero unless faults are enabled) ---
+  std::vector<RecoveryRecord> recoveries;
+  std::uint64_t failures_injected = 0;
+  std::uint64_t restores_injected = 0;
+  std::uint64_t failures_detected = 0;   // cable-level keepalive timeouts
+  std::uint64_t restores_detected = 0;   // keepalives resumed on a down cable
+  std::uint64_t context_rebuilds = 0;    // topology/router/trees rebuilt mid-run
+  std::uint64_t flows_rebroadcast = 0;   // flow re-announcements after recovery
+  std::uint64_t failed_link_drops = 0;   // packets blackholed by down links
+  // Corruption accounting, split by traffic class.
+  std::uint64_t corrupted_control = 0;
+  std::uint64_t corrupted_data = 0;
+  // View-divergence counters (lease/GC protocol, Section 3.1 hardening).
+  std::uint64_t ghost_flows_expired = 0;   // stale entries lease-GC collected
+  std::uint64_t lease_refreshes_sent = 0;  // periodic re-advertisements
 
   // Convenience selectors used by the figures: FCTs (us) of flows smaller
   // than `cutoff` and throughputs (Gbps) of flows at least `cutoff` bytes.
@@ -57,6 +93,16 @@ struct RunMetrics {
     return v;
   }
 };
+
+// View-divergence measure across nodes: the number of distinct view hashes
+// among the per-node flow tables. 1 means the control plane has
+// reconverged (every node sees the same traffic matrix); larger values
+// count the divergent cliques during a broadcast or recovery transient.
+inline std::size_t distinct_view_hashes(std::span<const std::uint64_t> hashes) {
+  std::vector<std::uint64_t> sorted(hashes.begin(), hashes.end());
+  std::sort(sorted.begin(), sorted.end());
+  return static_cast<std::size_t>(std::unique(sorted.begin(), sorted.end()) - sorted.begin());
+}
 
 // Tracks the receiver-side reorder buffer of one flow: number of packets
 // buffered because an earlier packet is still missing (Section 5.2 reports

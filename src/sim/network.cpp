@@ -9,8 +9,26 @@ Network::Network(Engine& engine, const Topology& topo, NetworkConfig config)
     : engine_(engine), topo_(topo), config_(config), ports_(topo.num_links()),
       corruption_rng_(config.corruption_seed) {}
 
+void Network::set_link_up(LinkId link, bool up) {
+  Port& port = ports_[link];
+  if (port.up == up) return;
+  port.up = up;
+  if (!up) {
+    failed_link_drops_ += port.data_q.size() + port.ctrl_q.size();
+    port.data_q.clear();
+    port.ctrl_q.clear();
+    port.queued_bytes = 0;
+    // A transmission in progress keeps the busy flag; its completion event
+    // clears it and finds the queues empty.
+  }
+}
+
 void Network::send_on_link(LinkId link, SimPacket&& pkt) {
   Port& port = ports_[link];
+  if (!port.up) {
+    ++failed_link_drops_;
+    return;
+  }
   const bool ctrl = is_control(pkt);
   if (!ctrl && config_.data_buffer_bytes > 0 &&
       port.queued_bytes + pkt.wire_bytes > config_.data_buffer_bytes) {
@@ -64,8 +82,12 @@ void Network::try_transmit(LinkId link) {
   // the broadcast copy) runs; corrupted data is the reliability layer's
   // problem (Section 6).
   if (config_.corruption_rate > 0.0 && corruption_rng_.bernoulli(config_.corruption_rate)) {
-    ++corrupted_;
-    if (is_control(pkt) && dropped_) dropped_(l.from, pkt);
+    if (is_control(pkt)) {
+      ++corrupted_control_;
+      if (dropped_) dropped_(l.from, pkt);
+    } else {
+      ++corrupted_data_;
+    }
     return;
   }
   const NodeId to = l.to;

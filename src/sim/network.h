@@ -92,13 +92,30 @@ class Network {
   // locally if the route is exhausted.
   void forward(NodeId at, SimPacket&& pkt);
 
+  // --- Runtime fault injection (Section 3.2) ---
+  // Marks one directed link up or down. A down link blackholes: everything
+  // queued on it is flushed and every later send is silently lost (no drop
+  // callback — the drop-notice recovery cannot run over a dead cable;
+  // keepalive detection plus rebroadcast recover instead). Packets already
+  // propagating still arrive: a cable cut loses at most one propagation
+  // delay of traffic.
+  void set_link_up(LinkId link, bool up);
+  bool link_up(LinkId link) const { return ports_[link].up; }
+
   // --- Introspection for metrics ---
   std::uint64_t queue_bytes(LinkId link) const { return ports_[link].queued_bytes; }
   std::uint64_t max_queue_bytes(LinkId link) const { return ports_[link].max_queued_bytes; }
   std::uint64_t total_data_bytes_sent() const { return data_bytes_; }
   std::uint64_t total_control_bytes_sent() const { return control_bytes_; }
   std::uint64_t drops() const { return drops_; }
-  std::uint64_t corrupted() const { return corrupted_; }
+  // Corruption accounting, split by class: control packets (broadcasts,
+  // keepalives, drop notices) vs data/ack packets. corrupted() keeps the
+  // combined count for existing callers.
+  std::uint64_t corrupted() const { return corrupted_data_ + corrupted_control_; }
+  std::uint64_t corrupted_data() const { return corrupted_data_; }
+  std::uint64_t corrupted_control() const { return corrupted_control_; }
+  // Packets lost to a down link (flushed from its queue or sent into it).
+  std::uint64_t failed_link_drops() const { return failed_link_drops_; }
   // Max occupancy per port, for the queue-occupancy CDFs (Figs. 7b, 14).
   std::vector<std::uint64_t> max_queue_snapshot() const;
 
@@ -109,6 +126,7 @@ class Network {
     std::uint64_t queued_bytes = 0;  // both classes
     std::uint64_t max_queued_bytes = 0;
     bool busy = false;
+    bool up = true;
   };
 
   void try_transmit(LinkId link);
@@ -126,7 +144,9 @@ class Network {
   std::uint64_t data_bytes_ = 0;
   std::uint64_t control_bytes_ = 0;
   std::uint64_t drops_ = 0;
-  std::uint64_t corrupted_ = 0;
+  std::uint64_t corrupted_data_ = 0;
+  std::uint64_t corrupted_control_ = 0;
+  std::uint64_t failed_link_drops_ = 0;
 };
 
 }  // namespace r2c2::sim

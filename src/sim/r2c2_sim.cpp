@@ -18,21 +18,57 @@ R2c2Sim::R2c2Sim(const Topology& topo, const Router& router, R2c2SimConfig confi
       trees_(topo, config.broadcast_trees),
       rng_(config.seed),
       next_fseq_(topo.num_nodes(), 0),
-      link_denom_(topo.num_links(), 0.0) {
+      link_denom_(topo.num_links(), 0.0),
+      last_heard_(topo.num_links(), 0),
+      cable_down_(topo.num_links(), 0) {
+  if (config_.failure_timeout == 0) config_.failure_timeout = 4 * config_.keepalive_interval;
+  if (config_.lease_ttl == 0) config_.lease_ttl = 4 * config_.lease_interval;
   net_.set_deliver([this](NodeId at, SimPacket&& pkt) { deliver(at, std::move(pkt)); });
   // Control packets use an unbounded priority queue by default, so they are
   // never dropped. When control priority is disabled (ablation) they share
   // the finite data buffers; a dropped broadcast copy is retransmitted by
   // the node that dropped it after a short delay — the Section 3.2 "inform
   // the sender who can then re-transmit" recovery, collapsed to its effect.
+  // Keepalives are periodic probes; a lost one is simply superseded.
   net_.set_drop([this](NodeId at, const SimPacket& pkt) {
-    if (pkt.type == PacketType::kData || pkt.type == PacketType::kAck) return;
+    if (pkt.type == PacketType::kData || pkt.type == PacketType::kAck ||
+        pkt.type == PacketType::kKeepalive) {
+      return;
+    }
+    if (!config_.retransmit_dropped_control) return;
     const LinkId link = topo_.find_link(at, pkt.dst);
     if (link == kInvalidLink) return;
     engine_.schedule_in(5 * kNsPerUs, [this, link, copy = pkt]() mutable {
       net_.send_on_link(link, std::move(copy));
     });
   });
+  if (!config_.faults.empty()) {
+    for (const FaultEvent& ev : config_.faults.events) {
+      fault_horizon_ = std::max(
+          fault_horizon_, ev.at + config_.failure_timeout + 2 * config_.keepalive_interval);
+    }
+    injector_.emplace(engine_, net_, topo_, config_.faults);
+    // Record ground-truth injection times per cable so detection latency
+    // and recovery latency can be measured. The transport never reads
+    // these to *act* — detection is keepalive-driven.
+    injector_->set_on_event([this](const FaultEvent& ev) {
+      const TimeNs now = engine_.now();
+      auto note = [this, &ev, now](LinkId link) {
+        const LinkId cable = cable_of(link);
+        if (ev.is_failure()) {
+          injected_fail_at_[cable] = now;
+        } else {
+          injected_restore_at_[cable] = now;
+        }
+      };
+      if (ev.link != kInvalidLink) {
+        note(ev.link);
+      } else if (ev.node != kInvalidNode) {
+        for (const LinkId id : topo_.out_links(ev.node)) note(id);
+      }
+    });
+    injector_->arm();
+  }
 }
 
 void R2c2Sim::add_flows(const std::vector<FlowArrival>& flows) {
@@ -51,11 +87,26 @@ RunMetrics R2c2Sim::run(TimeNs until) {
   m.drops = net_.drops();
   m.events = engine_.total_events();
   m.sim_end = engine_.now();
+  m.recoveries = recoveries_;
+  if (injector_) {
+    m.failures_injected = injector_->failures_injected();
+    m.restores_injected = injector_->restores_injected();
+  }
+  m.failures_detected = failures_detected_;
+  m.restores_detected = restores_detected_;
+  m.context_rebuilds = context_rebuilds_;
+  m.flows_rebroadcast = flows_rebroadcast_;
+  m.failed_link_drops = net_.failed_link_drops();
+  m.corrupted_control = net_.corrupted_control();
+  m.corrupted_data = net_.corrupted_data();
+  m.ghost_flows_expired = global_view_.ghosts_expired();
+  m.lease_refreshes_sent = lease_refreshes_;
   return m;
 }
 
 void R2c2Sim::add_denom(const FlowSpec& spec, double sign) {
-  for (const LinkFraction& lf : router_.link_weights(spec.alg, spec.src, spec.dst, spec.id)) {
+  for (const LinkFraction& lf :
+       cur_router().link_weights(spec.alg, spec.src, spec.dst, spec.id)) {
     link_denom_[lf.link] += sign * spec.weight * lf.fraction;
     if (link_denom_[lf.link] < 0.0) link_denom_[lf.link] = 0.0;
   }
@@ -69,8 +120,9 @@ double R2c2Sim::start_rate_estimate(const FlowSpec& spec) const {
   // burst of arrivals collectively oversubscribes links until the next
   // recomputation; the bandwidth headroom absorbs this (Section 3.3.2).
   double rate = kUnlimitedDemand;
-  for (const LinkFraction& lf : router_.link_weights(spec.alg, spec.src, spec.dst, spec.id)) {
-    const double cap = topo_.link(lf.link).bandwidth * (1.0 - config_.alloc.headroom);
+  for (const LinkFraction& lf :
+       cur_router().link_weights(spec.alg, spec.src, spec.dst, spec.id)) {
+    const double cap = cur_topo().link(lf.link).bandwidth * (1.0 - config_.alloc.headroom);
     const double denom = link_denom_[lf.link] + spec.weight * lf.fraction;
     rate = std::min(rate, cap * spec.weight / denom);
   }
@@ -149,21 +201,25 @@ void R2c2Sim::start_flow(const FlowArrival& arrival) {
 
   schedule_emit(id);
   schedule_recompute_tick();
+  start_fault_ticks();
 }
 
-void R2c2Sim::broadcast(const BroadcastMsg& base, NodeId origin) {
+void R2c2Sim::broadcast(const BroadcastMsg& base, NodeId origin, bool recovery) {
   if (topo_.num_nodes() <= 1) {
     apply_global(base);
     return;
   }
   BroadcastMsg msg = base;
+  const BroadcastTrees& trees = cur_trees();
   msg.tree = static_cast<std::uint8_t>(rng_.uniform_int(static_cast<std::uint64_t>(
-      trees_.trees_per_source())));  // load-balance across trees (Section 3.2)
+      trees.trees_per_source())));  // load-balance across trees (Section 3.2)
   const std::uint64_t bcast_id = next_bcast_id_++;
-  pending_[bcast_id] = PendingBroadcast{msg, static_cast<std::uint32_t>(topo_.num_nodes() - 1)};
+  pending_[bcast_id] =
+      PendingBroadcast{msg, static_cast<std::uint32_t>(topo_.num_nodes() - 1), recovery};
+  if (recovery) ++rebroadcast_outstanding_;
   // Send one copy toward each child of the origin; copies fan out further
   // at every hop via the broadcast FIB.
-  for (const NodeId child : trees_.children(origin, origin, msg.tree)) {
+  for (const NodeId child : trees.children(origin, origin, msg.tree)) {
     SimPacket pkt;
     pkt.type = msg.type;
     pkt.src = msg.src;
@@ -180,8 +236,12 @@ void R2c2Sim::broadcast(const BroadcastMsg& base, NodeId origin) {
 }
 
 void R2c2Sim::on_broadcast_copy(NodeId at, SimPacket&& pkt) {
-  // Forward to this node's children in the tree before consuming.
-  for (const NodeId child : trees_.children(at, pkt.bcast_src, pkt.tree)) {
+  // Forward to this node's children in the tree before consuming. The FIB
+  // consulted is the *current* one: copies launched before a context
+  // rebuild may straddle two tree generations, in which case some nodes
+  // see the copy twice (harmless: the pending entry is erased at zero) or
+  // never — the post-recovery rebroadcast and the lease protocol heal both.
+  for (const NodeId child : cur_trees().children(at, pkt.bcast_src, pkt.tree)) {
     SimPacket copy = pkt;
     copy.dst = child;
     const LinkId link = topo_.find_link(at, child);
@@ -192,8 +252,16 @@ void R2c2Sim::on_broadcast_copy(NodeId at, SimPacket&& pkt) {
   if (it == pending_.end()) return;
   if (--it->second.remaining == 0) {
     const BroadcastMsg msg = it->second.msg;
+    const bool recovery = it->second.recovery;
     pending_.erase(it);
     apply_global(msg);
+    if (recovery && rebroadcast_outstanding_ > 0 && --rebroadcast_outstanding_ == 0) {
+      // Every post-failure re-announcement has fully propagated: the rack
+      // agrees on the traffic matrix again.
+      const TimeNs now = engine_.now();
+      for (const std::size_t idx : open_recoveries_) recoveries_[idx].reconverged_at = now;
+      open_recoveries_.clear();
+    }
   }
 }
 
@@ -201,12 +269,16 @@ void R2c2Sim::apply_global(const BroadcastMsg& msg) {
   const std::uint32_t key = FlowTable::key(msg.src, msg.fseq);
   const auto flow_it = active_by_key_.find(key);
   switch (msg.type) {
-    case PacketType::kFlowStart: {
+    case PacketType::kFlowStart:
+    case PacketType::kDemandUpdate: {
+      // Demand updates double as lease refreshes and re-insert a missing
+      // entry (a START lost to a failure resurrects on the next refresh).
       if (flow_it == active_by_key_.end()) break;  // already finished
       auto sender = senders_.find(flow_it->second);
-      if (sender == senders_.end()) break;
-      global_view_.upsert(msg.src, msg.fseq, sender->second.spec);
-      add_denom(sender->second.spec, +1.0);  // denom mirrors the view
+      if (sender == senders_.end()) break;  // finish raced the re-announcement
+      const bool present = global_view_.find(msg.src, msg.fseq).has_value();
+      global_view_.upsert(msg.src, msg.fseq, sender->second.spec, engine_.now());
+      if (!present) add_denom(sender->second.spec, +1.0);  // denom mirrors the view
       break;
     }
     case PacketType::kFlowFinish: {
@@ -241,7 +313,7 @@ void R2c2Sim::recompute_rates() {
   // churning the allocator (zero steady-state allocations).
   if (global_view_.version() != wf_built_version_) {
     global_view_.snapshot_into(wf_flows_);
-    wf_problem_.build(router_, wf_flows_, config_.alloc);
+    wf_problem_.build(cur_router(), wf_flows_, config_.alloc);
     wf_built_version_ = global_view_.version();
   }
   waterfill(wf_problem_, wf_scratch_, wf_alloc_);
@@ -313,7 +385,10 @@ void R2c2Sim::emit_packet(FlowId id) {
   pkt.payload = payload;
   pkt.wire_bytes = payload + static_cast<std::uint32_t>(DataHeader::kWireSize);
   pkt.sent_at = engine_.now();
-  const Path path = router_.pick_path(flow.spec.alg, flow.spec.src, flow.spec.dst, rng_, id);
+  // Route decisions come from the current (possibly degraded) router, but
+  // the encoded ports index the physical substrate: every degraded link
+  // exists verbatim in the full topology.
+  const Path path = cur_router().pick_path(flow.spec.alg, flow.spec.src, flow.spec.dst, rng_, id);
   pkt.route = encode_path(topo_, path);
   flow.sent_bytes = std::max(flow.sent_bytes, offset + payload);
   const std::uint32_t wire_bytes = pkt.wire_bytes;
@@ -361,6 +436,9 @@ void R2c2Sim::deliver(NodeId at, SimPacket&& pkt) {
     case PacketType::kFlowFinish:
     case PacketType::kDemandUpdate:
       on_broadcast_copy(at, std::move(pkt));
+      return;
+    case PacketType::kKeepalive:
+      on_keepalive(std::move(pkt));
       return;
     case PacketType::kData:
     case PacketType::kAck:
@@ -429,7 +507,7 @@ void R2c2Sim::send_ack(FlowId id, ReceiverFlow& recv, NodeId from, NodeId to) {
   // Header + 8 B cumulative + two 16 B SACK blocks.
   ack.wire_bytes = static_cast<std::uint32_t>(DataHeader::kWireSize) + 8 + 32;
   ack.sent_at = engine_.now();
-  ack.route = encode_path(topo_, router_.pick_path(RouteAlg::kRps, from, to, rng_, id));
+  ack.route = encode_path(topo_, cur_router().pick_path(RouteAlg::kRps, from, to, rng_, id));
   net_.forward(from, std::move(ack));
 }
 
@@ -448,6 +526,238 @@ void R2c2Sim::on_ack_at_sender(SimPacket&& pkt) {
   flow.rel->on_ack(pkt.ack_cum, std::span<const ByteRange>(sacks, n_sacks));
   if (flow.rel->fully_acked()) {
     finish_sending(pkt.flow);
+  }
+}
+
+// --- Failure detection & recovery ---------------------------------------
+
+LinkId R2c2Sim::reverse_link(LinkId link) const {
+  const Link& l = topo_.link(link);
+  return topo_.find_link(l.to, l.from);
+}
+
+LinkId R2c2Sim::cable_of(LinkId link) const {
+  const LinkId rev = reverse_link(link);
+  return rev == kInvalidLink ? link : std::min(link, rev);
+}
+
+void R2c2Sim::start_fault_ticks() {
+  const TimeNs now = engine_.now();
+  if (config_.keepalive_interval > 0) {
+    if (!keepalive_tick_scheduled_) {
+      // (Re)arming after a quiet period: treat every link as just heard
+      // from, so the first deadline scan measures from now, not from the
+      // silence while no probes were being sent.
+      std::fill(last_heard_.begin(), last_heard_.end(), now);
+      keepalive_tick();
+    }
+    if (!detection_tick_scheduled_) {
+      detection_tick_scheduled_ = true;
+      engine_.schedule_in(config_.failure_timeout, [this] { detection_tick(); });
+    }
+  }
+  if (config_.lease_interval > 0) {
+    if (!lease_tick_scheduled_) {
+      lease_tick_scheduled_ = true;
+      engine_.schedule_in(config_.lease_interval, [this] { lease_tick(); });
+    }
+    if (!gc_tick_scheduled_) {
+      gc_tick_scheduled_ = true;
+      engine_.schedule_in(config_.lease_ttl, [this] { gc_tick(); });
+    }
+  }
+}
+
+void R2c2Sim::keepalive_tick() {
+  keepalive_tick_scheduled_ = false;
+  if (!fault_ticks_needed()) return;
+  // Probe every directed link. The hardware transmits regardless of what
+  // the control plane currently believes: probes over a detected-down
+  // cable are what eventually reveal its restoration.
+  const TimeNs now = engine_.now();
+  for (LinkId id = 0; id < static_cast<LinkId>(topo_.num_links()); ++id) {
+    const Link& l = topo_.link(id);
+    SimPacket pkt;
+    pkt.type = PacketType::kKeepalive;
+    pkt.src = l.from;
+    pkt.dst = l.to;
+    pkt.wire_bytes = kBcastWireBytes;
+    pkt.sent_at = now;
+    net_.send_on_link(id, std::move(pkt));
+  }
+  keepalive_tick_scheduled_ = true;
+  engine_.schedule_in(config_.keepalive_interval, [this] { keepalive_tick(); });
+}
+
+void R2c2Sim::detection_tick() {
+  detection_tick_scheduled_ = false;
+  if (!fault_ticks_needed()) return;
+  const TimeNs now = engine_.now();
+  for (LinkId id = 0; id < static_cast<LinkId>(topo_.num_links()); ++id) {
+    if (cable_down_[id]) continue;
+    if (now - last_heard_[id] > config_.failure_timeout) note_detection(id, true);
+  }
+  detection_tick_scheduled_ = true;
+  engine_.schedule_in(config_.keepalive_interval, [this] { detection_tick(); });
+}
+
+void R2c2Sim::on_keepalive(SimPacket&& pkt) {
+  const LinkId link = topo_.find_link(pkt.src, pkt.dst);
+  if (link == kInvalidLink) return;
+  last_heard_[link] = engine_.now();
+  if (cable_down_[link]) note_detection(link, false);
+}
+
+void R2c2Sim::note_detection(LinkId directed, bool failure) {
+  if ((cable_down_[directed] != 0) == failure) return;  // already in this state
+  const LinkId cable = cable_of(directed);
+  const LinkId rev = reverse_link(directed);
+  const char mark = failure ? 1 : 0;
+  cable_down_[directed] = mark;
+  if (rev != kInvalidLink) cable_down_[rev] = mark;
+  if (failure) {
+    ++cables_down_;
+    ++failures_detected_;
+  } else {
+    --cables_down_;
+    ++restores_detected_;
+    // Restart the deadline clock on the revived cable.
+    last_heard_[directed] = engine_.now();
+    if (rev != kInvalidLink) last_heard_[rev] = engine_.now();
+  }
+  RecoveryRecord rec;
+  rec.link = cable;
+  rec.failure = failure;
+  const auto& truth = failure ? injected_fail_at_ : injected_restore_at_;
+  if (const auto it = truth.find(cable); it != truth.end()) rec.injected_at = it->second;
+  rec.detected_at = engine_.now();
+  open_recoveries_.push_back(recoveries_.size());
+  recoveries_.push_back(rec);
+  schedule_rebuild();
+}
+
+void R2c2Sim::schedule_rebuild() {
+  if (rebuild_scheduled_) return;
+  rebuild_scheduled_ = true;
+  engine_.schedule_in(config_.rebuild_delay, [this] { rebuild_context(); });
+}
+
+void R2c2Sim::rebuild_context() {
+  rebuild_scheduled_ = false;
+  // Canonical cable set currently believed down (one direction per cable).
+  std::vector<LinkId> down;
+  for (LinkId id = 0; id < static_cast<LinkId>(topo_.num_links()); ++id) {
+    if (cable_down_[id] && cable_of(id) == id) down.push_back(id);
+  }
+  if (down.empty()) {
+    // Everything healed: drop back to the pristine decision plane.
+    cur_trees_.reset();
+    cur_router_.reset();
+    cur_topo_.reset();
+  } else {
+    std::unique_ptr<Topology> degraded;
+    try {
+      degraded = std::make_unique<Topology>(make_degraded(topo_, down));
+    } catch (const std::logic_error&) {
+      // The believed-down set disconnects the rack — either a transient
+      // (restores will shrink it) or a false-positive pileup. Keep the old
+      // decision plane and retry after another detection window.
+      rebuild_scheduled_ = true;
+      engine_.schedule_in(config_.failure_timeout, [this] { rebuild_context(); });
+      return;
+    }
+    // Old router/trees reference the old topology: tear down in order.
+    cur_trees_.reset();
+    cur_router_.reset();
+    cur_topo_ = std::move(degraded);
+    cur_router_ = std::make_unique<Router>(*cur_topo_);
+    cur_trees_ = std::make_unique<BroadcastTrees>(*cur_topo_, config_.broadcast_trees);
+  }
+  ++context_rebuilds_;
+  // The route universe changed: denominators and the waterfill problem are
+  // stale in the old link-id space. Rebuild both against the new router.
+  rebuild_link_denom();
+  wf_built_version_ = ~0ULL;
+
+  const TimeNs now = engine_.now();
+  for (const std::size_t idx : open_recoveries_) recoveries_[idx].recovered_at = now;
+
+  // Section 3.2: "upon detecting a failure, nodes broadcast information
+  // about all their ongoing flows" — re-announce every live flow over the
+  // new trees so views heal even where the original copies were lost.
+  for (auto& [id, flow] : senders_) {
+    BroadcastMsg msg;
+    msg.type = PacketType::kFlowStart;
+    msg.src = flow.spec.src;
+    msg.dst = flow.spec.dst;
+    msg.fseq = flow.fseq;
+    msg.weight = static_cast<std::uint8_t>(std::clamp(flow.spec.weight, 1.0, 255.0));
+    msg.priority = flow.spec.priority;
+    msg.demand_kbps = 0;
+    msg.rp = flow.spec.alg;
+    broadcast(msg, flow.spec.src, /*recovery=*/true);
+    ++flows_rebroadcast_;
+  }
+  if (rebroadcast_outstanding_ == 0) {
+    // Nothing to re-announce: reconvergence is immediate.
+    for (const std::size_t idx : open_recoveries_) recoveries_[idx].reconverged_at = now;
+    open_recoveries_.clear();
+  }
+  recompute_rates();
+}
+
+void R2c2Sim::rebuild_link_denom() {
+  std::fill(link_denom_.begin(), link_denom_.end(), 0.0);
+  global_view_.snapshot_into(gc_scratch_);
+  for (const FlowSpec& spec : gc_scratch_) add_denom(spec, +1.0);
+}
+
+void R2c2Sim::lease_tick() {
+  lease_tick_scheduled_ = false;
+  if (!fault_ticks_needed()) return;
+  // Re-advertise every live flow; the demand-update broadcast doubles as a
+  // lease refresh (and resurrects entries lost to failures).
+  for (auto& [id, flow] : senders_) {
+    BroadcastMsg msg;
+    msg.type = PacketType::kDemandUpdate;
+    msg.src = flow.spec.src;
+    msg.dst = flow.spec.dst;
+    msg.fseq = flow.fseq;
+    msg.weight = static_cast<std::uint8_t>(std::clamp(flow.spec.weight, 1.0, 255.0));
+    msg.priority = flow.spec.priority;
+    msg.demand_kbps = 0;
+    msg.rp = flow.spec.alg;
+    broadcast(msg, flow.spec.src);
+    ++lease_refreshes_;
+  }
+  lease_tick_scheduled_ = true;
+  engine_.schedule_in(config_.lease_interval, [this] { lease_tick(); });
+}
+
+void R2c2Sim::gc_tick() {
+  gc_tick_scheduled_ = false;
+  if (!fault_ticks_needed() && global_view_.empty()) return;
+  gc_scratch_.clear();
+  global_view_.expire_stale(engine_.now(), config_.lease_ttl, kInvalidNode, &gc_scratch_);
+  for (const FlowSpec& spec : gc_scratch_) {
+    add_denom(spec, -1.0);
+    // A ghost whose sender is gone (lost FIN) also leaks its (src, fseq)
+    // key; release it so the fseq can be reused. A *live* flow's entry can
+    // only expire when refreshes were lost — keep its key, the next lease
+    // tick resurrects the entry.
+    if (!senders_.contains(spec.id)) {
+      for (auto it = active_by_key_.begin(); it != active_by_key_.end(); ++it) {
+        if (it->second == spec.id) {
+          active_by_key_.erase(it);
+          break;
+        }
+      }
+    }
+  }
+  if (!gc_scratch_.empty() && config_.recompute_interval == 0) recompute_rates();
+  if (fault_ticks_needed() || !global_view_.empty()) {
+    gc_tick_scheduled_ = true;
+    engine_.schedule_in(config_.lease_ttl, [this] { gc_tick(); });
   }
 }
 

@@ -13,6 +13,14 @@
 //    conservative fair-share estimate by its sender, and headroom absorbs
 //    the visibility lag (Section 3.3.2). rho == 0 reproduces the "ideal"
 //    per-event recomputation of Fig. 15.
+//  - Failure handling (Section 3.2), in-run: a FaultScript cuts and splices
+//    cables while traffic flows. Per-link keepalives with deadline-based
+//    detection let the nodes notice on their own; the control plane then
+//    rebuilds the degraded topology, routes and broadcast trees, and
+//    re-announces every ongoing flow ("Upon detecting a failure, nodes
+//    broadcast information about all their ongoing flows"). Per-flow
+//    leases with periodic refresh broadcasts plus stale-entry GC keep the
+//    global view correct when broadcasts themselves are lost.
 //
 // Simplification (documented in DESIGN.md): rather than giving each of the
 // n nodes its own divergent flow table, the simulator applies a flow event
@@ -24,10 +32,10 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
+#include <optional>
 #include <unordered_map>
 #include <vector>
-
-#include <memory>
 
 #include "broadcast/broadcast.h"
 #include "common/rng.h"
@@ -35,6 +43,7 @@
 #include "control/flow_table.h"
 #include "routing/routing.h"
 #include "sim/engine.h"
+#include "sim/fault.h"
 #include "sim/metrics.h"
 #include "sim/network.h"
 #include "topology/topology.h"
@@ -57,10 +66,38 @@ struct R2c2SimConfig {
   // Section 6 reliability extension: selective-repeat retransmission with
   // cumulative+SACK acknowledgements used *only* for reliability (rates
   // still come from the allocator). Required when the network corrupts or
-  // drops data packets.
+  // drops data packets — including fault-injection runs, where packets in
+  // flight across a cut cable are lost.
   bool reliable = false;
   TimeNs rto = 500 * kNsPerUs;
   int ack_every_pkts = 4;  // receiver acks every N data packets + at gaps/end
+  // Section 3.2 "inform the sender who can then re-transmit" recovery for
+  // dropped/corrupted broadcast copies. Ablatable: with it off, a corrupted
+  // control packet is simply lost and only the lease protocol heals the
+  // resulting view divergence.
+  bool retransmit_dropped_control = true;
+
+  // --- Runtime fault injection & self-healing (all off by default) ---
+  // Scripted link/node fail+restore events applied while the sim runs.
+  FaultScript faults;
+  // Keepalive probe period per directed link; 0 disables keepalives and
+  // with them failure *detection* (scripted faults then blackhole silently,
+  // which only reliable-mode retransmission can survive).
+  TimeNs keepalive_interval = 0;
+  // A cable is declared dead when nothing was heard on it for this long
+  // (default when 0: 4 * keepalive_interval). Must span several keepalive
+  // periods so corruption of individual probes does not trip it.
+  TimeNs failure_timeout = 0;
+  // Detection -> rebuild debounce, coalescing near-simultaneous detections
+  // into one context rebuild.
+  TimeNs rebuild_delay = 20 * kNsPerUs;
+  // Lease refresh period: every sender re-advertises its live flows this
+  // often (demand-update broadcasts doubling as lease refreshes). 0
+  // disables the lease protocol.
+  TimeNs lease_interval = 0;
+  // Entries not refreshed for this long are garbage-collected from the
+  // global view (default when 0: 4 * lease_interval).
+  TimeNs lease_ttl = 0;
   std::uint64_t seed = 7;
 };
 
@@ -78,6 +115,11 @@ class R2c2Sim {
   std::uint64_t recomputations() const { return recomputations_; }
   // Reliability-extension retransmissions across all flows.
   std::uint64_t retransmissions() const { return retransmissions_; }
+  // Self-healing introspection: mid-run context rebuilds so far, and the
+  // ground-truth + detected state of a directed link.
+  std::uint64_t context_rebuilds() const { return context_rebuilds_; }
+  bool link_detected_down(LinkId link) const { return cable_down_[link] != 0; }
+  const FlowTable& global_view() const { return global_view_; }
 
  private:
   struct SenderFlow {
@@ -107,6 +149,7 @@ class R2c2Sim {
   struct PendingBroadcast {
     BroadcastMsg msg;
     std::uint32_t remaining = 0;  // copies still in flight
+    bool recovery = false;        // post-failure re-announcement
   };
 
   void start_flow(const FlowArrival& arrival);
@@ -117,7 +160,7 @@ class R2c2Sim {
   void deliver(NodeId at, SimPacket&& pkt);
   void on_broadcast_copy(NodeId at, SimPacket&& pkt);
   void apply_global(const BroadcastMsg& msg);
-  void broadcast(const BroadcastMsg& msg, NodeId origin);
+  void broadcast(const BroadcastMsg& msg, NodeId origin, bool recovery = false);
   void schedule_emit(FlowId id);
   void emit_packet(FlowId id);
   void set_rate(SenderFlow& flow, double rate_bps, TimeNs now);
@@ -126,13 +169,49 @@ class R2c2Sim {
   void schedule_recompute_tick();
   void add_denom(const FlowSpec& spec, double sign);
 
-  const Topology& topo_;
-  const Router& router_;
+  // --- Failure detection & recovery ---
+  // Decision-plane structures currently in force: the pristine ones until a
+  // failure is detected, the rebuilt degraded ones afterwards. The wire
+  // substrate (ports, link ids, route encoding) always stays the full
+  // topology — the degraded copy only informs decisions, so its paths and
+  // trees translate 1:1 onto surviving physical links.
+  const Topology& cur_topo() const { return cur_topo_ ? *cur_topo_ : topo_; }
+  const Router& cur_router() const { return cur_router_ ? *cur_router_ : router_; }
+  const BroadcastTrees& cur_trees() const { return cur_trees_ ? *cur_trees_ : trees_; }
+  LinkId reverse_link(LinkId link) const;
+  LinkId cable_of(LinkId link) const;  // canonical id: min of both directions
+  void start_fault_ticks();
+  void keepalive_tick();
+  void detection_tick();
+  void lease_tick();
+  void gc_tick();
+  void on_keepalive(SimPacket&& pkt);
+  void note_detection(LinkId directed, bool failure);
+  void schedule_rebuild();
+  void rebuild_context();
+  void rebuild_link_denom();
+  // Keepalive/detection/lease ticks keep running while there is traffic to
+  // protect OR the fault script still has consequences to observe — a
+  // restore (or late failure) landing on an idle rack must still be
+  // detected so the context heals before the next flow arrives. The
+  // horizon is bounded: last scripted event plus one detection window.
+  bool fault_ticks_needed() const {
+    return unfinished_ > 0 || !senders_.empty() || engine_.now() <= fault_horizon_;
+  }
+
+  const Topology& topo_;    // full wire substrate
+  const Router& router_;    // pristine decision plane
   R2c2SimConfig config_;
   Engine engine_;
   Network net_;
-  BroadcastTrees trees_;
+  BroadcastTrees trees_;    // pristine broadcast trees
   Rng rng_;
+
+  // Rebuilt decision plane after detected failures (null while healthy).
+  std::unique_ptr<Topology> cur_topo_;
+  std::unique_ptr<Router> cur_router_;
+  std::unique_ptr<BroadcastTrees> cur_trees_;
+  std::optional<FaultInjector> injector_;
 
   FlowTable global_view_;  // flows whose start broadcast fully propagated
   // Rate-computation state reused across recomputations: the CSR problem
@@ -155,7 +234,30 @@ class R2c2Sim {
   std::uint64_t recomputations_ = 0;
   std::uint64_t retransmissions_ = 0;
   std::size_t unfinished_ = 0;
+  TimeNs fault_horizon_ = -1;  // last scripted fault event + margin
   bool tick_scheduled_ = false;
+
+  // Failure-detection state (receiver-side, per directed link).
+  std::vector<TimeNs> last_heard_;
+  std::vector<char> cable_down_;  // detection verdict; both directions move together
+  std::size_t cables_down_ = 0;
+  bool keepalive_tick_scheduled_ = false;
+  bool detection_tick_scheduled_ = false;
+  bool lease_tick_scheduled_ = false;
+  bool gc_tick_scheduled_ = false;
+  bool rebuild_scheduled_ = false;
+  // Ground-truth injection times per cable, for recovery latency metrics.
+  std::unordered_map<LinkId, TimeNs> injected_fail_at_;
+  std::unordered_map<LinkId, TimeNs> injected_restore_at_;
+  std::vector<RecoveryRecord> recoveries_;
+  std::vector<std::size_t> open_recoveries_;  // indices awaiting rebuild/reconvergence
+  std::uint32_t rebroadcast_outstanding_ = 0;
+  std::uint64_t failures_detected_ = 0;
+  std::uint64_t restores_detected_ = 0;
+  std::uint64_t context_rebuilds_ = 0;
+  std::uint64_t flows_rebroadcast_ = 0;
+  std::uint64_t lease_refreshes_ = 0;
+  std::vector<FlowSpec> gc_scratch_;
 };
 
 }  // namespace r2c2::sim

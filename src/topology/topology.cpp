@@ -27,8 +27,21 @@ void Topology::add_duplex_link(NodeId a, NodeId b, Bps bandwidth, TimeNs latency
   add_link(b, a, bandwidth, latency);
 }
 
-void Topology::finalize() {
+void Topology::finalize() { finalize(std::span<const NodeId>{}); }
+
+void Topology::finalize(std::span<const NodeId> failed_nodes) {
   if (finalized_) return;
+  failed_nodes_.assign(failed_nodes.begin(), failed_nodes.end());
+  std::vector<char> dead(num_nodes_, 0);
+  for (const NodeId n : failed_nodes_) {
+    if (n >= num_nodes_) throw std::out_of_range("failed node out of range");
+    dead[n] = 1;
+  }
+  for (const Link& l : links_) {
+    if (dead[l.from] || dead[l.to]) {
+      throw std::logic_error("failed node still has incident links");
+    }
+  }
   // Build CSR adjacency in insertion (port) order.
   adj_offset_.assign(num_nodes_ + 1, 0);
   for (const Link& l : links_) ++adj_offset_[l.from + 1];
@@ -71,12 +84,18 @@ void Topology::finalize() {
       }
     }
   }
-  // Diameter and mean shortest-path length over reachable ordered pairs.
+  // Diameter and mean shortest-path length over reachable ordered pairs
+  // of live nodes; pairs involving a failed node are expected-unreachable.
   std::uint64_t sum = 0, pairs = 0;
   int diam = 0;
   for (std::size_t i = 0; i < dist_.size(); ++i) {
     const std::uint16_t d = dist_[i];
-    if (d == kUnreach) throw std::logic_error("topology is not strongly connected");
+    if (d == kUnreach) {
+      const NodeId from = static_cast<NodeId>(i / num_nodes_);
+      const NodeId to = static_cast<NodeId>(i % num_nodes_);
+      if (dead[from] || dead[to]) continue;
+      throw std::logic_error("topology is not strongly connected");
+    }
     if (d > 0) {
       sum += d;
       ++pairs;
@@ -261,6 +280,11 @@ Topology make_folded_clos(const ClosSpec& spec) {
 }
 
 Topology make_degraded(const Topology& topo, std::span<const LinkId> failed_links) {
+  return make_degraded(topo, failed_links, std::span<const NodeId>{});
+}
+
+Topology make_degraded(const Topology& topo, std::span<const LinkId> failed_links,
+                       std::span<const NodeId> failed_nodes) {
   if (!topo.finalized()) throw std::logic_error("topology must be finalized");
   // Collect the failed cables as unordered node pairs (both directions go).
   std::vector<std::pair<NodeId, NodeId>> failed;
@@ -273,17 +297,32 @@ Topology make_degraded(const Topology& topo, std::span<const LinkId> failed_link
     const auto key = std::make_pair(std::min(a, b), std::max(a, b));
     return std::find(failed.begin(), failed.end(), key) != failed.end();
   };
+  std::vector<char> dead(topo.num_nodes(), 0);
+  for (const NodeId n : failed_nodes) {
+    if (n >= topo.num_nodes()) throw std::out_of_range("failed node out of range");
+    dead[n] = 1;
+  }
 
   Topology degraded;
   for (NodeId n = 0; n < topo.num_nodes(); ++n) degraded.add_node();
   for (LinkId id = 0; id < topo.num_links(); ++id) {
     const Link& l = topo.link(id);
+    if (dead[l.from] || dead[l.to]) continue;
     if (is_failed(l.from, l.to)) continue;
     degraded.add_link(l.from, l.to, l.bandwidth, l.latency);
   }
-  degraded.set_name(topo.name() + " (degraded, -" + std::to_string(failed.size()) + " cables)");
-  degraded.finalize();  // throws if disconnected
+  std::ostringstream name;
+  name << topo.name() << " (degraded";
+  if (!failed.empty()) name << ", -" << failed.size() << " cables";
+  if (!failed_nodes.empty()) name << ", -" << failed_nodes.size() << " nodes";
+  name << ')';
+  degraded.set_name(name.str());
+  degraded.finalize(failed_nodes);  // throws if the survivors are disconnected
   return degraded;
+}
+
+Topology fail_node(const Topology& topo, NodeId node) {
+  return make_degraded(topo, std::span<const LinkId>{}, std::span<const NodeId>(&node, 1));
 }
 
 LinkId random_link(const Topology& topo, Rng& rng) {

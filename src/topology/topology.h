@@ -7,6 +7,7 @@
 // static, Section 3.3, so eager all-pairs BFS is cheap and done once).
 #pragma once
 
+#include <algorithm>
 #include <cassert>
 #include <cstdint>
 #include <optional>
@@ -40,6 +41,11 @@ class Topology {
   // Builds adjacency indices and all-pairs distances. Must be called once
   // after all links are added; accessors below require it.
   void finalize();
+  // Variant for degraded topologies with failed nodes: the listed nodes are
+  // allowed (required, in fact) to be link-less and unreachable; all other
+  // pairs must remain strongly connected or finalize throws. Distances to
+  // or from a failed node read as unreachable (0xffff).
+  void finalize(std::span<const NodeId> failed_nodes);
 
   // --- Size ---
   std::size_t num_nodes() const { return num_nodes_; }
@@ -70,6 +76,11 @@ class Topology {
   }
   int diameter() const { return diameter_; }
   double mean_shortest_path_hops() const { return mean_dist_; }
+  // Nodes declared failed at finalize time (empty for healthy topologies).
+  std::span<const NodeId> failed_nodes() const { return failed_nodes_; }
+  bool node_failed(NodeId n) const {
+    return std::find(failed_nodes_.begin(), failed_nodes_.end(), n) != failed_nodes_.end();
+  }
   // Neighbors of `at` that lie on some shortest path toward `to`
   // (dist(next, to) == dist(at, to) - 1). Empty if at == to.
   void min_next_hops(NodeId at, NodeId to, std::vector<NodeId>& out) const;
@@ -106,6 +117,7 @@ class Topology {
   double mean_dist_ = 0.0;
   int max_degree_ = 0;
   bool finalized_ = false;
+  std::vector<NodeId> failed_nodes_;
   std::optional<GridMeta> grid_;
   std::string name_ = "custom";
 };
@@ -143,6 +155,18 @@ Topology make_folded_clos(const ClosSpec& spec);
 // rebuilt on the result route around the failure. Throws if the removal
 // disconnects the rack.
 Topology make_degraded(const Topology& topo, std::span<const LinkId> failed_links);
+
+// Generalized degradation: removes the listed cables plus every link
+// incident to a failed node. Failed nodes remain in the graph (ids are
+// preserved) but are isolated; the surviving nodes must stay strongly
+// connected or this throws std::logic_error.
+Topology make_degraded(const Topology& topo, std::span<const LinkId> failed_links,
+                       std::span<const NodeId> failed_nodes);
+
+// A whole micro-server dies: all of its incident links fail at once
+// (Section 3.2 treats node failure exactly this way). Throws if the
+// remaining nodes are disconnected by the removal.
+Topology fail_node(const Topology& topo, NodeId node);
 
 // The cable between two nodes picked uniformly at random; convenience for
 // failure-injection tests and benches.

@@ -73,13 +73,122 @@ TEST(FlowTable, DemandUpdateChangesDemand) {
   EXPECT_TRUE(std::isinf(table.find(1, 0)->demand));
 }
 
-TEST(FlowTable, DemandUpdateForUnknownFlowIgnored) {
+TEST(FlowTable, DemandUpdateForUnknownFlowResurrectsEntry) {
+  // Demand updates double as lease refreshes: a refresh for a flow whose
+  // start broadcast was lost (corruption, failed link) re-inserts the
+  // entry instead of being dropped, so views self-heal.
   FlowTable table;
   BroadcastMsg upd = start_msg(4, 2, 0);
   upd.type = PacketType::kDemandUpdate;
   upd.demand_kbps = 5;
-  table.apply(upd);
-  EXPECT_TRUE(table.empty());
+  table.apply(upd, /*now=*/100);
+  ASSERT_EQ(table.size(), 1u);
+  const auto spec = table.find(4, 0);
+  ASSERT_TRUE(spec.has_value());
+  EXPECT_EQ(spec->src, 4);
+  EXPECT_EQ(spec->dst, 2);
+  EXPECT_NEAR(spec->demand, 5 * kKbps, 1.0);
+  EXPECT_EQ(table.lease_of(4, 0), 100);
+}
+
+TEST(FlowTable, ResurrectedEntryMatchesDirectInsertHash) {
+  // A view that learned the flow via a late refresh must agree (view_hash)
+  // with one that saw the original start, or reconvergence checks would
+  // flag healed views as divergent forever.
+  FlowTable via_start, via_refresh;
+  BroadcastMsg start = start_msg(4, 2, 0);
+  start.demand_kbps = 5;
+  via_start.apply(start);
+  BroadcastMsg upd = start;
+  upd.type = PacketType::kDemandUpdate;
+  via_refresh.apply(upd, /*now=*/777);  // lease stamps must not affect the hash
+  EXPECT_EQ(via_start.view_hash(), via_refresh.view_hash());
+}
+
+TEST(FlowTable, RefreshUpdatesLeaseWithoutBumpingVersion) {
+  FlowTable table;
+  table.apply(start_msg(1, 2, 0), /*now=*/10);
+  const auto version = table.version();
+  const auto hash = table.view_hash();
+  BroadcastMsg upd = start_msg(1, 2, 0);
+  upd.type = PacketType::kDemandUpdate;
+  upd.demand_kbps = 0;  // identical spec: a pure refresh
+  table.apply(upd, /*now=*/500);
+  EXPECT_EQ(table.lease_of(1, 0), 500);
+  EXPECT_EQ(table.version(), version) << "pure refresh must not invalidate cached problems";
+  EXPECT_EQ(table.view_hash(), hash);
+}
+
+TEST(FlowTable, LeaseNeverMovesBackwards) {
+  FlowTable table;
+  table.apply(start_msg(1, 2, 0), /*now=*/900);
+  BroadcastMsg upd = start_msg(1, 2, 0);
+  upd.type = PacketType::kDemandUpdate;
+  table.apply(upd, /*now=*/400);  // reordered refresh from the past
+  EXPECT_EQ(table.lease_of(1, 0), 900);
+}
+
+TEST(FlowTable, ExpireStaleCollectsOnlyExpiredAndNonImmune) {
+  FlowTable table;
+  table.apply(start_msg(1, 2, 0), /*now=*/0);    // stale ghost
+  table.apply(start_msg(3, 4, 1), /*now=*/950);  // fresh
+  table.apply(start_msg(5, 6, 2), /*now=*/0);    // stale but src-immune
+  std::vector<FlowSpec> removed;
+  const std::size_t n = table.expire_stale(/*now=*/1000, /*ttl=*/500, /*immune_src=*/5, &removed);
+  EXPECT_EQ(n, 1u);
+  ASSERT_EQ(removed.size(), 1u);
+  EXPECT_EQ(removed[0].src, 1);
+  EXPECT_FALSE(table.find(1, 0).has_value());
+  EXPECT_TRUE(table.find(3, 1).has_value());
+  EXPECT_TRUE(table.find(5, 2).has_value());
+  EXPECT_EQ(table.ghosts_expired(), 1u);
+}
+
+TEST(FlowTable, ExpireRestoresEmptyViewHash) {
+  FlowTable a;
+  const std::uint64_t empty_hash = a.view_hash();
+  a.apply(start_msg(1, 2, 0), /*now=*/0);
+  a.expire_stale(/*now=*/1000, /*ttl=*/10);
+  EXPECT_TRUE(a.empty());
+  EXPECT_EQ(a.view_hash(), empty_hash);
+}
+
+TEST(FlowTable, FseqWraparoundReusesKeysWithoutCollision) {
+  // Cycle far more than 256 flows through one (src, dst) pair — the wire
+  // fseq is 8 bits, so keys are reused mod 256. Start/finish in lockstep
+  // must never leave stale entries behind or collide on a reused key.
+  FlowTable table;
+  const std::uint64_t empty_hash = table.view_hash();
+  for (int cycle = 0; cycle < 700; ++cycle) {
+    const auto fseq = static_cast<std::uint8_t>(cycle & 0xff);
+    table.apply(start_msg(7, 9, fseq), /*now=*/cycle);
+    ASSERT_EQ(table.size(), 1u) << "cycle " << cycle;
+    const auto spec = table.find(7, fseq);
+    ASSERT_TRUE(spec.has_value());
+    EXPECT_EQ(spec->id, (7u << 16) | fseq);
+    BroadcastMsg fin = start_msg(7, 9, fseq);
+    fin.type = PacketType::kFlowFinish;
+    table.apply(fin);
+    ASSERT_TRUE(table.empty()) << "cycle " << cycle;
+  }
+  EXPECT_EQ(table.view_hash(), empty_hash);
+}
+
+TEST(FlowTable, GhostOnReusedFseqIsReplacedByNewStart) {
+  // A lost finish leaves a ghost on (src, fseq); when the fseq wraps around
+  // and is reused by a *new* flow, the fresh start must overwrite the ghost
+  // (same key, new dst) rather than duplicate or keep stale fields.
+  FlowTable table;
+  table.apply(start_msg(7, 9, 42), /*now=*/0);  // ghost: finish never arrives
+  table.apply(start_msg(7, 11, 42), /*now=*/900);
+  EXPECT_EQ(table.size(), 1u);
+  const auto spec = table.find(7, 42);
+  ASSERT_TRUE(spec.has_value());
+  EXPECT_EQ(spec->dst, 11);
+  EXPECT_EQ(table.lease_of(7, 42), 900);
+  // And the replacement refreshed the lease, so GC keeps the live flow.
+  table.expire_stale(/*now=*/1000, /*ttl=*/500);
+  EXPECT_TRUE(table.find(7, 42).has_value());
 }
 
 TEST(FlowTable, RouteUpdateChangesProtocol) {

@@ -49,6 +49,84 @@ TEST(Degraded, DisconnectionIsRejected) {
   EXPECT_THROW(make_degraded(topo, cut), std::logic_error);
 }
 
+TEST(FailNode, RemovesAllIncidentLinksOnTorus) {
+  const Topology topo = make_torus({4, 4}, 10 * kGbps, 100);
+  const NodeId victim = 5;
+  const std::size_t degree = topo.out_links(victim).size();
+  const Topology degraded = fail_node(topo, victim);
+  // Every incident cable vanishes in both directions.
+  EXPECT_EQ(degraded.num_links(), topo.num_links() - 2 * degree);
+  EXPECT_TRUE(degraded.out_links(victim).empty());
+  EXPECT_TRUE(degraded.node_failed(victim));
+  ASSERT_EQ(degraded.failed_nodes().size(), 1u);
+  EXPECT_EQ(degraded.failed_nodes()[0], victim);
+  // Node numbering is preserved: survivors keep their ids, and routing
+  // among them still works everywhere.
+  EXPECT_EQ(degraded.num_nodes(), topo.num_nodes());
+  for (NodeId a = 0; a < degraded.num_nodes(); ++a) {
+    for (NodeId b = 0; b < degraded.num_nodes(); ++b) {
+      if (a == victim || b == victim || a == b) continue;
+      EXPECT_LT(degraded.distance(a, b), 0xffff) << a << "->" << b;
+    }
+  }
+}
+
+TEST(FailNode, SurvivorsRouteAroundFailedTorusNode) {
+  const Topology topo = make_torus({4, 4, 4}, 10 * kGbps, 100);
+  const Topology degraded = fail_node(topo, 21);
+  const Router router(degraded);
+  Rng rng(5);
+  for (int i = 0; i < 100; ++i) {
+    NodeId s, d;
+    do {
+      s = static_cast<NodeId>(rng.uniform_int(64));
+    } while (s == 21);
+    do {
+      d = static_cast<NodeId>(rng.uniform_int(64));
+    } while (d == s || d == 21);
+    const Path p = router.pick_path(RouteAlg::kRps, s, d, rng);
+    EXPECT_EQ(p.back(), d);
+    for (const NodeId hop : p) EXPECT_NE(hop, 21);
+  }
+}
+
+TEST(FailNode, WorksOnMeshBoundaryNode) {
+  // A corner of a 2D mesh can fail without disconnecting anyone else.
+  const Topology topo = make_mesh({3, 3}, 10 * kGbps, 100);
+  const Topology degraded = fail_node(topo, 0);
+  EXPECT_TRUE(degraded.node_failed(0));
+  for (NodeId a = 1; a < degraded.num_nodes(); ++a) {
+    for (NodeId b = 1; b < degraded.num_nodes(); ++b) {
+      EXPECT_LT(degraded.distance(a, b), 0xffff);
+    }
+  }
+}
+
+TEST(FailNode, DisconnectingNodeFailureIsRejected) {
+  // The interior node of a 1D mesh (a line) is a cut vertex: failing it
+  // splits the survivors, which the rebuild must refuse.
+  const Topology line = make_mesh({3}, kGbps, 100);
+  EXPECT_THROW(fail_node(line, 1), std::logic_error);
+  // Same for the articulation point of a 3x1x... style narrow mesh.
+  const Topology strip = make_mesh({5}, kGbps, 100);
+  EXPECT_THROW(fail_node(strip, 2), std::logic_error);
+  // But a ring (1D torus) tolerates any single node failure.
+  const Topology ring = make_torus({5}, kGbps, 100);
+  EXPECT_NO_THROW(fail_node(ring, 2));
+}
+
+TEST(FailNode, CombinedLinkAndNodeFailures) {
+  const Topology topo = make_torus({4, 4}, 10 * kGbps, 100);
+  const std::vector<LinkId> cut{topo.find_link(0, 1)};
+  const std::vector<NodeId> dead{static_cast<NodeId>(10)};
+  const Topology degraded = make_degraded(topo, cut, dead);
+  EXPECT_EQ(degraded.find_link(0, 1), kInvalidLink);
+  EXPECT_EQ(degraded.find_link(1, 0), kInvalidLink);
+  EXPECT_TRUE(degraded.out_links(10).empty());
+  EXPECT_TRUE(degraded.node_failed(10));
+  EXPECT_FALSE(degraded.node_failed(0));
+}
+
 TEST(Degraded, RoutingFallsBackAndStaysValid) {
   const Topology topo = make_torus({4, 4}, 10 * kGbps, 100);
   std::vector<LinkId> failed{topo.find_link(0, 1), topo.find_link(5, 6)};

@@ -23,7 +23,11 @@
 #include <string>
 #include <vector>
 
+#include <chrono>
+
 #include "bench_common.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "sim/fault.h"
 
 namespace r2c2::bench {
@@ -108,6 +112,57 @@ CaseResult run_case(const RackCase& rc, int runs) {
   return res;
 }
 
+struct TraceOverheadResult {
+  int runs = 0;
+  double off_us = 0, on_us = 0;
+  std::uint64_t events = 0;
+  double overhead_pct() const { return off_us > 0 ? (on_us / off_us - 1.0) * 100.0 : 0.0; }
+};
+
+// Wall-clock cost of leaving the flight recorder + metrics registry
+// attached through an entire fault-recovery run (the instrumentation-heavy
+// path: keepalives, detection, rebuild spans, re-broadcasts).
+TraceOverheadResult run_trace_overhead(int runs) {
+  using Clock = std::chrono::steady_clock;
+  const Topology topo = make_torus({4, 4, 4}, 10 * kGbps, 100);
+  const Router router(topo);
+  const std::size_t flows = std::max<std::size_t>(30, scaled(150));
+
+  TraceOverheadResult res;
+  res.runs = runs;
+  std::vector<double> off_us, on_us;
+  obs::FlightRecorder recorder(1 << 16);
+  for (int r = 0; r < runs; ++r) {
+    const std::uint64_t seed = 2000 + static_cast<std::uint64_t>(r);
+    const auto workload = paper_workload(topo, flows, 5 * kNsPerUs, seed);
+    Rng pick(seed * 3 + 1);
+    const LinkId victim = random_link(topo, pick);
+    sim::R2c2SimConfig cfg = recovery_config();
+    cfg.faults.events.push_back(sim::FaultScript::fail_link(150 * kNsPerUs, victim));
+    {
+      const auto t0 = Clock::now();
+      (void)run_r2c2(topo, router, workload, cfg);
+      off_us.push_back(std::chrono::duration<double, std::micro>(Clock::now() - t0).count());
+    }
+    {
+      recorder.clear();
+      obs::MetricsRegistry registry;
+      sim::R2c2SimConfig traced = cfg;
+      traced.trace = &recorder;
+      traced.metrics = &registry;
+      const auto t0 = Clock::now();
+      (void)run_r2c2(topo, router, workload, traced);
+      on_us.push_back(std::chrono::duration<double, std::micro>(Clock::now() - t0).count());
+    }
+    res.events = recorder.total_recorded();
+  }
+  std::sort(off_us.begin(), off_us.end());
+  std::sort(on_us.begin(), on_us.end());
+  res.off_us = off_us[off_us.size() / 2];
+  res.on_us = on_us[on_us.size() / 2];
+  return res;
+}
+
 int run() {
   const double scale = bench_scale();
   const int runs = std::max(3, static_cast<int>(std::lround(5 * scale)));
@@ -120,6 +175,7 @@ int run() {
 
   std::vector<CaseResult> cases;
   for (const RackCase& rc : racks) cases.push_back(run_case(rc, runs));
+  const TraceOverheadResult trace = run_trace_overhead(runs);
 
   std::printf("%-14s %6s %10s %11s %14s %13s %11s\n", "rack", "nodes", "detect_us", "rebuild_us",
               "reconverge_us", "fct_slowdown", "rebroadcast");
@@ -127,6 +183,10 @@ int run() {
     std::printf("%-14s %6d %10.1f %11.1f %14.1f %12.2fx %11.1f\n", c.name.c_str(), c.nodes,
                 c.detect_us, c.rebuild_us, c.reconverge_us, c.fct_slowdown, c.flows_rebroadcast);
   }
+  std::printf("tracing %s: recovery run %0.1f us plain, %0.1f us traced "
+              "(%+.2f%% overhead, %llu events)\n",
+              R2C2_TRACING_ENABLED ? "ON" : "OFF", trace.off_us, trace.on_us,
+              trace.overhead_pct(), static_cast<unsigned long long>(trace.events));
 
   const char* out_path = std::getenv("R2C2_BENCH_OUT");
   if (out_path == nullptr) out_path = "BENCH_recovery.json";
@@ -147,7 +207,12 @@ int run() {
                  c.name.c_str(), c.nodes, c.detect_us, c.rebuild_us, c.reconverge_us,
                  c.fct_slowdown, c.flows_rebroadcast, i + 1 < cases.size() ? "," : "");
   }
-  std::fprintf(f, "  ]\n}\n");
+  std::fprintf(f, "  ],\n");
+  std::fprintf(f,
+               "  \"tracing\": {\"compiled\": %s, \"runs\": %d, \"off_us\": %.1f, "
+               "\"on_us\": %.1f, \"overhead_pct\": %.2f, \"events\": %llu}\n}\n",
+               R2C2_TRACING_ENABLED ? "true" : "false", trace.runs, trace.off_us, trace.on_us,
+               trace.overhead_pct(), static_cast<unsigned long long>(trace.events));
   std::fclose(f);
   std::printf("wrote %s\n", out_path);
   return 0;

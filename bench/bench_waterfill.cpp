@@ -16,6 +16,9 @@
 #include "bench_common.h"
 #include "common/rng.h"
 #include "congestion/waterfill.h"
+#include "obs/metrics.h"
+#include "obs/scope.h"
+#include "obs/trace.h"
 #include "routing/routing.h"
 #include "topology/topology.h"
 
@@ -177,6 +180,47 @@ GaResult run_ga_case(const Topology& topo, const Router& router, int n_flows, in
   return res;
 }
 
+struct TraceOverheadResult {
+  int flows = 0;
+  double plain_us = 0, traced_us = 0;
+  double overhead_pct() const { return plain_us > 0 ? (traced_us / plain_us - 1.0) * 100.0 : 0.0; }
+};
+
+// The instrumented recompute path exactly as R2c2Sim runs it: a
+// R2C2_SCOPED_SPAN (histogram observe + Begin/End trace events) wrapping
+// the steady-state solve. Under -DR2C2_TRACING=OFF the span compiles away
+// and both loops must time identically.
+TraceOverheadResult run_trace_overhead(const Topology& topo, const Router& router, int n_flows,
+                                       int reps) {
+  Rng rng(0xb0b + static_cast<std::uint64_t>(n_flows));
+  const auto flows = bench_flows(topo, n_flows, 1, rng);
+  const AllocationConfig cfg{.headroom = 0.05};
+
+  WaterfillProblem problem;
+  WaterfillScratch scratch;
+  RateAllocation out;
+  problem.build(router, flows, cfg);
+  waterfill(problem, scratch, out);  // warm the scratch arena
+
+  TraceOverheadResult res;
+  res.flows = n_flows;
+  res.plain_us = time_us(reps, [&] {
+    waterfill(problem, scratch, out);
+    checksum += out.rate[0];
+  });
+
+  obs::FlightRecorder recorder(1 << 14);
+  obs::MetricsRegistry registry;
+  obs::Histogram& hist = registry.histogram("bench.recompute_wall_ns");
+  res.traced_us = time_us(reps, [&] {
+    R2C2_SCOPED_SPAN(span, &hist, &recorder, 0, 0, obs::EventType::kRateRecompute,
+                     static_cast<std::uint64_t>(n_flows));
+    waterfill(problem, scratch, out);
+    checksum += out.rate[0];
+  });
+  return res;
+}
+
 int run() {
   const double scale = bench_scale();
   const int reps = std::max(3, static_cast<int>(std::lround(21 * scale)));
@@ -193,6 +237,7 @@ int run() {
 
   const GaResult ga =
       run_ga_case(rack512(), router512(), 200, std::max(10, static_cast<int>(100 * scale)));
+  const TraceOverheadResult trace = run_trace_overhead(rack512(), router512(), 1000, reps);
 
   std::printf("%-14s %10s %14s %14s %9s %9s\n", "case", "ref_us", "fast_build_us",
               "fast_solve_us", "x(build)", "x(solve)");
@@ -203,6 +248,9 @@ int run() {
   std::printf("ga_fitness     %10.1f %14s %14.1f %9s %8.1fx   (%d flows, %d choices, %d evals)\n",
               ga.ref_us_per_eval, "-", ga.fast_us_per_eval, "-", ga.speedup(), ga.flows,
               ga.choices, ga.evals);
+  std::printf("tracing %s: solve %0.1f us plain, %0.1f us traced (%+.2f%% overhead, %d flows)\n",
+              R2C2_TRACING_ENABLED ? "ON" : "OFF", trace.plain_us, trace.traced_us,
+              trace.overhead_pct(), trace.flows);
 
   const char* out_path = std::getenv("R2C2_BENCH_OUT");
   if (out_path == nullptr) out_path = "BENCH_waterfill.json";
@@ -227,9 +275,14 @@ int run() {
   std::fprintf(f, "  ],\n");
   std::fprintf(f,
                "  \"ga_fitness\": {\"flows\": %d, \"choices\": %d, \"evals\": %d, "
-               "\"ref_us_per_eval\": %.2f, \"fast_us_per_eval\": %.2f, \"speedup\": %.2f}\n",
+               "\"ref_us_per_eval\": %.2f, \"fast_us_per_eval\": %.2f, \"speedup\": %.2f},\n",
                ga.flows, ga.choices, ga.evals, ga.ref_us_per_eval, ga.fast_us_per_eval,
                ga.speedup());
+  std::fprintf(f,
+               "  \"tracing\": {\"compiled\": %s, \"flows\": %d, \"plain_us\": %.2f, "
+               "\"traced_us\": %.2f, \"overhead_pct\": %.2f}\n",
+               R2C2_TRACING_ENABLED ? "true" : "false", trace.flows, trace.plain_us,
+               trace.traced_us, trace.overhead_pct());
   std::fprintf(f, "}\n");
   std::fclose(f);
   std::printf("wrote %s (checksum %g)\n", out_path, checksum);

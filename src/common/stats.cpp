@@ -2,14 +2,11 @@
 
 namespace r2c2 {
 
-double percentile(std::span<const double> values, double q) {
-  return percentile(std::vector<double>(values.begin(), values.end()), q);
-}
+namespace {
 
-double percentile(std::vector<double> values, double q) {
-  if (values.empty()) throw std::invalid_argument("percentile of empty set");
-  if (q < 0.0 || q > 100.0) throw std::invalid_argument("percentile q out of range");
-  std::sort(values.begin(), values.end());
+// Percentile of an already-sorted, non-empty sample (linear interpolation
+// between order statistics, numpy's default).
+double percentile_sorted(const std::vector<double>& values, double q) {
   if (values.size() == 1) return values.front();
   const double rank = q / 100.0 * static_cast<double>(values.size() - 1);
   const auto lo = static_cast<std::size_t>(rank);
@@ -18,16 +15,50 @@ double percentile(std::vector<double> values, double q) {
   return values[lo] * (1.0 - frac) + values[hi] * frac;
 }
 
+void check_percentile_args(bool empty, double q) {
+  if (empty) throw std::invalid_argument("percentile of empty set");
+  if (q < 0.0 || q > 100.0) throw std::invalid_argument("percentile q out of range");
+}
+
+}  // namespace
+
+double percentile(std::span<const double> values, double q) {
+  // Exactly one copy of the input: materialize the span into a sortable
+  // vector here (the old forwarding through the by-value overload paid a
+  // second copy for every call from contiguous storage).
+  check_percentile_args(values.empty(), q);
+  std::vector<double> sorted(values.begin(), values.end());
+  std::sort(sorted.begin(), sorted.end());
+  return percentile_sorted(sorted, q);
+}
+
+double percentile(std::vector<double> values, double q) {
+  check_percentile_args(values.empty(), q);
+  std::sort(values.begin(), values.end());
+  return percentile_sorted(values, q);
+}
+
 std::vector<CdfPoint> empirical_cdf(std::vector<double> values, std::size_t max_points) {
   std::vector<CdfPoint> cdf;
   if (values.empty()) return cdf;
   std::sort(values.begin(), values.end());
   const std::size_t n = values.size();
   const std::size_t stride = std::max<std::size_t>(1, n / std::max<std::size_t>(1, max_points));
-  for (std::size_t i = 0; i < n; i += stride) {
-    cdf.push_back({values[i], static_cast<double>(i + 1) / static_cast<double>(n)});
+  // Each emitted point carries the true P(X <= x): the rank of the *last*
+  // occurrence of x. Skipping to the end of a tie run before striding on
+  // keeps x strictly increasing (no duplicate abscissae) and cum_prob
+  // non-decreasing, which the old per-index emission violated when a
+  // stride > 1 landed inside a run of tied values.
+  std::size_t i = 0;
+  while (i < n) {
+    std::size_t last = i;
+    while (last + 1 < n && values[last + 1] == values[i]) ++last;
+    cdf.push_back({values[i], static_cast<double>(last + 1) / static_cast<double>(n)});
+    i = std::max(i + stride, last + 1);
   }
-  if (cdf.back().cum_prob < 1.0) {
+  // The maximum is always present with cum_prob exactly 1.0: either the
+  // loop's final point was the last tie run (rank n), or we add it here.
+  if (cdf.back().value != values.back()) {
     cdf.push_back({values.back(), 1.0});
   }
   return cdf;

@@ -13,10 +13,12 @@ namespace r2c2 {
 
 // Percentile with linear interpolation between order statistics
 // (the "exclusive" nearest-rank-interpolated definition used by numpy).
-// `q` is in [0, 100]. The input need not be sorted.
+// `q` is in [0, 100]. The input need not be sorted. Copies the sample
+// exactly once (into a local sortable buffer).
 double percentile(std::span<const double> values, double q);
 
-// Convenience overload that sorts a copy.
+// By-value overload: sorts its argument in place, so callers that can part
+// with their vector (std::move) pay no copy at all.
 double percentile(std::vector<double> values, double q);
 
 struct CdfPoint {
@@ -24,8 +26,11 @@ struct CdfPoint {
   double cum_prob = 0.0;  // P(X <= value)
 };
 
-// Empirical CDF, optionally downsampled to at most `max_points` points
-// (always keeping the first and last). Useful for plotting figure data.
+// Empirical CDF, optionally downsampled to roughly `max_points` points
+// (always keeping the first and last). Guarantees: values strictly
+// increasing (tied samples collapse into one point), cum_prob
+// non-decreasing with P(X <= x) semantics, and the final point is exactly
+// {max, 1.0}. Useful for plotting figure data.
 std::vector<CdfPoint> empirical_cdf(std::vector<double> values, std::size_t max_points = 200);
 
 // Welford running statistics: numerically stable mean and variance.

@@ -1,0 +1,88 @@
+// RAII profiling spans feeding the metrics registry and the flight
+// recorder.
+//
+// ScopedTimer measures *wall-clock* nanoseconds (the CPU cost of the
+// enclosed work — the quantity Fig. 8 cares about) and observes them into
+// a Histogram on destruction. Optionally it also brackets the work with
+// Begin/End trace events stamped with the caller-supplied *recording
+// clock* timestamp (simulation time), putting the span on the per-node
+// timeline; the measured wall ns ride along as the End event's arg0.
+//
+// Use through the R2C2_SCOPED_TIMER / R2C2_SCOPED_SPAN macros so the whole
+// thing compiles to nothing under -DR2C2_TRACING=OFF.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace r2c2::obs {
+
+class ScopedTimer {
+ public:
+  // Pure profiling: wall-clock duration into `hist` (null = disabled).
+  explicit ScopedTimer(Histogram* hist) : hist_(hist) {
+    if (hist_ != nullptr) start_ = Clock::now();
+  }
+
+  // Profiling + tracing: additionally records a Begin now and an End at
+  // destruction, both stamped `sim_ts` (a span of simulated zero width
+  // whose wall cost is in the End's arg0).
+  ScopedTimer(Histogram* hist, FlightRecorder* rec, TimeNs sim_ts, NodeId node, EventType type,
+              std::uint64_t arg0 = 0)
+      : hist_(hist), rec_(rec), sim_ts_(sim_ts), node_(node), type_(type) {
+    if (hist_ != nullptr || rec_ != nullptr) start_ = Clock::now();
+    if (rec_ != nullptr) rec_->record(sim_ts_, node_, type_, EventPhase::kBegin, arg0, 0);
+  }
+
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+  ~ScopedTimer() {
+    if (hist_ == nullptr && rec_ == nullptr) return;
+    const auto wall_ns = static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() - start_).count());
+    if (hist_ != nullptr) hist_->observe(static_cast<double>(wall_ns));
+    if (rec_ != nullptr) rec_->record(sim_ts_, node_, type_, EventPhase::kEnd, wall_ns, 0);
+  }
+
+  // Lets the span's end timestamp follow the recording clock when the
+  // enclosed work advances it (defaults to the construction timestamp).
+  void set_end_ts(TimeNs sim_ts) { sim_ts_ = sim_ts; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+
+  Histogram* hist_ = nullptr;
+  FlightRecorder* rec_ = nullptr;
+  Clock::time_point start_{};
+  TimeNs sim_ts_ = 0;
+  NodeId node_ = 0;
+  EventType type_ = EventType::kRateRecompute;
+};
+
+}  // namespace r2c2::obs
+
+#if R2C2_TRACING_ENABLED
+
+// Wall-clock histogram only.
+#define R2C2_SCOPED_TIMER(var, hist) ::r2c2::obs::ScopedTimer var(hist)
+// Histogram + Begin/End trace span on node `node` at sim time `ts`.
+#define R2C2_SCOPED_SPAN(var, hist, rec, ts, node, type, a0) \
+  ::r2c2::obs::ScopedTimer var((hist), (rec), (ts), (node), (type), (a0))
+
+#else
+
+#define R2C2_SCOPED_TIMER(var, hist) \
+  do {                               \
+    (void)sizeof((hist));            \
+  } while (0)
+#define R2C2_SCOPED_SPAN(var, hist, rec, ts, node, type, a0) \
+  do {                                                       \
+    (void)sizeof((hist));                                    \
+    (void)sizeof((rec));                                     \
+  } while (0)
+
+#endif  // R2C2_TRACING_ENABLED

@@ -1,0 +1,132 @@
+#include "obs/trace.h"
+
+#include <cstdio>
+#include <sstream>
+#include <unordered_map>
+#include <vector>
+
+#include "obs/trace_export.h"
+
+namespace r2c2::obs {
+
+const char* event_name(EventType type) {
+  switch (type) {
+    case EventType::kFlowStart: return "flow_start";
+    case EventType::kFlowFinish: return "flow_finish";
+    case EventType::kBroadcastSend: return "broadcast_send";
+    case EventType::kBroadcastDeliver: return "broadcast_deliver";
+    case EventType::kRateRecompute: return "rate_recompute";
+    case EventType::kGaEpoch: return "ga_epoch";
+    case EventType::kFaultInject: return "fault_inject";
+    case EventType::kFaultDetect: return "fault_detect";
+    case EventType::kFaultRebuild: return "fault_rebuild";
+    case EventType::kFaultReconverge: return "fault_reconverge";
+    case EventType::kPacketDrop: return "packet_drop";
+    case EventType::kPacketCorrupt: return "packet_corrupt";
+    case EventType::kStackTick: return "stack_tick";
+    case EventType::kLeaseRefresh: return "lease_refresh";
+    case EventType::kGhostExpired: return "ghost_expired";
+    case EventType::kCount: break;
+  }
+  return "unknown";
+}
+
+const char* event_category(EventType type) {
+  switch (type) {
+    case EventType::kFlowStart:
+    case EventType::kFlowFinish:
+      return "flow";
+    case EventType::kBroadcastSend:
+    case EventType::kBroadcastDeliver:
+      return "broadcast";
+    case EventType::kRateRecompute:
+    case EventType::kGaEpoch:
+      return "rate";
+    case EventType::kFaultInject:
+    case EventType::kFaultDetect:
+    case EventType::kFaultRebuild:
+    case EventType::kFaultReconverge:
+      return "fault";
+    case EventType::kPacketDrop:
+    case EventType::kPacketCorrupt:
+      return "net";
+    case EventType::kStackTick:
+    case EventType::kLeaseRefresh:
+    case EventType::kGhostExpired:
+      return "stack";
+    case EventType::kCount:
+      break;
+  }
+  return "other";
+}
+
+namespace {
+
+void append_event(std::ostringstream& os, bool& first, const char* name, const char* cat,
+                  char ph, TimeNs ts, NodeId node, std::uint64_t a0, std::uint64_t a1) {
+  os << (first ? "\n" : ",\n");
+  first = false;
+  os << "    {\"name\": \"" << name << "\", \"cat\": \"" << cat << "\", \"ph\": \"" << ph
+     << "\", \"ts\": " << static_cast<double>(ts) / 1e3 << ", \"pid\": 0, \"tid\": " << node;
+  if (ph == 'i') os << ", \"s\": \"t\"";
+  os << ", \"args\": {\"a0\": " << a0 << ", \"a1\": " << a1 << "}}";
+}
+
+}  // namespace
+
+std::string to_chrome_trace_json(const FlightRecorder& recorder) {
+  std::ostringstream os;
+  os.precision(15);
+  os << "{\n  \"displayTimeUnit\": \"ns\",\n  \"traceEvents\": [";
+  bool first = true;
+
+  // Per-node stack of open Begins so the output is always balanced: an End
+  // with an empty stack lost its Begin to wraparound and is dropped; Begins
+  // still open after the last event are closed at the final timestamp.
+  std::unordered_map<NodeId, std::vector<const TraceEvent*>> open;
+  TimeNs last_ts = 0;
+  recorder.for_each([&](const TraceEvent& e) {
+    last_ts = e.ts;
+    switch (e.phase) {
+      case EventPhase::kInstant:
+        append_event(os, first, event_name(e.type), event_category(e.type), 'i', e.ts, e.node,
+                     e.arg0, e.arg1);
+        break;
+      case EventPhase::kBegin:
+        open[e.node].push_back(&e);
+        append_event(os, first, event_name(e.type), event_category(e.type), 'B', e.ts, e.node,
+                     e.arg0, e.arg1);
+        break;
+      case EventPhase::kEnd: {
+        auto& stack = open[e.node];
+        if (stack.empty()) break;  // orphaned by ring overwrite: drop
+        stack.pop_back();
+        append_event(os, first, event_name(e.type), event_category(e.type), 'E', e.ts, e.node,
+                     e.arg0, e.arg1);
+        break;
+      }
+    }
+  });
+  for (auto& [node, stack] : open) {
+    while (!stack.empty()) {
+      const TraceEvent* b = stack.back();
+      stack.pop_back();
+      append_event(os, first, event_name(b->type), event_category(b->type), 'E', last_ts, node, 0,
+                   0);
+    }
+  }
+
+  os << (first ? "" : "\n  ") << "],\n  \"otherData\": {\"events_retained\": " << recorder.size()
+     << ", \"events_overwritten\": " << recorder.overwritten() << "}\n}\n";
+  return os.str();
+}
+
+bool write_chrome_trace(const FlightRecorder& recorder, const std::string& path) {
+  FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  const std::string json = to_chrome_trace_json(recorder);
+  const bool ok = std::fwrite(json.data(), 1, json.size(), f) == json.size();
+  return std::fclose(f) == 0 && ok;
+}
+
+}  // namespace r2c2::obs

@@ -1,0 +1,32 @@
+// Post-run exporter: FlightRecorder ring -> Chrome trace-event JSON.
+//
+// The output is the "JSON Array Format" object variant understood by
+// chrome://tracing and https://ui.perfetto.dev: an object with a
+// "traceEvents" array where every event carries name/cat/ph/ts/pid/tid.
+// Timestamps are microseconds (double) of the recording clock; each rack
+// node becomes one "thread" (tid = node id) inside a single process
+// (pid 0), so the per-node timelines stack vertically in the UI.
+//
+// Span sanitation: ring wraparound can orphan an End (its Begin was
+// overwritten) or truncate a Begin (the run stopped inside the span). The
+// exporter drops orphaned Ends and closes dangling Begins at the last
+// retained timestamp, so the emitted JSON always has balanced B/E pairs
+// per tid — a guarantee the schema test (tests/trace_schema_test.cpp)
+// checks.
+#pragma once
+
+#include <string>
+
+#include "obs/trace.h"
+
+namespace r2c2::obs {
+
+// Serializes the retained events. Never throws; an empty recorder yields a
+// valid trace with an empty traceEvents array. The recorder's overwritten()
+// count is included as metadata ("otherData") so truncation is visible.
+std::string to_chrome_trace_json(const FlightRecorder& recorder);
+
+// Writes to_chrome_trace_json() to `path`; false on I/O failure.
+bool write_chrome_trace(const FlightRecorder& recorder, const std::string& path);
+
+}  // namespace r2c2::obs

@@ -5,6 +5,7 @@
 #include <stdexcept>
 
 #include "congestion/policy.h"
+#include "obs/scope.h"
 
 namespace r2c2 {
 
@@ -12,6 +13,22 @@ R2c2Stack::R2c2Stack(NodeId self, const RackContext& ctx, Callbacks callbacks, s
     : self_(self), ctx_(ctx), cb_(std::move(callbacks)), rng_(seed ^ (0xace1ULL + self)) {
   if (!ctx_.topo || !ctx_.router || !ctx_.trees) {
     throw std::invalid_argument("RackContext must reference topology, router and trees");
+  }
+  bind_obs();
+}
+
+void R2c2Stack::bind_obs() {
+  trace_ = ctx_.trace;
+  if (ctx_.metrics != nullptr) {
+    h_recompute_ = &ctx_.metrics->histogram("stack.recompute_wall_ns");
+    h_tick_ = &ctx_.metrics->histogram("stack.tick_wall_ns");
+    h_ga_ = &ctx_.metrics->histogram("stack.ga_wall_ns");
+    c_route_picks_ = &ctx_.metrics->counter("stack.route_picks");
+    c_flows_opened_ = &ctx_.metrics->counter("stack.flows_opened");
+    c_flows_closed_ = &ctx_.metrics->counter("stack.flows_closed");
+  } else {
+    h_recompute_ = h_tick_ = h_ga_ = nullptr;
+    c_route_picks_ = c_flows_opened_ = c_flows_closed_ = nullptr;
   }
 }
 
@@ -59,6 +76,9 @@ FlowId R2c2Stack::open_flow(NodeId dst, const FlowOptions& options) {
   msg.demand_kbps = 0;
   msg.rp = options.alg;
   broadcast_msg(msg);
+  if (c_flows_opened_ != nullptr) c_flows_opened_->add(1);
+  R2C2_TRACE_INSTANT(trace_, now_, self_, obs::EventType::kFlowStart,
+                     static_cast<std::uint64_t>(id), dst);
 
   // Give the new flow a rate right away (Section 3.1): recompute locally.
   recompute();
@@ -80,6 +100,9 @@ void R2c2Stack::close_flow(FlowId flow) {
   msg.fseq = lf.fseq;
   msg.rp = lf.spec.alg;
   broadcast_msg(msg);
+  if (c_flows_closed_ != nullptr) c_flows_closed_->add(1);
+  R2C2_TRACE_INSTANT(trace_, now_, self_, obs::EventType::kFlowFinish,
+                     static_cast<std::uint64_t>(flow), 0);
 }
 
 void R2c2Stack::note_backlog(FlowId flow, std::uint64_t queued_bytes,
@@ -115,6 +138,7 @@ void R2c2Stack::note_backlog(FlowId flow, std::uint64_t queued_bytes,
 RouteCode R2c2Stack::pick_route(FlowId flow) {
   auto it = local_.find(flow);
   if (it == local_.end()) throw std::out_of_range("pick_route: unknown flow");
+  if (c_route_picks_ != nullptr) c_route_picks_->add(1);
   const FlowSpec& spec = it->second.spec;
   const Path path = ctx_.router->pick_path(spec.alg, spec.src, spec.dst, rng_, spec.id);
   return encode_path(*ctx_.topo, path);
@@ -163,11 +187,15 @@ void R2c2Stack::broadcast_msg(BroadcastMsg msg) {
   std::vector<std::uint8_t> bytes(BroadcastMsg::kWireSize);
   msg.serialize(bytes);
   ++broadcasts_sent_;
+  R2C2_TRACE_INSTANT(trace_, now_, self_, obs::EventType::kBroadcastSend, broadcasts_sent_,
+                     static_cast<std::uint64_t>(msg.type));
   fan_out(self_, msg.tree, bytes);
 }
 
 void R2c2Stack::recompute() {
   if (local_.empty()) return;
+  R2C2_SCOPED_SPAN(span, h_recompute_, trace_, now_, self_, obs::EventType::kRateRecompute,
+                   static_cast<std::uint64_t>(view_.size()));
   if (view_.version() != wf_built_version_) {
     view_.snapshot_into(wf_flows_);
     wf_problem_.build(*ctx_.router, wf_flows_, ctx_.alloc);
@@ -189,6 +217,7 @@ void R2c2Stack::apply_rates(std::span<const FlowSpec> flows, std::span<const Bps
 
 void R2c2Stack::tick(TimeNs now) {
   now_ = std::max(now_, now);
+  R2C2_SCOPED_TIMER(span, h_tick_);
   const TimeNs interval = ctx_.lease_interval;
   if (interval <= 0) return;
   const TimeNs ttl = ctx_.lease_ttl > 0 ? ctx_.lease_ttl : 4 * interval;
@@ -213,6 +242,9 @@ void R2c2Stack::tick(TimeNs now) {
       broadcast_msg(msg);
       ++lease_refreshes_;
     }
+    if (!local_.empty()) {
+      R2C2_TRACE_INSTANT(trace_, now_, self_, obs::EventType::kLeaseRefresh, local_.size(), 0);
+    }
   }
   if (now_ - last_gc_ >= interval) {
     last_gc_ = now_;
@@ -233,6 +265,8 @@ void R2c2Stack::update_context(const RackContext& ctx) {
   // The cached problem baked in the old topology's link capacities and
   // routes: force a rebuild at the next recompute().
   wf_built_version_ = ~0ULL;
+  bind_obs();
+  R2C2_TRACE_INSTANT(trace_, now_, self_, obs::EventType::kFaultRebuild, 0, 0);
 }
 
 int R2c2Stack::rebroadcast_local_flows() {
@@ -258,6 +292,8 @@ int R2c2Stack::rebroadcast_local_flows() {
 int R2c2Stack::run_route_selection(const SelectionConfig& config) {
   const std::vector<FlowSpec> flows = view_.snapshot();
   if (flows.empty()) return 0;
+  R2C2_SCOPED_SPAN(span, h_ga_, trace_, now_, self_, obs::EventType::kGaEpoch,
+                   static_cast<std::uint64_t>(flows.size()));
   const SelectionResult result = select_routes_ga(*ctx_.router, flows, config);
 
   RouteUpdatePacket pkt;

@@ -37,6 +37,8 @@
 #include "congestion/waterfill.h"
 #include "control/flow_table.h"
 #include "control/route_selection.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "packet/packet.h"
 #include "routing/routing.h"
 #include "topology/topology.h"
@@ -59,6 +61,14 @@ struct RackContext {
   // lease_ttl defaults to 4 * lease_interval when left 0.
   TimeNs lease_interval = 0;
   TimeNs lease_ttl = 0;
+  // --- Observability (src/obs/, optional, shared by all stacks) ---
+  // Flight recorder for control-plane trace events; the stack stamps them
+  // with its own node id and its tick()-driven clock. Null = no tracing.
+  obs::FlightRecorder* trace = nullptr;
+  // Metrics registry for the profiling histograms (recompute/tick/GA wall
+  // time) and stack counters. Aggregated across nodes by design: every
+  // stack sharing the context feeds the same named series. Null = none.
+  obs::MetricsRegistry* metrics = nullptr;
 };
 
 struct FlowOptions {
@@ -155,6 +165,10 @@ class R2c2Stack {
   void broadcast_msg(BroadcastMsg msg);
   void fan_out(NodeId tree_src, std::uint8_t tree, std::span<const std::uint8_t> bytes);
   void apply_rates(std::span<const FlowSpec> flows, std::span<const Bps> rates);
+  // (Re)binds the observability handles from ctx_ — called on construction
+  // and after update_context, since the new context may carry a different
+  // registry/recorder.
+  void bind_obs();
 
   NodeId self_;
   RackContext ctx_;
@@ -178,6 +192,14 @@ class R2c2Stack {
   TimeNs last_refresh_ = 0;
   TimeNs last_gc_ = 0;
   std::uint64_t lease_refreshes_ = 0;
+  // Observability handles resolved from ctx_ (all null when unset).
+  obs::FlightRecorder* trace_ = nullptr;
+  obs::Histogram* h_recompute_ = nullptr;
+  obs::Histogram* h_tick_ = nullptr;
+  obs::Histogram* h_ga_ = nullptr;
+  obs::Counter* c_route_picks_ = nullptr;
+  obs::Counter* c_flows_opened_ = nullptr;
+  obs::Counter* c_flows_closed_ = nullptr;
 };
 
 }  // namespace r2c2

@@ -84,9 +84,11 @@ void Network::try_transmit(LinkId link) {
   if (config_.corruption_rate > 0.0 && corruption_rng_.bernoulli(config_.corruption_rate)) {
     if (is_control(pkt)) {
       ++corrupted_control_;
+      if (corrupted_fn_) corrupted_fn_(l.from, pkt);
       if (dropped_) dropped_(l.from, pkt);
     } else {
       ++corrupted_data_;
+      if (corrupted_fn_) corrupted_fn_(l.from, pkt);
     }
     return;
   }

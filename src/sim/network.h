@@ -77,6 +77,10 @@ class Network {
 
   void set_deliver(DeliverFn fn) { deliver_ = std::move(fn); }
   void set_drop(DropFn fn) { dropped_ = std::move(fn); }
+  // Invoked when the corruption model discards a packet (after the class
+  // counters are bumped and before any drop-notice recovery runs). Purely
+  // observational — used by the transports' flight recorders.
+  void set_corrupt(DropFn fn) { corrupted_fn_ = std::move(fn); }
 
   const Topology& topology() const { return topo_; }
   Engine& engine() { return engine_; }
@@ -140,6 +144,7 @@ class Network {
   std::vector<Port> ports_;  // one per directed link
   DeliverFn deliver_;
   DropFn dropped_;
+  DropFn corrupted_fn_;
   Rng corruption_rng_;
   std::uint64_t data_bytes_ = 0;
   std::uint64_t control_bytes_ = 0;

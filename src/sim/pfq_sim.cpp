@@ -7,7 +7,12 @@ namespace r2c2::sim {
 
 PfqSim::PfqSim(const Topology& topo, const Router& router, PfqSimConfig config)
     : topo_(topo), router_(router), config_(config), rng_(config.seed),
-      ports_(topo.num_links()) {}
+      ports_(topo.num_links()), trace_(config.trace) {
+  if (config_.metrics != nullptr) {
+    c_started_ = &config_.metrics->counter("pfq.flows_started");
+    c_finished_ = &config_.metrics->counter("pfq.flows_finished");
+  }
+}
 
 void PfqSim::add_flows(const std::vector<FlowArrival>& flows) {
   for (const FlowArrival& f : flows) {
@@ -36,6 +41,9 @@ void PfqSim::start_flow(const FlowArrival& arrival) {
   rec.bytes = std::max<std::uint64_t>(arrival.bytes, 1);
   rec.arrival = engine_.now();
   records_.push_back(rec);
+  if (c_started_ != nullptr) c_started_->add(1);
+  R2C2_TRACE_INSTANT(trace_, engine_.now(), arrival.src, obs::EventType::kFlowStart,
+                     static_cast<std::uint64_t>(id), rec.bytes);
 
   SenderFlow s;
   s.src = arrival.src;
@@ -168,6 +176,10 @@ void PfqSim::arrive(LinkId link, SimPacket&& pkt) {
       rec.completed = engine_.now();
       rec.max_reorder_pkts = r.reorder.max_depth();
       receivers_.erase(rit);
+      if (c_finished_ != nullptr) c_finished_->add(1);
+      R2C2_TRACE_INSTANT(trace_, engine_.now(), at, obs::EventType::kFlowFinish,
+                         static_cast<std::uint64_t>(pkt.flow),
+                         static_cast<std::uint64_t>(rec.fct()));
     }
     return;
   }

@@ -17,6 +17,8 @@
 #include <vector>
 
 #include "common/rng.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "routing/routing.h"
 #include "sim/engine.h"
 #include "sim/metrics.h"
@@ -35,6 +37,10 @@ struct PfqSimConfig {
   std::uint64_t per_flow_quota_bytes = 8 * kMtuBytes;
   RouteAlg route_alg = RouteAlg::kRps;
   std::uint64_t seed = 7;
+  // Optional observability (src/obs/): flow lifecycle trace events and
+  // "pfq.*" counters. Null = disabled.
+  obs::FlightRecorder* trace = nullptr;
+  obs::MetricsRegistry* metrics = nullptr;
 };
 
 class PfqSim {
@@ -92,6 +98,9 @@ class PfqSim {
   std::vector<FlowRecord> records_;
   std::uint64_t data_bytes_ = 0;
   std::uint64_t events_hint_ = 0;
+  obs::FlightRecorder* trace_ = nullptr;
+  obs::Counter* c_started_ = nullptr;
+  obs::Counter* c_finished_ = nullptr;
 };
 
 }  // namespace r2c2::sim

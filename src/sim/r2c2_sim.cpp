@@ -4,6 +4,8 @@
 #include <cassert>
 #include <stdexcept>
 
+#include "obs/scope.h"
+
 namespace r2c2::sim {
 
 namespace {
@@ -17,6 +19,20 @@ R2c2Sim::R2c2Sim(const Topology& topo, const Router& router, R2c2SimConfig confi
       net_(engine_, topo, config.net),
       trees_(topo, config.broadcast_trees),
       rng_(config.seed),
+      metrics_(config.metrics != nullptr ? *config.metrics : own_metrics_),
+      trace_(config.trace),
+      c_recomputations_(metrics_.counter("r2c2.recomputations")),
+      c_retransmissions_(metrics_.counter("r2c2.retransmissions")),
+      c_failures_detected_(metrics_.counter("r2c2.failures_detected")),
+      c_restores_detected_(metrics_.counter("r2c2.restores_detected")),
+      c_context_rebuilds_(metrics_.counter("r2c2.context_rebuilds")),
+      c_flows_rebroadcast_(metrics_.counter("r2c2.flows_rebroadcast")),
+      c_lease_refreshes_(metrics_.counter("r2c2.lease_refreshes")),
+      c_flows_started_(metrics_.counter("r2c2.flows_started")),
+      c_flows_finished_(metrics_.counter("r2c2.flows_finished")),
+      c_broadcasts_sent_(metrics_.counter("r2c2.broadcasts_sent")),
+      h_recompute_wall_(metrics_.histogram("r2c2.recompute_wall_ns")),
+      h_rebuild_wall_(metrics_.histogram("r2c2.rebuild_wall_ns")),
       next_fseq_(topo.num_nodes(), 0),
       link_denom_(topo.num_links(), 0.0),
       last_heard_(topo.num_links(), 0),
@@ -31,6 +47,8 @@ R2c2Sim::R2c2Sim(const Topology& topo, const Router& router, R2c2SimConfig confi
   // the sender who can then re-transmit" recovery, collapsed to its effect.
   // Keepalives are periodic probes; a lost one is simply superseded.
   net_.set_drop([this](NodeId at, const SimPacket& pkt) {
+    R2C2_TRACE_INSTANT(trace_, engine_.now(), at, obs::EventType::kPacketDrop,
+                       static_cast<std::uint64_t>(pkt.type), pkt.wire_bytes);
     if (pkt.type == PacketType::kData || pkt.type == PacketType::kAck ||
         pkt.type == PacketType::kKeepalive) {
       return;
@@ -42,6 +60,14 @@ R2c2Sim::R2c2Sim(const Topology& topo, const Router& router, R2c2SimConfig confi
       net_.send_on_link(link, std::move(copy));
     });
   });
+#if R2C2_TRACING_ENABLED
+  if (trace_ != nullptr) {
+    net_.set_corrupt([this](NodeId at, const SimPacket& pkt) {
+      trace_->record(engine_.now(), at, obs::EventType::kPacketCorrupt, obs::EventPhase::kInstant,
+                     static_cast<std::uint64_t>(pkt.type), pkt.wire_bytes);
+    });
+  }
+#endif
   if (!config_.faults.empty()) {
     for (const FaultEvent& ev : config_.faults.events) {
       fault_horizon_ = std::max(
@@ -66,6 +92,10 @@ R2c2Sim::R2c2Sim(const Topology& topo, const Router& router, R2c2SimConfig confi
       } else if (ev.node != kInvalidNode) {
         for (const LinkId id : topo_.out_links(ev.node)) note(id);
       }
+      R2C2_TRACE_INSTANT(trace_, now,
+                         ev.node != kInvalidNode ? ev.node : topo_.link(ev.link).from,
+                         obs::EventType::kFaultInject, static_cast<std::uint64_t>(ev.link),
+                         ev.is_failure() ? 1 : 0);
     });
     injector_->arm();
   }
@@ -92,15 +122,26 @@ RunMetrics R2c2Sim::run(TimeNs until) {
     m.failures_injected = injector_->failures_injected();
     m.restores_injected = injector_->restores_injected();
   }
-  m.failures_detected = failures_detected_;
-  m.restores_detected = restores_detected_;
-  m.context_rebuilds = context_rebuilds_;
-  m.flows_rebroadcast = flows_rebroadcast_;
+  m.failures_detected = c_failures_detected_.value();
+  m.restores_detected = c_restores_detected_.value();
+  m.context_rebuilds = c_context_rebuilds_.value();
+  m.flows_rebroadcast = c_flows_rebroadcast_.value();
   m.failed_link_drops = net_.failed_link_drops();
   m.corrupted_control = net_.corrupted_control();
   m.corrupted_data = net_.corrupted_data();
   m.ghost_flows_expired = global_view_.ghosts_expired();
-  m.lease_refreshes_sent = lease_refreshes_;
+  m.lease_refreshes_sent = c_lease_refreshes_.value();
+  // Mirror the network/engine-owned totals into the registry so one
+  // snapshot (table or JSON) covers the whole run.
+  metrics_.gauge("net.drops").set(static_cast<double>(m.drops));
+  metrics_.gauge("net.failed_link_drops").set(static_cast<double>(m.failed_link_drops));
+  metrics_.gauge("net.corrupted_control").set(static_cast<double>(m.corrupted_control));
+  metrics_.gauge("net.corrupted_data").set(static_cast<double>(m.corrupted_data));
+  metrics_.gauge("net.data_bytes_on_wire").set(static_cast<double>(m.data_bytes_on_wire));
+  metrics_.gauge("net.control_bytes_on_wire").set(static_cast<double>(m.control_bytes_on_wire));
+  metrics_.gauge("r2c2.ghost_flows_expired").set(static_cast<double>(m.ghost_flows_expired));
+  metrics_.gauge("sim.events").set(static_cast<double>(m.events));
+  metrics_.gauge("sim.end_ns").set(static_cast<double>(m.sim_end));
   return m;
 }
 
@@ -164,6 +205,9 @@ void R2c2Sim::start_flow(const FlowArrival& arrival) {
   record_index_[id] = records_.size();
   records_.push_back(rec);
   ++unfinished_;
+  c_flows_started_.add(1);
+  R2C2_TRACE_INSTANT(trace_, engine_.now(), arrival.src, obs::EventType::kFlowStart,
+                     static_cast<std::uint64_t>(id), rec.bytes);
 
   SenderFlow flow;
   flow.spec = spec;
@@ -214,6 +258,9 @@ void R2c2Sim::broadcast(const BroadcastMsg& base, NodeId origin, bool recovery) 
   msg.tree = static_cast<std::uint8_t>(rng_.uniform_int(static_cast<std::uint64_t>(
       trees.trees_per_source())));  // load-balance across trees (Section 3.2)
   const std::uint64_t bcast_id = next_bcast_id_++;
+  c_broadcasts_sent_.add(1);
+  R2C2_TRACE_INSTANT(trace_, engine_.now(), origin, obs::EventType::kBroadcastSend, bcast_id,
+                     static_cast<std::uint64_t>(msg.type));
   pending_[bcast_id] =
       PendingBroadcast{msg, static_cast<std::uint32_t>(topo_.num_nodes() - 1), recovery};
   if (recovery) ++rebroadcast_outstanding_;
@@ -254,6 +301,8 @@ void R2c2Sim::on_broadcast_copy(NodeId at, SimPacket&& pkt) {
     const BroadcastMsg msg = it->second.msg;
     const bool recovery = it->second.recovery;
     pending_.erase(it);
+    R2C2_TRACE_INSTANT(trace_, engine_.now(), at, obs::EventType::kBroadcastDeliver, pkt.bcast_id,
+                       static_cast<std::uint64_t>(msg.type));
     apply_global(msg);
     if (recovery && rebroadcast_outstanding_ > 0 && --rebroadcast_outstanding_ == 0) {
       // Every post-failure re-announcement has fully propagated: the rack
@@ -261,6 +310,7 @@ void R2c2Sim::on_broadcast_copy(NodeId at, SimPacket&& pkt) {
       const TimeNs now = engine_.now();
       for (const std::size_t idx : open_recoveries_) recoveries_[idx].reconverged_at = now;
       open_recoveries_.clear();
+      R2C2_TRACE_INSTANT(trace_, now, at, obs::EventType::kFaultReconverge, 0, 0);
     }
   }
 }
@@ -306,8 +356,11 @@ void R2c2Sim::schedule_recompute_tick() {
 }
 
 void R2c2Sim::recompute_rates() {
-  ++recomputations_;
+  c_recomputations_.add(1);
   if (global_view_.empty()) return;
+  R2C2_SCOPED_SPAN(span, &h_recompute_wall_, trace_, engine_.now(), 0,
+                   obs::EventType::kRateRecompute,
+                   static_cast<std::uint64_t>(global_view_.size()));
   // Rebuild the CSR problem only when a broadcast changed the view; the
   // solve itself reuses the scratch arena, so long simulations stop
   // churning the allocator (zero steady-state allocations).
@@ -361,16 +414,16 @@ void R2c2Sim::emit_packet(FlowId id) {
     if (!seg) {
       // Nothing to send now: either done (ACK handler finishes the flow)
       // or waiting for an RTO — wake up at the earliest deadline.
-      const TimeNs deadline = flow.rel->next_deadline();
-      if (deadline >= 0 && !flow.rel->fully_acked()) {
+      const std::optional<TimeNs> deadline = flow.rel->next_deadline();
+      if (deadline.has_value() && !flow.rel->fully_acked()) {
         flow.emit_scheduled = true;
-        engine_.schedule_at(deadline, [this, id] { emit_packet(id); });
+        engine_.schedule_at(*deadline, [this, id] { emit_packet(id); });
       }
       return;
     }
     offset = seg->offset;
     payload = seg->length;
-    if (seg->retransmit) ++retransmissions_;
+    if (seg->retransmit) c_retransmissions_.add(1);
   } else {
     const std::uint64_t remaining = flow.total_bytes - flow.sent_bytes;
     payload = static_cast<std::uint32_t>(std::min<std::uint64_t>(remaining, config_.mtu_payload));
@@ -480,6 +533,9 @@ void R2c2Sim::on_data_at_receiver(SimPacket&& pkt) {
   if (complete && !rec.finished()) {
     rec.completed = engine_.now();
     rec.max_reorder_pkts = recv.reorder.max_depth();
+    c_flows_finished_.add(1);
+    R2C2_TRACE_INSTANT(trace_, engine_.now(), pkt.dst, obs::EventType::kFlowFinish,
+                       static_cast<std::uint64_t>(pkt.flow), static_cast<std::uint64_t>(rec.fct()));
     if (recv.rel) {
       // Linger (TIME_WAIT-style): keep re-acking stale retransmissions in
       // case the final ACK is lost; finish_sending reaps the state once
@@ -617,10 +673,10 @@ void R2c2Sim::note_detection(LinkId directed, bool failure) {
   if (rev != kInvalidLink) cable_down_[rev] = mark;
   if (failure) {
     ++cables_down_;
-    ++failures_detected_;
+    c_failures_detected_.add(1);
   } else {
     --cables_down_;
-    ++restores_detected_;
+    c_restores_detected_.add(1);
     // Restart the deadline clock on the revived cable.
     last_heard_[directed] = engine_.now();
     if (rev != kInvalidLink) last_heard_[rev] = engine_.now();
@@ -633,6 +689,9 @@ void R2c2Sim::note_detection(LinkId directed, bool failure) {
   rec.detected_at = engine_.now();
   open_recoveries_.push_back(recoveries_.size());
   recoveries_.push_back(rec);
+  R2C2_TRACE_INSTANT(trace_, engine_.now(), topo_.link(directed).to,
+                     obs::EventType::kFaultDetect, static_cast<std::uint64_t>(cable),
+                     failure ? 1 : 0);
   schedule_rebuild();
 }
 
@@ -644,6 +703,8 @@ void R2c2Sim::schedule_rebuild() {
 
 void R2c2Sim::rebuild_context() {
   rebuild_scheduled_ = false;
+  R2C2_SCOPED_SPAN(span, &h_rebuild_wall_, trace_, engine_.now(), 0,
+                   obs::EventType::kFaultRebuild, cables_down_);
   // Canonical cable set currently believed down (one direction per cable).
   std::vector<LinkId> down;
   for (LinkId id = 0; id < static_cast<LinkId>(topo_.num_links()); ++id) {
@@ -673,7 +734,7 @@ void R2c2Sim::rebuild_context() {
     cur_router_ = std::make_unique<Router>(*cur_topo_);
     cur_trees_ = std::make_unique<BroadcastTrees>(*cur_topo_, config_.broadcast_trees);
   }
-  ++context_rebuilds_;
+  c_context_rebuilds_.add(1);
   // The route universe changed: denominators and the waterfill problem are
   // stale in the old link-id space. Rebuild both against the new router.
   rebuild_link_denom();
@@ -696,7 +757,7 @@ void R2c2Sim::rebuild_context() {
     msg.demand_kbps = 0;
     msg.rp = flow.spec.alg;
     broadcast(msg, flow.spec.src, /*recovery=*/true);
-    ++flows_rebroadcast_;
+    c_flows_rebroadcast_.add(1);
   }
   if (rebroadcast_outstanding_ == 0) {
     // Nothing to re-announce: reconvergence is immediate.
@@ -728,7 +789,11 @@ void R2c2Sim::lease_tick() {
     msg.demand_kbps = 0;
     msg.rp = flow.spec.alg;
     broadcast(msg, flow.spec.src);
-    ++lease_refreshes_;
+    c_lease_refreshes_.add(1);
+  }
+  if (!senders_.empty()) {
+    R2C2_TRACE_INSTANT(trace_, engine_.now(), 0, obs::EventType::kLeaseRefresh, senders_.size(),
+                       0);
   }
   lease_tick_scheduled_ = true;
   engine_.schedule_in(config_.lease_interval, [this] { lease_tick(); });
@@ -753,6 +818,10 @@ void R2c2Sim::gc_tick() {
         }
       }
     }
+  }
+  if (!gc_scratch_.empty()) {
+    R2C2_TRACE_INSTANT(trace_, engine_.now(), 0, obs::EventType::kGhostExpired,
+                       gc_scratch_.size(), 0);
   }
   if (!gc_scratch_.empty() && config_.recompute_interval == 0) recompute_rates();
   if (fault_ticks_needed() || !global_view_.empty()) {

@@ -41,6 +41,8 @@
 #include "common/rng.h"
 #include "congestion/waterfill.h"
 #include "control/flow_table.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "routing/routing.h"
 #include "sim/engine.h"
 #include "sim/fault.h"
@@ -99,6 +101,16 @@ struct R2c2SimConfig {
   // global view (default when 0: 4 * lease_interval).
   TimeNs lease_ttl = 0;
   std::uint64_t seed = 7;
+
+  // --- Observability (src/obs/, all optional) ---
+  // Flight recorder for binary trace events (flow lifecycle, broadcasts,
+  // rate recomputes, faults, drops/corruption), timestamped with the sim
+  // clock and exportable to Chrome trace-event JSON. Null = no tracing.
+  obs::FlightRecorder* trace = nullptr;
+  // Metrics registry backing every sim counter/histogram. Null = the sim
+  // owns a private registry (RunMetrics is a view over it either way).
+  // Sharing one registry across sims accumulates into the same counters.
+  obs::MetricsRegistry* metrics = nullptr;
 };
 
 class R2c2Sim {
@@ -112,14 +124,17 @@ class R2c2Sim {
   RunMetrics run(TimeNs until = std::numeric_limits<TimeNs>::max());
 
   // Exposed for tests: the number of rate recomputations performed.
-  std::uint64_t recomputations() const { return recomputations_; }
+  std::uint64_t recomputations() const { return c_recomputations_.value(); }
   // Reliability-extension retransmissions across all flows.
-  std::uint64_t retransmissions() const { return retransmissions_; }
+  std::uint64_t retransmissions() const { return c_retransmissions_.value(); }
   // Self-healing introspection: mid-run context rebuilds so far, and the
   // ground-truth + detected state of a directed link.
-  std::uint64_t context_rebuilds() const { return context_rebuilds_; }
+  std::uint64_t context_rebuilds() const { return c_context_rebuilds_.value(); }
   bool link_detected_down(LinkId link) const { return cable_down_[link] != 0; }
   const FlowTable& global_view() const { return global_view_; }
+  // The registry backing the sim's counters (the external one when
+  // config.metrics was set, else the private default).
+  const obs::MetricsRegistry& metrics() const { return metrics_; }
 
  private:
   struct SenderFlow {
@@ -207,6 +222,25 @@ class R2c2Sim {
   BroadcastTrees trees_;    // pristine broadcast trees
   Rng rng_;
 
+  // Observability: all sim counters live in a registry (external via
+  // config.metrics, else own_metrics_); RunMetrics reads them back out.
+  // The flight recorder is optional and allocation-free once constructed.
+  obs::MetricsRegistry own_metrics_;
+  obs::MetricsRegistry& metrics_;
+  obs::FlightRecorder* trace_ = nullptr;
+  obs::Counter& c_recomputations_;
+  obs::Counter& c_retransmissions_;
+  obs::Counter& c_failures_detected_;
+  obs::Counter& c_restores_detected_;
+  obs::Counter& c_context_rebuilds_;
+  obs::Counter& c_flows_rebroadcast_;
+  obs::Counter& c_lease_refreshes_;
+  obs::Counter& c_flows_started_;
+  obs::Counter& c_flows_finished_;
+  obs::Counter& c_broadcasts_sent_;
+  obs::Histogram& h_recompute_wall_;
+  obs::Histogram& h_rebuild_wall_;
+
   // Rebuilt decision plane after detected failures (null while healthy).
   std::unique_ptr<Topology> cur_topo_;
   std::unique_ptr<Router> cur_router_;
@@ -231,8 +265,6 @@ class R2c2Sim {
   std::vector<FlowRecord> records_;
   std::unordered_map<FlowId, std::size_t> record_index_;
   std::uint64_t next_bcast_id_ = 1;
-  std::uint64_t recomputations_ = 0;
-  std::uint64_t retransmissions_ = 0;
   std::size_t unfinished_ = 0;
   TimeNs fault_horizon_ = -1;  // last scripted fault event + margin
   bool tick_scheduled_ = false;
@@ -252,11 +284,6 @@ class R2c2Sim {
   std::vector<RecoveryRecord> recoveries_;
   std::vector<std::size_t> open_recoveries_;  // indices awaiting rebuild/reconvergence
   std::uint32_t rebroadcast_outstanding_ = 0;
-  std::uint64_t failures_detected_ = 0;
-  std::uint64_t restores_detected_ = 0;
-  std::uint64_t context_rebuilds_ = 0;
-  std::uint64_t flows_rebroadcast_ = 0;
-  std::uint64_t lease_refreshes_ = 0;
   std::vector<FlowSpec> gc_scratch_;
 };
 

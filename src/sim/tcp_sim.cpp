@@ -7,10 +7,19 @@ namespace r2c2::sim {
 
 TcpSim::TcpSim(const Topology& topo, const Router& router, TcpSimConfig config)
     : topo_(topo), router_(router), config_(config), net_(engine_, topo, config.net),
-      rng_(config.seed) {
+      rng_(config.seed), trace_(config.trace) {
+  if (config_.metrics != nullptr) {
+    c_started_ = &config_.metrics->counter("tcp.flows_started");
+    c_finished_ = &config_.metrics->counter("tcp.flows_finished");
+    c_retransmissions_ = &config_.metrics->counter("tcp.retransmissions");
+  }
   net_.set_deliver([this](NodeId at, SimPacket&& pkt) { deliver(at, std::move(pkt)); });
-  // Drops are recovered by TCP itself (dup-ACKs / RTO).
-  net_.set_drop([](NodeId, const SimPacket&) {});
+  // Drops are recovered by TCP itself (dup-ACKs / RTO); the recorder still
+  // notes them so loss shows up on the trace timeline.
+  net_.set_drop([this]([[maybe_unused]] NodeId at, [[maybe_unused]] const SimPacket& pkt) {
+    R2C2_TRACE_INSTANT(trace_, engine_.now(), at, obs::EventType::kPacketDrop,
+                       static_cast<std::uint64_t>(pkt.type), pkt.wire_bytes);
+  });
 }
 
 void TcpSim::add_flows(const std::vector<FlowArrival>& flows) {
@@ -48,6 +57,9 @@ void TcpSim::start_flow(const FlowArrival& arrival) {
   rec.arrival = engine_.now();
   records_.push_back(rec);
   ++unfinished_;
+  if (c_started_ != nullptr) c_started_->add(1);
+  R2C2_TRACE_INSTANT(trace_, engine_.now(), arrival.src, obs::EventType::kFlowStart,
+                     static_cast<std::uint64_t>(id), rec.bytes);
 
   Sender s;
   s.src = arrival.src;
@@ -95,6 +107,7 @@ void TcpSim::send_packet(FlowId id, std::uint32_t pkt_index, bool retransmit) {
   pkt.sent_at = engine_.now();
   if (retransmit) {
     ++retransmissions_;
+    if (c_retransmissions_ != nullptr) c_retransmissions_->add(1);
     s.first_sent[pkt_index] = -1;  // Karn: never sample a retransmitted packet
   } else if (s.first_sent[pkt_index] < 0) {
     s.first_sent[pkt_index] = engine_.now();
@@ -172,6 +185,10 @@ void TcpSim::on_data(SimPacket&& pkt) {
       rec.completed = engine_.now();
       rec.max_reorder_pkts = r.reorder.max_depth();
       --unfinished_;
+      if (c_finished_ != nullptr) c_finished_->add(1);
+      R2C2_TRACE_INSTANT(trace_, engine_.now(), s.dst, obs::EventType::kFlowFinish,
+                         static_cast<std::uint64_t>(pkt.flow),
+                         static_cast<std::uint64_t>(rec.fct()));
     }
   }
 }

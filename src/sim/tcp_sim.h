@@ -16,6 +16,8 @@
 #include <vector>
 
 #include "common/rng.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "routing/routing.h"
 #include "sim/engine.h"
 #include "sim/metrics.h"
@@ -35,6 +37,10 @@ struct TcpSimConfig {
   TimeNs min_rto = 100 * kNsPerUs;
   TimeNs init_rto = 1 * kNsPerMs;
   std::uint64_t seed = 7;
+  // Optional observability (src/obs/): flow lifecycle + drop trace events
+  // and "tcp.*" counters. Null = disabled.
+  obs::FlightRecorder* trace = nullptr;
+  obs::MetricsRegistry* metrics = nullptr;
 };
 
 class TcpSim {
@@ -99,6 +105,10 @@ class TcpSim {
   std::vector<FlowRecord> records_;
   std::uint64_t retransmissions_ = 0;
   std::size_t unfinished_ = 0;
+  obs::FlightRecorder* trace_ = nullptr;
+  obs::Counter* c_started_ = nullptr;
+  obs::Counter* c_finished_ = nullptr;
+  obs::Counter* c_retransmissions_ = nullptr;
 };
 
 }  // namespace r2c2::sim

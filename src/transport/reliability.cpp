@@ -99,10 +99,10 @@ void ReliableSender::on_ack(std::uint64_t cumulative, std::span<const ByteRange>
   }
 }
 
-TimeNs ReliableSender::next_deadline() const {
-  TimeNs deadline = -1;
+std::optional<TimeNs> ReliableSender::next_deadline() const {
+  std::optional<TimeNs> deadline;
   for (const auto& [offset, seg] : in_flight_) {
-    if (deadline < 0 || seg.expires < deadline) deadline = seg.expires;
+    if (!deadline.has_value() || seg.expires < *deadline) deadline = seg.expires;
   }
   return deadline;
 }

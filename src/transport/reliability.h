@@ -86,8 +86,10 @@ class ReliableSender {
   // Processes an ACK: cumulative point + SACK ranges.
   void on_ack(std::uint64_t cumulative, std::span<const ByteRange> sacks);
 
-  // Earliest retransmission deadline among in-flight segments, or -1.
-  TimeNs next_deadline() const;
+  // Earliest retransmission deadline among in-flight segments, or nullopt
+  // when nothing is in flight. (Formerly a -1 sentinel, which silently
+  // turned into a huge timestamp when mixed into unsigned arithmetic.)
+  std::optional<TimeNs> next_deadline() const;
 
   std::uint64_t total_bytes() const { return total_; }
   std::uint64_t retransmissions() const { return retransmissions_; }

@@ -132,6 +132,38 @@ TEST(Stats, PercentileRejectsBadQ) {
   EXPECT_THROW(percentile({1.0}, 101), std::invalid_argument);
 }
 
+TEST(Stats, PercentileSpanMatchesVectorOverload) {
+  // Regression pin for the span overload (now one copy instead of two
+  // through the by-value overload): results must be bit-identical to the
+  // vector path at the edges and in between.
+  const std::vector<double> v{9, 7, 5, 3, 1};
+  const std::span<const double> s(v);
+  EXPECT_DOUBLE_EQ(percentile(s, 0), 1.0);
+  EXPECT_DOUBLE_EQ(percentile(s, 100), 9.0);
+  EXPECT_DOUBLE_EQ(percentile(s, 50), 5.0);
+  EXPECT_DOUBLE_EQ(percentile(s, 25), 3.0);
+  for (double q : {0.0, 12.5, 50.0, 99.0, 100.0}) {
+    EXPECT_DOUBLE_EQ(percentile(s, q), percentile(v, q)) << "q=" << q;
+  }
+  // The span overload must not mutate the caller's storage.
+  EXPECT_EQ(v, (std::vector<double>{9, 7, 5, 3, 1}));
+}
+
+TEST(Stats, PercentileSpanSingleElement) {
+  const std::vector<double> v{42.0};
+  const std::span<const double> s(v);
+  EXPECT_DOUBLE_EQ(percentile(s, 0), 42.0);
+  EXPECT_DOUBLE_EQ(percentile(s, 50), 42.0);
+  EXPECT_DOUBLE_EQ(percentile(s, 100), 42.0);
+}
+
+TEST(Stats, PercentileSpanRejectsEmptyAndBadQ) {
+  const std::vector<double> v{1.0};
+  EXPECT_THROW(percentile(std::span<const double>{}, 50), std::invalid_argument);
+  EXPECT_THROW(percentile(std::span<const double>(v), -0.5), std::invalid_argument);
+  EXPECT_THROW(percentile(std::span<const double>(v), 100.5), std::invalid_argument);
+}
+
 TEST(Stats, EmpiricalCdfMonotone) {
   std::vector<double> v;
   Rng rng(5);
@@ -146,6 +178,64 @@ TEST(Stats, EmpiricalCdfMonotone) {
 }
 
 TEST(Stats, EmpiricalCdfEmpty) { EXPECT_TRUE(empirical_cdf({}).empty()); }
+
+TEST(Stats, EmpiricalCdfTiedMaximaEndExactlyAtOne) {
+  // Tied maxima under downsampling used to emit the maximum twice with
+  // different cum_prob (the strided point said e.g. 0.97, the tail fix-up
+  // appended another at 1.0). Now a tie run collapses to one point whose
+  // cum_prob is the rank of its last occurrence.
+  std::vector<double> v(100, 5.0);
+  for (int i = 0; i < 60; ++i) v[i] = static_cast<double>(i);  // 40 tied maxima
+  const auto cdf = empirical_cdf(v, 7);  // stride > 1 lands inside the run
+  ASSERT_FALSE(cdf.empty());
+  EXPECT_DOUBLE_EQ(cdf.back().value, 59.0);
+  EXPECT_DOUBLE_EQ(cdf.back().cum_prob, 1.0);
+  for (std::size_t i = 1; i < cdf.size(); ++i) {
+    EXPECT_GT(cdf[i].value, cdf[i - 1].value) << "duplicate abscissa at " << i;
+    EXPECT_GE(cdf[i].cum_prob, cdf[i - 1].cum_prob);
+  }
+}
+
+TEST(Stats, EmpiricalCdfStrideSweepInvariants) {
+  // Invariants must hold for every downsampling factor, including ties in
+  // the middle and at both ends, and the degenerate all-equal sample.
+  Rng rng(31);
+  std::vector<double> v;
+  for (int i = 0; i < 500; ++i) v.push_back(std::floor(rng.uniform() * 20.0));  // many ties
+  for (std::size_t max_points : {1, 2, 3, 5, 7, 10, 33, 100, 499, 500, 1000}) {
+    const auto cdf = empirical_cdf(v, max_points);
+    ASSERT_FALSE(cdf.empty()) << "max_points=" << max_points;
+    const double expected_max = *std::max_element(v.begin(), v.end());
+    EXPECT_DOUBLE_EQ(cdf.back().value, expected_max) << "max_points=" << max_points;
+    EXPECT_DOUBLE_EQ(cdf.back().cum_prob, 1.0) << "max_points=" << max_points;
+    for (std::size_t i = 1; i < cdf.size(); ++i) {
+      EXPECT_GT(cdf[i].value, cdf[i - 1].value)
+          << "duplicate/regressing abscissa, max_points=" << max_points << " i=" << i;
+      EXPECT_GT(cdf[i].cum_prob, cdf[i - 1].cum_prob)
+          << "non-increasing cum_prob, max_points=" << max_points << " i=" << i;
+    }
+  }
+}
+
+TEST(Stats, EmpiricalCdfAllEqual) {
+  const auto cdf = empirical_cdf(std::vector<double>(17, 3.25), 4);
+  ASSERT_EQ(cdf.size(), 1u);
+  EXPECT_DOUBLE_EQ(cdf[0].value, 3.25);
+  EXPECT_DOUBLE_EQ(cdf[0].cum_prob, 1.0);
+}
+
+TEST(Stats, EmpiricalCdfExactProbabilities) {
+  // Undownsampled, every point's cum_prob is the exact empirical
+  // P(X <= x) — ties included.
+  const auto cdf = empirical_cdf({1.0, 2.0, 2.0, 3.0}, 100);
+  ASSERT_EQ(cdf.size(), 3u);
+  EXPECT_DOUBLE_EQ(cdf[0].value, 1.0);
+  EXPECT_DOUBLE_EQ(cdf[0].cum_prob, 0.25);
+  EXPECT_DOUBLE_EQ(cdf[1].value, 2.0);
+  EXPECT_DOUBLE_EQ(cdf[1].cum_prob, 0.75);
+  EXPECT_DOUBLE_EQ(cdf[2].value, 3.0);
+  EXPECT_DOUBLE_EQ(cdf[2].cum_prob, 1.0);
+}
 
 TEST(Stats, RunningStatsMoments) {
   RunningStats s;

@@ -129,12 +129,24 @@ TEST(ReliableSender, RetransmitOnlyAfterRto) {
 
 TEST(ReliableSender, NextDeadlineTracksEarliest) {
   ReliableSender s(2000, {.mtu_payload = 1000, .rto = 100});
-  EXPECT_EQ(s.next_deadline(), -1);
+  EXPECT_EQ(s.next_deadline(), std::nullopt);
   s.next_segment(0);
   s.next_segment(50);
-  EXPECT_EQ(s.next_deadline(), 100);
+  EXPECT_EQ(s.next_deadline(), std::optional<TimeNs>(100));
   s.on_ack(1000, {});
-  EXPECT_EQ(s.next_deadline(), 150);
+  EXPECT_EQ(s.next_deadline(), std::optional<TimeNs>(150));
+}
+
+TEST(ReliableSender, NextDeadlineEmptyAgainWhenFullyAcked) {
+  // The old interface returned -1 here; a caller that compared it against
+  // an unsigned clock would schedule a wakeup at t = 2^64 - 1. With
+  // optional the "no deadline" state is unmistakable.
+  ReliableSender s(1000, {.mtu_payload = 1000, .rto = 100});
+  s.next_segment(0);
+  EXPECT_TRUE(s.next_deadline().has_value());
+  s.on_ack(1000, {});
+  EXPECT_EQ(s.next_deadline(), std::nullopt);
+  EXPECT_TRUE(s.fully_acked());
 }
 
 TEST(ReliableSender, GivesUpAfterBudget) {
@@ -147,6 +159,23 @@ TEST(ReliableSender, GivesUpAfterBudget) {
   }
   t += 2;
   EXPECT_THROW(s.next_segment(t), std::runtime_error);
+}
+
+TEST(ReliableSender, GiveUpFiresOnExactBudgetBoundary) {
+  // max_retransmits bounds the number of *re*transmissions: the original
+  // send plus max_retransmits expiries succeed, the next one throws. The
+  // deadline stays visible right up to the throw, so a driver sleeping on
+  // next_deadline() is guaranteed to wake up and surface the failure
+  // instead of spinning silently.
+  ReliableSender s(1000, {.mtu_payload = 1000, .rto = 10, .max_retransmits = 1});
+  ASSERT_TRUE(s.next_segment(0).has_value());
+  const auto d = s.next_deadline();
+  ASSERT_TRUE(d.has_value());
+  ASSERT_TRUE(s.next_segment(*d).has_value());  // the single allowed retransmit
+  EXPECT_EQ(s.retransmissions(), 1u);
+  const auto d2 = s.next_deadline();
+  ASSERT_TRUE(d2.has_value());  // still armed: exhaustion must surface
+  EXPECT_THROW(s.next_segment(*d2), std::runtime_error);
 }
 
 // --- End-to-end: R2C2 with corruption + reliability ---

@@ -1,0 +1,147 @@
+// Parallel GA benchmark: select_routes_ga wall time vs thread count on the
+// paper-scale workload (512-node 3D torus, 1000 long flows, choices
+// {RPS, VLB}), asserting along the way that every thread count returns the
+// bit-identical result (assignment, utility, evaluation count) as the
+// serial run — the parallel evaluation plane must change nothing but the
+// wall clock.
+//
+// Emits machine-readable JSON to BENCH_ga.json (override with
+// R2C2_BENCH_OUT); the committed baseline lives at
+// bench/baselines/BENCH_ga.json and is referenced from EXPERIMENTS.md.
+// Speedups are meaningful only on multi-core hosts; the JSON records
+// hardware_threads so baselines from different machines compare fairly.
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "common/rng.h"
+#include "common/thread_pool.h"
+#include "control/route_selection.h"
+
+namespace r2c2::bench {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+std::vector<FlowSpec> ga_flows(const Topology& topo, int n, Rng& rng) {
+  std::vector<FlowSpec> flows;
+  flows.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    FlowSpec f;
+    f.id = static_cast<FlowId>(i + 1);
+    f.src = static_cast<NodeId>(rng.uniform_int(topo.num_nodes()));
+    do {
+      f.dst = static_cast<NodeId>(rng.uniform_int(topo.num_nodes()));
+    } while (f.dst == f.src);
+    f.alg = RouteAlg::kRps;
+    f.weight = 1.0;
+    f.priority = 0;
+    f.demand = kUnlimitedDemand;
+    flows.push_back(f);
+  }
+  return flows;
+}
+
+struct ThreadResult {
+  int threads = 0;
+  double wall_ms = 0.0;
+  SelectionResult result;
+};
+
+int run() {
+  const double scale = bench_scale();
+  const Topology& topo = rack512();
+  const Router& router = router512();
+  const int n_flows = static_cast<int>(scaled(1000));
+
+  Rng rng(0x6a61);
+  const auto flows = ga_flows(topo, n_flows, rng);
+
+  SelectionConfig cfg;
+  cfg.choices = {RouteAlg::kRps, RouteAlg::kVlb};
+  cfg.population = 40;
+  cfg.max_generations = std::max(4, static_cast<int>(std::lround(12 * scale)));
+  cfg.stall_generations = 6;
+  cfg.seed = 99;
+
+  // Warm the router's weight tables with a throwaway problem build: the
+  // first-touch derivation is shared serial work every thread count would
+  // pay identically, and it is not what this benchmark measures.
+  {
+    WaterfillProblem warm;
+    warm.build_with_choices(router, flows, cfg.choices, cfg.alloc);
+  }
+
+  const int hardware = ThreadPool::hardware_workers() + 1;
+  std::printf("== bench_ga: parallel select_routes_ga, %zu nodes, %d flows ==\n",
+              topo.num_nodes(), n_flows);
+  std::printf("host hardware threads: %d\n\n", hardware);
+
+  std::vector<ThreadResult> results;
+  for (const int threads : {1, 2, 4, 8}) {
+    SelectionConfig run_cfg = cfg;
+    run_cfg.threads = threads;
+    const auto t0 = Clock::now();
+    ThreadResult r;
+    r.threads = threads;
+    r.result = select_routes_ga(router, flows, run_cfg);
+    const auto t1 = Clock::now();
+    r.wall_ms = std::chrono::duration<double, std::milli>(t1 - t0).count();
+    results.push_back(std::move(r));
+  }
+
+  const ThreadResult& serial = results.front();
+  bool identical = true;
+  for (const ThreadResult& r : results) {
+    if (r.result.assignment != serial.result.assignment ||
+        r.result.utility != serial.result.utility ||
+        r.result.evaluations != serial.result.evaluations) {
+      identical = false;
+      std::fprintf(stderr, "DETERMINISM VIOLATION at threads=%d\n", r.threads);
+    }
+  }
+
+  std::printf("%8s %10s %9s %12s %12s\n", "threads", "wall_ms", "speedup", "utility_gbps",
+              "evaluations");
+  for (const ThreadResult& r : results) {
+    std::printf("%8d %10.1f %8.2fx %12.2f %12d\n", r.threads, r.wall_ms,
+                serial.wall_ms / r.wall_ms, r.result.utility / 1e9, r.result.evaluations);
+  }
+  std::printf("\nresults bit-identical across thread counts: %s\n", identical ? "yes" : "NO");
+
+  const char* out_path = std::getenv("R2C2_BENCH_OUT");
+  if (out_path == nullptr) out_path = "BENCH_ga.json";
+  FILE* f = std::fopen(out_path, "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", out_path);
+    return 1;
+  }
+  std::fprintf(f, "{\n  \"bench\": \"ga\",\n  \"scale\": %g,\n", scale);
+  std::fprintf(f, "  \"nodes\": %zu,\n  \"flows\": %d,\n", topo.num_nodes(), n_flows);
+  std::fprintf(f, "  \"population\": %d,\n  \"max_generations\": %d,\n", cfg.population,
+               cfg.max_generations);
+  std::fprintf(f, "  \"hardware_threads\": %d,\n", hardware);
+  std::fprintf(f, "  \"identical_across_threads\": %s,\n", identical ? "true" : "false");
+  std::fprintf(f, "  \"results\": [\n");
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const ThreadResult& r = results[i];
+    std::fprintf(f,
+                 "    {\"threads\": %d, \"wall_ms\": %.2f, \"speedup\": %.2f, "
+                 "\"utility_gbps\": %.4f, \"evaluations\": %d}%s\n",
+                 r.threads, r.wall_ms, serial.wall_ms / r.wall_ms, r.result.utility / 1e9,
+                 r.result.evaluations, i + 1 < results.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  std::printf("wrote %s\n", out_path);
+  return identical ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace r2c2::bench
+
+int main() { return r2c2::bench::run(); }

@@ -5,9 +5,14 @@
 // (normalized value well below 1); at the extreme tau = 100 ns load R2C2
 // deviates from PFQ's ideal as periodic recomputation lags the bursts,
 // and converges back to PFQ as load decreases.
+//
+// The 12 simulations (4 loads x 3 protocols) are independent and run
+// concurrently through run_sweep; the table is printed from the ordered
+// results, so the output matches the serial run exactly.
 #include <iostream>
 
 #include "bench_common.h"
+#include "sweep.h"
 
 using namespace r2c2;
 using namespace r2c2::bench;
@@ -28,12 +33,35 @@ int main() {
                           {1 * kNsPerUs, scaled(3000), "1 us"},
                           {10 * kNsPerUs, scaled(2000), "10 us"},
                           {100 * kNsPerUs, scaled(800), "100 us"}};
-  for (const Point& p : points) {
-    const auto flows = paper_workload(topo, p.flows, p.tau);
-    const double tcp = percentile(run_tcp(topo, router, flows).short_flow_fct_us(), 99);
-    const double r2c2 = percentile(run_r2c2(topo, router, flows).short_flow_fct_us(), 99);
-    const double pfq = percentile(run_pfq(topo, router, flows).short_flow_fct_us(), 99);
-    table.add_row(p.label, p.flows, tcp, r2c2 / tcp, pfq / tcp, r2c2 / pfq);
+
+  // Workloads are generated once, serially; every job reads them const.
+  std::vector<std::vector<FlowArrival>> workloads;
+  for (const Point& p : points) workloads.push_back(paper_workload(topo, p.flows, p.tau));
+
+  enum Proto { kTcp, kR2c2, kPfq };
+  struct Job {
+    std::size_t point;
+    Proto proto;
+  };
+  std::vector<Job> jobs;
+  for (std::size_t i = 0; i < std::size(points); ++i) {
+    for (const Proto proto : {kTcp, kR2c2, kPfq}) jobs.push_back({i, proto});
+  }
+  const std::vector<double> p99 = run_sweep(jobs, [&](const Job& job) {
+    const auto& flows = workloads[job.point];
+    switch (job.proto) {
+      case kTcp: return percentile(run_tcp(topo, router, flows).short_flow_fct_us(), 99);
+      case kR2c2: return percentile(run_r2c2(topo, router, flows).short_flow_fct_us(), 99);
+      case kPfq: return percentile(run_pfq(topo, router, flows).short_flow_fct_us(), 99);
+    }
+    return 0.0;
+  });
+
+  for (std::size_t i = 0; i < std::size(points); ++i) {
+    const double tcp = p99[3 * i + kTcp];
+    const double r2c2 = p99[3 * i + kR2c2];
+    const double pfq = p99[3 * i + kPfq];
+    table.add_row(points[i].label, points[i].flows, tcp, r2c2 / tcp, pfq / tcp, r2c2 / pfq);
   }
   table.print(std::cout);
   std::printf("\nshape check: both normalized columns << 1 at every load; the R2C2/PFQ\n"

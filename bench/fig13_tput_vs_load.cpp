@@ -3,9 +3,14 @@
 //
 // Paper shape: R2C2 and PFQ sit well above 1 (multipath beats TCP's
 // single hashed path); R2C2 approaches PFQ as load decreases.
+//
+// The 12 simulations (4 loads x 3 protocols) run concurrently through
+// run_sweep; results are collected in input order, so the printed table
+// matches the serial run exactly.
 #include <iostream>
 
 #include "bench_common.h"
+#include "sweep.h"
 
 using namespace r2c2;
 using namespace r2c2::bench;
@@ -25,12 +30,34 @@ int main() {
                           {1 * kNsPerUs, scaled(3000), "1 us"},
                           {10 * kNsPerUs, scaled(2000), "10 us"},
                           {100 * kNsPerUs, scaled(800), "100 us"}};
-  for (const Point& p : points) {
-    const auto flows = paper_workload(topo, p.flows, p.tau);
-    const double tcp = mean_of(run_tcp(topo, router, flows).long_flow_tput_gbps());
-    const double r2c2 = mean_of(run_r2c2(topo, router, flows).long_flow_tput_gbps());
-    const double pfq = mean_of(run_pfq(topo, router, flows).long_flow_tput_gbps());
-    table.add_row(p.label, p.flows, tcp, r2c2 / tcp, pfq / tcp, r2c2 / pfq);
+
+  std::vector<std::vector<FlowArrival>> workloads;
+  for (const Point& p : points) workloads.push_back(paper_workload(topo, p.flows, p.tau));
+
+  enum Proto { kTcp, kR2c2, kPfq };
+  struct Job {
+    std::size_t point;
+    Proto proto;
+  };
+  std::vector<Job> jobs;
+  for (std::size_t i = 0; i < std::size(points); ++i) {
+    for (const Proto proto : {kTcp, kR2c2, kPfq}) jobs.push_back({i, proto});
+  }
+  const std::vector<double> tput = run_sweep(jobs, [&](const Job& job) {
+    const auto& flows = workloads[job.point];
+    switch (job.proto) {
+      case kTcp: return mean_of(run_tcp(topo, router, flows).long_flow_tput_gbps());
+      case kR2c2: return mean_of(run_r2c2(topo, router, flows).long_flow_tput_gbps());
+      case kPfq: return mean_of(run_pfq(topo, router, flows).long_flow_tput_gbps());
+    }
+    return 0.0;
+  });
+
+  for (std::size_t i = 0; i < std::size(points); ++i) {
+    const double tcp = tput[3 * i + kTcp];
+    const double r2c2 = tput[3 * i + kR2c2];
+    const double pfq = tput[3 * i + kPfq];
+    table.add_row(points[i].label, points[i].flows, tcp, r2c2 / tcp, pfq / tcp, r2c2 / pfq);
   }
   table.print(std::cout);
   std::printf("\nshape check: normalized columns > 1 at every load (paper: ~2.55x at\n"

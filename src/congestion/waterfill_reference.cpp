@@ -16,8 +16,11 @@ constexpr double kEps = 1e-9;
 
 // Per-flow working state for one priority round.
 struct FlowState {
-  std::size_t index = 0;            // into the input span
-  const LinkWeights* weights = nullptr;
+  std::size_t index = 0;  // into the input span
+  // Copied, not referenced: kEcmp weights are derived into a thread-local
+  // buffer that the next kEcmp query overwrites, and this oracle holds the
+  // weights of a whole priority class at once.
+  LinkWeights weights;
   double weight = 1.0;
   Bps demand = kUnlimitedDemand;
   bool frozen = false;
@@ -57,7 +60,7 @@ RateAllocation waterfill_reference(const Router& router, std::span<const FlowSpe
       if (f.src == f.dst || f.weight <= 0.0) continue;  // degenerate: rate 0
       FlowState st;
       st.index = order[at];
-      st.weights = &router.link_weights(f.alg, f.src, f.dst, f.id);
+      st.weights = router.link_weights(f.alg, f.src, f.dst, f.id);
       st.weight = f.weight;
       st.demand = std::max<Bps>(f.demand, 0.0);
       cls.push_back(st);
@@ -67,7 +70,7 @@ RateAllocation waterfill_reference(const Router& router, std::span<const FlowSpe
     // Set up per-link denominators for this class.
     std::vector<LinkId> touched;
     for (std::uint32_t i = 0; i < cls.size(); ++i) {
-      for (const LinkFraction& lf : *cls[i].weights) {
+      for (const LinkFraction& lf : cls[i].weights) {
         if (denom[lf.link] == 0.0 && flows_on_link[lf.link].empty()) touched.push_back(lf.link);
         denom[lf.link] += cls[i].weight * lf.fraction;
         flows_on_link[lf.link].push_back(i);
@@ -118,7 +121,7 @@ RateAllocation waterfill_reference(const Router& router, std::span<const FlowSpe
       auto freeze = [&](FlowState& st, Bps rate) {
         st.frozen = true;
         result.rate[st.index] = rate;
-        for (const LinkFraction& lf : *st.weights) {
+        for (const LinkFraction& lf : st.weights) {
           denom[lf.link] -= st.weight * lf.fraction;
           if (denom[lf.link] < kEps) denom[lf.link] = 0.0;
         }

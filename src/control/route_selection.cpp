@@ -3,8 +3,10 @@
 #include <algorithm>
 #include <cmath>
 #include <limits>
+#include <memory>
 #include <stdexcept>
-#include <unordered_map>
+
+#include "common/thread_pool.h"
 
 namespace r2c2 {
 
@@ -14,44 +16,52 @@ namespace {
 using Genotype = std::vector<std::uint8_t>;
 
 struct Evaluator {
-  Evaluator(const Router& r, std::span<const FlowSpec> f, const SelectionConfig& c)
-      : config(c) {
+  // One lane = everything one executing thread needs to score genotypes
+  // with zero shared mutable state: its own problem copy (row selections
+  // are per-lane cursors), scratch arena, and rate buffer. Lane 0 belongs
+  // to the calling thread; lanes 1..workers to the pool's workers. The
+  // waterfill result depends only on the selected rows — never on scratch
+  // history or which genotype a lane scored before — so every lane
+  // produces bit-identical utilities.
+  struct Lane {
+    WaterfillProblem problem;
+    WaterfillScratch scratch;
+    RateAllocation alloc;
+    Genotype current;  // the genotype this lane's row selection encodes
+  };
+
+  Evaluator(const Router& r, std::span<const FlowSpec> f, const SelectionConfig& c,
+            ThreadPool* p = nullptr)
+      : config(c), pool(p) {
     // All (flow, protocol-choice) link weights are derived once, into CSR
-    // rows of one shared WaterfillProblem; evaluating a genotype then only
-    // flips row selections for genes that differ from the previous one
+    // rows of one WaterfillProblem; evaluating a genotype then only flips
+    // row selections for genes that differ from the lane's previous one
     // (delta fitness) and solves with a reused scratch arena. The Router
-    // (and its mutex-guarded cache) is never touched again.
-    problem.build_with_choices(r, f, c.choices, c.alloc);
-    current.assign(f.size(), 0);  // build_with_choices selects choice 0
+    // is never touched again. Worker lanes start as copies of lane 0 —
+    // cheap (a handful of vectors) next to re-deriving link weights.
+    lanes.resize(1);
+    lanes[0].problem.build_with_choices(r, f, c.choices, c.alloc);
+    lanes[0].current.assign(f.size(), 0);  // build_with_choices selects choice 0
+    if (pool != nullptr) {
+      for (int l = 1; l < pool->lanes(); ++l) lanes.push_back(lanes[0]);
+    }
   }
 
   const SelectionConfig& config;
+  ThreadPool* pool = nullptr;
   int evaluations = 0;
-  // Memo keyed by genotype hash: elites reappear every generation and
-  // crossover often reproduces known genotypes.
-  std::unordered_map<std::uint64_t, double> memo;
-  WaterfillProblem problem;
-  WaterfillScratch scratch;
-  RateAllocation alloc;
-  Genotype current;  // the genotype the problem's row selection encodes
+  detail::FitnessMemo memo;
+  std::vector<Lane> lanes;
 
-  static std::uint64_t hash(const Genotype& g) {
-    std::uint64_t h = 0xcbf29ce484222325ULL;
-    for (std::uint8_t v : g) h = (h ^ v) * 0x100000001b3ULL;
-    return h;
-  }
-
-  double fitness(const Genotype& g) {
-    const std::uint64_t h = hash(g);
-    if (auto it = memo.find(h); it != memo.end()) return it->second;
+  double lane_fitness(Lane& lane, const Genotype& g) const {
     for (std::size_t i = 0; i < g.size(); ++i) {
-      if (g[i] != current[i]) {
-        problem.set_choice(i, g[i]);
-        current[i] = g[i];
+      if (g[i] != lane.current[i]) {
+        lane.problem.set_choice(i, g[i]);
+        lane.current[i] = g[i];
       }
     }
-    waterfill(problem, scratch, alloc);
-    const std::vector<Bps>& rates = alloc.rate;
+    waterfill(lane.problem, lane.scratch, lane.alloc);
+    const std::vector<Bps>& rates = lane.alloc.rate;
     double utility = 0.0;
     switch (config.utility) {
       case UtilityKind::kAggregateThroughput:
@@ -61,9 +71,63 @@ struct Evaluator {
         utility = rates.empty() ? 0.0 : *std::min_element(rates.begin(), rates.end());
         break;
     }
-    ++evaluations;
-    memo.emplace(h, utility);
     return utility;
+  }
+
+  double fitness(const Genotype& g) {
+    const std::uint64_t h = detail::FitnessMemo::hash(g);
+    if (const double* f = memo.find(h, g)) return *f;
+    const double utility = lane_fitness(lanes[0], g);
+    ++evaluations;
+    memo.insert(h, g, utility);
+    return utility;
+  }
+
+  // Scores a whole population, filling fit[i] for population[i]. Exactly
+  // equivalent to calling fitness() on each genotype in order — same
+  // values, same memo contents, same evaluation count — but the distinct
+  // un-memoized genotypes are solved concurrently across lanes. The
+  // in-batch dedup (by hash, then genotype comparison) reproduces the
+  // serial memo pattern: the first occurrence of a genotype is a miss,
+  // every repeat a hit.
+  void fitness_batch(std::span<const Genotype> population, std::vector<double>& fit) {
+    fit.resize(population.size());
+    struct Pending {
+      const Genotype* genes = nullptr;
+      std::uint64_t hash = 0;
+      double fitness = 0.0;
+    };
+    std::vector<Pending> misses;
+    constexpr std::size_t kHit = static_cast<std::size_t>(-1);
+    std::vector<std::size_t> ref(population.size(), kHit);  // index into misses
+    for (std::size_t i = 0; i < population.size(); ++i) {
+      const Genotype& g = population[i];
+      const std::uint64_t h = detail::FitnessMemo::hash(g);
+      if (const double* f = memo.find(h, g)) {
+        fit[i] = *f;
+        continue;
+      }
+      std::size_t u = 0;
+      for (; u < misses.size(); ++u) {
+        if (misses[u].hash == h && *misses[u].genes == g) break;
+      }
+      if (u == misses.size()) misses.push_back(Pending{&g, h});
+      ref[i] = u;
+    }
+    if (pool != nullptr && misses.size() > 1) {
+      pool->parallel_for(misses.size(), [&](std::size_t u, int lane) {
+        misses[u].fitness = lane_fitness(lanes[static_cast<std::size_t>(lane)], *misses[u].genes);
+      });
+    } else {
+      for (Pending& p : misses) p.fitness = lane_fitness(lanes[0], *p.genes);
+    }
+    for (const Pending& p : misses) {
+      memo.insert(p.hash, *p.genes, p.fitness);
+      ++evaluations;
+    }
+    for (std::size_t i = 0; i < population.size(); ++i) {
+      if (ref[i] != kHit) fit[i] = misses[ref[i]].fitness;
+    }
   }
 };
 
@@ -117,7 +181,13 @@ double route_assignment_utility(const Router& router, std::span<const FlowSpec> 
 SelectionResult select_routes_ga(const Router& router, std::span<const FlowSpec> flows,
                                  const SelectionConfig& config) {
   validate(config);
-  Evaluator eval{router, flows, config};
+  std::unique_ptr<ThreadPool> owned;
+  ThreadPool* pool = config.pool;
+  if (pool == nullptr && config.threads > 1) {
+    owned = std::make_unique<ThreadPool>(config.threads - 1);  // caller is a lane too
+    pool = owned.get();
+  }
+  Evaluator eval{router, flows, config, pool};
   Rng rng(config.seed);
   const std::size_t n_choices = config.choices.size();
 
@@ -144,7 +214,7 @@ SelectionResult select_routes_ga(const Router& router, std::span<const FlowSpec>
   int stall = 0;
 
   for (int gen = 0; gen < config.max_generations && stall < config.stall_generations; ++gen) {
-    for (std::size_t i = 0; i < population.size(); ++i) fit[i] = eval.fitness(population[i]);
+    eval.fitness_batch(population, fit);
     // Rank by fitness, best first.
     std::vector<std::size_t> rank(population.size());
     for (std::size_t i = 0; i < rank.size(); ++i) rank[i] = i;
@@ -184,11 +254,11 @@ SelectionResult select_routes_ga(const Router& router, std::span<const FlowSpec>
     population = std::move(next);
   }
   // Account for the final population (it may contain the best genotype).
-  for (const Genotype& g : population) {
-    const double f = eval.fitness(g);
-    if (f > best_fit) {
-      best_fit = f;
-      best = g;
+  eval.fitness_batch(population, fit);
+  for (std::size_t i = 0; i < population.size(); ++i) {
+    if (fit[i] > best_fit) {
+      best_fit = fit[i];
+      best = population[i];
     }
   }
   return finish(eval, best, best_fit, config);

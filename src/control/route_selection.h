@@ -16,6 +16,7 @@
 
 #include <cstdint>
 #include <span>
+#include <unordered_map>
 #include <vector>
 
 #include "common/rng.h"
@@ -23,6 +24,57 @@
 #include "routing/routing.h"
 
 namespace r2c2 {
+
+class ThreadPool;
+
+namespace detail {
+
+// Fitness memo for the GA: genotypes recur constantly (elites reappear
+// every generation; crossover reproduces known children), so utilities are
+// cached. Keyed by a 64-bit FNV-1a hash of the genotype but storing the
+// genotype itself: a hash collision is detected by comparison and gets its
+// own entry rather than silently returning another genotype's fitness.
+// The hash is passed in explicitly so tests can force two genotypes into
+// one bucket (tests/parallel_determinism_test.cpp).
+class FitnessMemo {
+ public:
+  static std::uint64_t hash(std::span<const std::uint8_t> genes) {
+    std::uint64_t h = 0xcbf29ce484222325ULL;
+    for (std::uint8_t v : genes) h = (h ^ v) * 0x100000001b3ULL;
+    return h;
+  }
+
+  const double* find(std::uint64_t h, std::span<const std::uint8_t> genes) const {
+    const auto it = buckets_.find(h);
+    if (it == buckets_.end()) return nullptr;
+    for (const Entry& e : it->second) {
+      if (e.genes.size() == genes.size() &&
+          std::equal(genes.begin(), genes.end(), e.genes.begin())) {
+        return &e.fitness;
+      }
+    }
+    return nullptr;
+  }
+
+  void insert(std::uint64_t h, std::span<const std::uint8_t> genes, double fitness) {
+    buckets_[h].push_back(Entry{{genes.begin(), genes.end()}, fitness});
+  }
+
+  std::size_t size() const {
+    std::size_t n = 0;
+    for (const auto& [h, entries] : buckets_) n += entries.size();
+    return n;
+  }
+
+ private:
+  struct Entry {
+    std::vector<std::uint8_t> genes;
+    double fitness = 0.0;
+  };
+  std::unordered_map<std::uint64_t, std::vector<Entry>> buckets_;
+};
+
+}  // namespace detail
 
 enum class UtilityKind {
   kAggregateThroughput,  // sum of allocated rates (rack throughput)
@@ -52,6 +104,16 @@ struct SelectionConfig {
 
   // Budget for random search / hill climbing, in utility evaluations.
   int eval_budget = 2000;
+
+  // Fitness-evaluation parallelism for the GA. Each generation's distinct
+  // un-memoized genotypes are evaluated concurrently on per-lane clones of
+  // the waterfill problem; the result (assignment, utility, evaluation
+  // count) is bit-identical for every thread count, including 1 (see
+  // DESIGN.md "Threading model"). threads <= 1 runs serially. When `pool`
+  // is non-null it is used and `threads` is ignored; otherwise a temporary
+  // pool with threads - 1 workers is spun up for the call.
+  int threads = 1;
+  ThreadPool* pool = nullptr;
 };
 
 struct SelectionResult {

@@ -1,0 +1,25 @@
+// Publishes a ThreadPool's lifetime task counters into a MetricsRegistry:
+// "<prefix>.tasks_executed" and "<prefix>.tasks_stolen" gauges. The pool
+// keeps its counts in atomics (workers bump them concurrently); registry
+// gauges are plain doubles, so the publish is a snapshot taken by the
+// pool's owner — call it from the thread that owns the pool, after (or
+// between) batches, not from inside tasks.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "common/thread_pool.h"
+#include "obs/metrics.h"
+
+namespace r2c2::obs {
+
+inline void publish_pool_stats(const ThreadPool& pool, MetricsRegistry& registry,
+                               std::string_view prefix) {
+  const ThreadPool::Stats s = pool.stats();
+  registry.gauge(std::string(prefix) + ".tasks_executed").set(static_cast<double>(s.executed));
+  registry.gauge(std::string(prefix) + ".tasks_stolen").set(static_cast<double>(s.stolen));
+  registry.gauge(std::string(prefix) + ".workers").set(static_cast<double>(pool.workers()));
+}
+
+}  // namespace r2c2::obs

@@ -3,6 +3,9 @@
 #include <algorithm>
 #include <cassert>
 #include <stdexcept>
+#include <unordered_map>
+
+#include "common/thread_pool.h"
 
 namespace r2c2 {
 
@@ -19,40 +22,116 @@ std::string_view to_string(RouteAlg alg) {
 
 namespace {
 
-// Packs the cache key. Only kEcmp keys carry the flow id; 28 bits suffice
-// for any flow count our experiments produce.
-std::uint64_t pack_key(RouteAlg alg, NodeId src, NodeId dst, FlowId flow) {
-  return (static_cast<std::uint64_t>(alg) << 60) | (static_cast<std::uint64_t>(src) << 44) |
-         (static_cast<std::uint64_t>(dst) << 28) | (flow & 0xfffffffULL);
+// Per-thread scratch for the path walkers: next-hop candidates and grid
+// coordinates. Thread-local so pick_path_into allocates nothing once each
+// calling thread is warm, with no sharing between threads.
+thread_local std::vector<NodeId> t_next;
+thread_local std::vector<int> t_from;
+thread_local std::vector<int> t_to;
+thread_local std::vector<int> t_dir;
+
+std::uint64_t ecmp_seed(NodeId src, NodeId dst, FlowId flow) {
+  // The path is a pure hash of (flow, src, dst): TCP needs all packets of a
+  // flow on one path, and different flows between the same endpoints should
+  // spread over different shortest paths (Section 5.2).
+  return (static_cast<std::uint64_t>(flow) << 32) | (static_cast<std::uint64_t>(src) << 16) | dst;
 }
 
 }  // namespace
 
+Router::Router(const Topology& topo) : topo_(topo) {
+  const std::size_t slots = topo.num_nodes() * topo.num_nodes();
+  for (auto& table : table_) {
+    table = std::vector<std::atomic<const LinkWeights*>>(slots);
+  }
+}
+
+Router::~Router() {
+  for (auto& table : table_) {
+    for (auto& slot : table) delete slot.load(std::memory_order_relaxed);
+  }
+}
+
 Path Router::pick_path(RouteAlg alg, NodeId src, NodeId dst, Rng& rng, FlowId flow) const {
-  if (src == dst) return {src};
+  Path out;
+  pick_path_into(alg, src, dst, rng, out, flow);
+  return out;
+}
+
+void Router::pick_path_into(RouteAlg alg, NodeId src, NodeId dst, Rng& rng, Path& out,
+                            FlowId flow) const {
+  out.clear();
+  out.push_back(src);
+  if (src == dst) return;
   switch (alg) {
-    case RouteAlg::kRps: return rps_path(src, dst, rng);
-    case RouteAlg::kDor: return dor_path(src, dst);
-    case RouteAlg::kVlb: return vlb_path(src, dst, rng);
-    case RouteAlg::kWlb: return wlb_path(src, dst, rng);
-    case RouteAlg::kEcmp: return ecmp_path(src, dst, flow);
+    case RouteAlg::kRps:
+      rps_walk(out, dst, rng);
+      return;
+    case RouteAlg::kDor:
+      dor_walk(out, dst);
+      return;
+    case RouteAlg::kVlb: {
+      // Valiant: minimal route to a uniformly random waypoint, then minimal
+      // to the destination. Each phase sprays across the shortest-path DAG
+      // (like RPS) so the load spreads over all of a node's ports rather
+      // than concentrating on the first dimension as DOR phases would.
+      const NodeId mid = static_cast<NodeId>(rng.uniform_int(topo_.num_nodes()));
+      if (mid != src) rps_walk(out, mid, rng);
+      if (mid != dst) rps_walk(out, dst, rng);
+      return;
+    }
+    case RouteAlg::kWlb:
+      wlb_walk(out, dst, rng);
+      return;
+    case RouteAlg::kEcmp: {
+      std::uint64_t seed = ecmp_seed(src, dst, flow);
+      Rng path_rng(splitmix64(seed));
+      rps_walk(out, dst, path_rng);
+      return;
+    }
   }
   throw std::invalid_argument("unknown routing algorithm");
 }
 
 const LinkWeights& Router::link_weights(RouteAlg alg, NodeId src, NodeId dst, FlowId flow) const {
-  const Key key{pack_key(alg, src, dst, alg == RouteAlg::kEcmp ? flow : 0)};
-  {
-    std::lock_guard lock(cache_mutex_);
-    auto it = cache_.find(key);
-    if (it != cache_.end()) return it->second;
+  if (alg == RouteAlg::kEcmp) {
+    // kEcmp entries are keyed by flow as well, so they are derived per call
+    // into thread-local storage (a single deterministic path walk — cheap)
+    // instead of the per-pair tables. Valid until this thread's next kEcmp
+    // query; no lock, no steady-state allocation.
+    static thread_local LinkWeights weights;
+    static thread_local Path path;
+    weights.clear();
+    if (src == dst) return weights;
+    std::uint64_t seed = ecmp_seed(src, dst, flow);
+    Rng path_rng(splitmix64(seed));
+    path.clear();
+    path.push_back(src);
+    rps_walk(path, dst, path_rng);
+    weights.reserve(path.size() - 1);
+    for (std::size_t i = 0; i + 1 < path.size(); ++i) {
+      const LinkId link = topo_.find_link(path[i], path[i + 1]);
+      assert(link != kInvalidLink);
+      weights.push_back({link, 1.0});
+    }
+    return weights;
   }
-  // Compute outside the lock: weight derivations can recurse into
-  // link_weights (VLB averages cached RPS phases), and concurrent misses
-  // for the same key are harmless — emplace keeps the first result.
-  LinkWeights weights = compute_weights(alg, src, dst, flow);
-  std::lock_guard lock(cache_mutex_);
-  return cache_.emplace(key, std::move(weights)).first->second;
+  const auto a = static_cast<std::size_t>(alg);
+  if (a >= kTabledAlgs) throw std::invalid_argument("unknown routing algorithm");
+  std::atomic<const LinkWeights*>& slot =
+      table_[a][static_cast<std::size_t>(src) * topo_.num_nodes() + dst];
+  if (const LinkWeights* w = slot.load(std::memory_order_acquire)) return *w;
+  // First touch: derive outside any lock (derivations recurse — VLB
+  // averages RPS phases) and publish with a CAS. A racing thread computes
+  // the identical entry; exactly one wins, the loser's copy is dropped.
+  auto* fresh = new LinkWeights(compute_weights(alg, src, dst, flow));
+  const LinkWeights* expected = nullptr;
+  if (slot.compare_exchange_strong(expected, fresh, std::memory_order_release,
+                                   std::memory_order_acquire)) {
+    return *fresh;
+  }
+  delete fresh;
+  return *expected;
 }
 
 double Router::expected_hops(RouteAlg alg, NodeId src, NodeId dst, FlowId flow) const {
@@ -61,31 +140,56 @@ double Router::expected_hops(RouteAlg alg, NodeId src, NodeId dst, FlowId flow) 
   return hops;
 }
 
+void Router::precompute(RouteAlg alg, ThreadPool* pool) const {
+  if (alg == RouteAlg::kEcmp) return;  // flow-keyed; always derived per call
+  // VLB entries recurse into RPS entries: fill the RPS table first so
+  // parallel VLB rows read it instead of racing on recursive first-touches.
+  if (alg == RouteAlg::kVlb) precompute(RouteAlg::kRps, pool);
+  const std::size_t n = topo_.num_nodes();
+  const auto fill_row = [&](std::size_t src) {
+    for (std::size_t dst = 0; dst < n; ++dst) {
+      link_weights(alg, static_cast<NodeId>(src), static_cast<NodeId>(dst));
+    }
+  };
+  if (pool != nullptr && pool->workers() > 0) {
+    pool->parallel_for(n, [&](std::size_t src, int) { fill_row(src); });
+  } else {
+    for (std::size_t src = 0; src < n; ++src) fill_row(src);
+  }
+}
+
 LinkWeights Router::compute_weights(RouteAlg alg, NodeId src, NodeId dst, FlowId flow) const {
   if (src == dst) return {};
   switch (alg) {
     case RouteAlg::kRps: return rps_weights(src, dst);
-    case RouteAlg::kDor: return single_path_weights(dor_path(src, dst));
+    case RouteAlg::kDor: {
+      Path path{src};
+      dor_walk(path, dst);
+      return single_path_weights(path);
+    }
     case RouteAlg::kVlb: return vlb_weights(src, dst);
     case RouteAlg::kWlb: return wlb_weights(src, dst);
-    case RouteAlg::kEcmp: return single_path_weights(ecmp_path(src, dst, flow));
+    case RouteAlg::kEcmp: {
+      std::uint64_t seed = ecmp_seed(src, dst, flow);
+      Rng path_rng(splitmix64(seed));
+      Path path{src};
+      rps_walk(path, dst, path_rng);
+      return single_path_weights(path);
+    }
   }
   throw std::invalid_argument("unknown routing algorithm");
 }
 
 // --- Paths ---
 
-Path Router::rps_path(NodeId src, NodeId dst, Rng& rng) const {
-  Path path{src};
-  std::vector<NodeId> next;
-  NodeId at = src;
-  while (at != dst) {
-    topo_.min_next_hops(at, dst, next);
-    assert(!next.empty());
-    at = next[rng.uniform_int(next.size())];
+void Router::rps_walk(Path& path, NodeId to, Rng& rng) const {
+  NodeId at = path.back();
+  while (at != to) {
+    topo_.min_next_hops(at, to, t_next);
+    assert(!t_next.empty());
+    at = t_next[rng.uniform_int(t_next.size())];
     path.push_back(at);
   }
-  return path;
 }
 
 int Router::minimal_direction(int a, int b, int k, bool wraps, NodeId src, NodeId dst,
@@ -103,7 +207,9 @@ int Router::minimal_direction(int a, int b, int k, bool wraps, NodeId src, NodeI
 void Router::walk_dims(Path& path, std::span<const int> from_coords, std::span<const int> to_coords,
                        std::span<const int> dir) const {
   const auto& grid = *topo_.grid();
-  std::vector<int> at(from_coords.begin(), from_coords.end());
+  // Own cursor (callers pass spans over t_from/t_to; don't alias them).
+  thread_local std::vector<int> at;
+  at.assign(from_coords.begin(), from_coords.end());
   for (std::size_t i = 0; i < grid.dims.size(); ++i) {
     const int k = grid.dims[i];
     while (at[i] != to_coords[i]) {
@@ -113,81 +219,63 @@ void Router::walk_dims(Path& path, std::span<const int> from_coords, std::span<c
   }
 }
 
-Path Router::dor_path(NodeId src, NodeId dst) const {
-  Path path{src};
-  if (src == dst) return path;
+void Router::dor_walk(Path& path, NodeId to) const {
+  const NodeId from = path.back();
+  if (from == to) return;
   if (topo_.grid()) {
     const auto& grid = *topo_.grid();
-    const auto from = topo_.coords_of(src);
-    const auto to = topo_.coords_of(dst);
-    std::vector<int> dir(grid.dims.size(), 1);
+    topo_.coords_into(from, t_from);
+    topo_.coords_into(to, t_to);
+    t_dir.assign(grid.dims.size(), 1);
     for (std::size_t i = 0; i < grid.dims.size(); ++i) {
-      if (from[i] != to[i]) dir[i] = minimal_direction(from[i], to[i], grid.dims[i], grid.wraps, src, dst, static_cast<int>(i));
+      if (t_from[i] != t_to[i]) {
+        t_dir[i] = minimal_direction(t_from[i], t_to[i], grid.dims[i], grid.wraps, from, to,
+                                     static_cast<int>(i));
+      }
     }
-    walk_dims(path, from, to, dir);
-    return path;
+    // walk_dims mutates t_from as its cursor; it copies first, so passing
+    // t_from as the from-coords is safe.
+    walk_dims(path, t_from, t_to, t_dir);
+    return;
   }
   // General graphs: deterministic minimal walk picking the lowest-id next
   // hop. Used for Clos and custom topologies.
-  std::vector<NodeId> next;
-  NodeId at = src;
-  while (at != dst) {
-    topo_.min_next_hops(at, dst, next);
-    assert(!next.empty());
-    at = *std::min_element(next.begin(), next.end());
+  NodeId at = from;
+  while (at != to) {
+    topo_.min_next_hops(at, to, t_next);
+    assert(!t_next.empty());
+    at = *std::min_element(t_next.begin(), t_next.end());
     path.push_back(at);
   }
-  return path;
 }
 
-Path Router::vlb_path(NodeId src, NodeId dst, Rng& rng) const {
-  // Valiant: minimal route to a uniformly random waypoint, then minimal to
-  // the destination. Each phase sprays across the shortest-path DAG (like
-  // RPS) so the load spreads over all of a node's ports rather than
-  // concentrating on the first dimension as DOR phases would.
-  const NodeId mid = static_cast<NodeId>(rng.uniform_int(topo_.num_nodes()));
-  Path path = src == mid ? Path{src} : rps_path(src, mid, rng);
-  if (mid != dst) {
-    const Path second = rps_path(mid, dst, rng);
-    path.insert(path.end(), second.begin() + 1, second.end());
+void Router::wlb_walk(Path& path, NodeId to, Rng& rng) const {
+  const NodeId from = path.back();
+  if (!topo_.grid()) {  // WLB is grid-specific
+    rps_walk(path, to, rng);
+    return;
   }
-  return path;
-}
-
-Path Router::wlb_path(NodeId src, NodeId dst, Rng& rng) const {
-  if (!topo_.grid()) return rps_path(src, dst, rng);  // WLB is grid-specific
   const auto& grid = *topo_.grid();
-  const auto from = topo_.coords_of(src);
-  const auto to = topo_.coords_of(dst);
-  std::vector<int> dir(grid.dims.size(), 1);
+  topo_.coords_into(from, t_from);
+  topo_.coords_into(to, t_to);
+  t_dir.assign(grid.dims.size(), 1);
   for (std::size_t i = 0; i < grid.dims.size(); ++i) {
     const int k = grid.dims[i];
-    if (from[i] == to[i]) continue;
+    if (t_from[i] == t_to[i]) continue;
     if (!grid.wraps || k <= 2) {
-      dir[i] = minimal_direction(from[i], to[i], k, grid.wraps, src, dst, static_cast<int>(i));
+      t_dir[i] = minimal_direction(t_from[i], t_to[i], k, grid.wraps, from, to,
+                                   static_cast<int>(i));
       continue;
     }
     // Choose the direction with probability proportional to the *other*
     // direction's length: the short way around is picked (k - delta)/k of
     // the time [44]. This biases toward minimal paths in proportion to the
     // detour cost while still spreading load over non-minimal paths.
-    const int fwd = ((to[i] - from[i]) % k + k) % k;
+    const int fwd = ((t_to[i] - t_from[i]) % k + k) % k;
     const double p_fwd = static_cast<double>(k - fwd) / static_cast<double>(k);
-    dir[i] = rng.bernoulli(p_fwd) ? 1 : -1;
+    t_dir[i] = rng.bernoulli(p_fwd) ? 1 : -1;
   }
-  Path path{src};
-  walk_dims(path, from, to, dir);
-  return path;
-}
-
-Path Router::ecmp_path(NodeId src, NodeId dst, FlowId flow) const {
-  // The path is a pure hash of (flow, src, dst): TCP needs all packets of a
-  // flow on one path, and different flows between the same endpoints should
-  // spread over different shortest paths (Section 5.2).
-  std::uint64_t seed = (static_cast<std::uint64_t>(flow) << 32) |
-                       (static_cast<std::uint64_t>(src) << 16) | dst;
-  Rng rng(splitmix64(seed));
-  return rps_path(src, dst, rng);
+  walk_dims(path, t_from, t_to, t_dir);
 }
 
 // --- Flow-level link weights ---
@@ -241,7 +329,7 @@ LinkWeights Router::rps_weights(NodeId src, NodeId dst) const {
 
 LinkWeights Router::vlb_weights(NodeId src, NodeId dst) const {
   // Uniform average over intermediate nodes of the two RPS-sprayed minimal
-  // phases (mirrors vlb_path exactly).
+  // phases (mirrors the VLB path walk exactly).
   const std::size_t n = topo_.num_nodes();
   const double share = 1.0 / static_cast<double>(n);
   std::unordered_map<LinkId, double> edge_mass;

@@ -20,13 +20,25 @@
 //    randomly, biased toward the shorter way in proportion to path length.
 //  - kEcmp: single shortest path chosen by a hash of the flow id; used by
 //    the TCP baseline (Section 5.2).
+//
+// Threading model: a Router is an immutable shared read structure. Weight
+// entries live in dense per-algorithm slot tables indexed by (src, dst);
+// each entry is computed once, heap-allocated, and published with a single
+// compare-and-swap — after which it is never modified or replaced, so the
+// hot read path is one atomic load and a dereference: no mutex, no
+// allocation, safe from any number of threads (the GA's evaluator lanes and
+// concurrent experiment sweeps read one Router simultaneously). Racing
+// first-touch computations of the same pair are harmless: the computation
+// is pure, both sides derive identical weights, and the CAS keeps exactly
+// one. precompute() moves the entire first-touch cost of an algorithm out
+// of measured regions, optionally spread across a ThreadPool.
 #pragma once
 
+#include <array>
+#include <atomic>
 #include <cstdint>
-#include <mutex>
 #include <span>
 #include <string_view>
-#include <unordered_map>
 #include <vector>
 
 #include "common/rng.h"
@@ -34,6 +46,8 @@
 #include "topology/topology.h"
 
 namespace r2c2 {
+
+class ThreadPool;
 
 enum class RouteAlg : std::uint8_t {
   kRps = 0,
@@ -60,7 +74,8 @@ using LinkWeights = std::vector<LinkFraction>;
 
 class Router {
  public:
-  explicit Router(const Topology& topo) : topo_(topo) {}
+  explicit Router(const Topology& topo);
+  ~Router();
 
   Router(const Router&) = delete;
   Router& operator=(const Router&) = delete;
@@ -70,40 +85,40 @@ class Router {
   // Picks the path for one packet. `flow` is only used by kEcmp (the path
   // is a pure function of the flow id). Thread-safe given a per-caller rng.
   Path pick_path(RouteAlg alg, NodeId src, NodeId dst, Rng& rng, FlowId flow = 0) const;
+  // Allocation-free variant: writes the path into `out` (reusing its
+  // capacity); per-hop working state lives in thread-local scratch.
+  void pick_path_into(RouteAlg alg, NodeId src, NodeId dst, Rng& rng, Path& out,
+                      FlowId flow = 0) const;
 
   // Expected fraction of the flow's rate on each directed link it uses.
-  // Cached per (alg, src, dst[, flow for kEcmp]); thread-safe. The returned
-  // reference stays valid for the Router's lifetime.
+  // Lock-free: entries are immutable once published (see header comment).
+  // For every algorithm except kEcmp the returned reference stays valid for
+  // the Router's lifetime. kEcmp entries are keyed by flow as well, so they
+  // are derived into a thread-local buffer instead: the reference is valid
+  // until the calling thread's next kEcmp query (every in-repo caller
+  // consumes the weights immediately).
   const LinkWeights& link_weights(RouteAlg alg, NodeId src, NodeId dst, FlowId flow = 0) const;
 
   // Expected path length in hops = sum of all link fractions.
   double expected_hops(RouteAlg alg, NodeId src, NodeId dst, FlowId flow = 0) const;
 
- private:
-  struct Key {
-    std::uint64_t packed;  // alg | src | dst | flow
-    bool operator==(const Key& o) const { return packed == o.packed; }
-  };
-  struct KeyHash {
-    std::size_t operator()(const Key& k) const {
-      std::uint64_t s = k.packed;
-      return static_cast<std::size_t>(splitmix64(s));
-    }
-  };
+  // Eagerly derives every (src, dst) weight entry for `alg` — across `pool`
+  // when given — so subsequent link_weights calls are pure table reads.
+  // No-op for kEcmp (entries are per-flow; they are always derived per
+  // call) and for already-computed entries.
+  void precompute(RouteAlg alg, ThreadPool* pool = nullptr) const;
 
+ private:
   LinkWeights compute_weights(RouteAlg alg, NodeId src, NodeId dst, FlowId flow) const;
   LinkWeights rps_weights(NodeId src, NodeId dst) const;
   LinkWeights single_path_weights(const Path& path) const;
   LinkWeights vlb_weights(NodeId src, NodeId dst) const;
   LinkWeights wlb_weights(NodeId src, NodeId dst) const;
 
-  Path rps_path(NodeId src, NodeId dst, Rng& rng) const;
-  // Deterministic minimal path: dimension-order on grids, lowest-id
-  // shortest-path walk on general graphs.
-  Path dor_path(NodeId src, NodeId dst) const;
-  Path vlb_path(NodeId src, NodeId dst, Rng& rng) const;
-  Path wlb_path(NodeId src, NodeId dst, Rng& rng) const;
-  Path ecmp_path(NodeId src, NodeId dst, FlowId flow) const;
+  // Path builders append the walk from the last node already in `path`.
+  void rps_walk(Path& path, NodeId to, Rng& rng) const;
+  void dor_walk(Path& path, NodeId to) const;
+  void wlb_walk(Path& path, NodeId to, Rng& rng) const;
 
   // Appends the dimension-order walk from `at` to `dst` (grids only),
   // correcting dimensions in index order; `dir` gives the step direction
@@ -118,8 +133,11 @@ class Router {
   int minimal_direction(int a, int b, int k, bool wraps, NodeId src, NodeId dst, int dim) const;
 
   const Topology& topo_;
-  mutable std::mutex cache_mutex_;
-  mutable std::unordered_map<Key, LinkWeights, KeyHash> cache_;
+  // Dense slot tables, one per flow-id-independent algorithm, indexed by
+  // src * num_nodes + dst. A null slot means "not derived yet"; a non-null
+  // slot points at an immutable heap entry owned by the Router.
+  static constexpr int kTabledAlgs = 4;  // kRps, kDor, kVlb, kWlb
+  mutable std::array<std::vector<std::atomic<const LinkWeights*>>, kTabledAlgs> table_;
 };
 
 }  // namespace r2c2

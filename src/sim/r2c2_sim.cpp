@@ -441,8 +441,20 @@ void R2c2Sim::emit_packet(FlowId id) {
   // Route decisions come from the current (possibly degraded) router, but
   // the encoded ports index the physical substrate: every degraded link
   // exists verbatim in the full topology.
-  const Path path = cur_router().pick_path(flow.spec.alg, flow.spec.src, flow.spec.dst, rng_, id);
-  pkt.route = encode_path(topo_, path);
+  const RouteAlg alg = flow.spec.alg;
+  if (alg == RouteAlg::kDor || alg == RouteAlg::kEcmp) {
+    // Deterministic protocols: the path never changes within one
+    // decision-plane epoch (and consumes no rng draws), so encode once.
+    if (flow.route_epoch != router_epoch_) {
+      cur_router().pick_path_into(alg, flow.spec.src, flow.spec.dst, rng_, path_scratch_, id);
+      flow.cached_route = encode_path(topo_, path_scratch_);
+      flow.route_epoch = router_epoch_;
+    }
+    pkt.route = flow.cached_route;
+  } else {
+    cur_router().pick_path_into(alg, flow.spec.src, flow.spec.dst, rng_, path_scratch_, id);
+    pkt.route = encode_path(topo_, path_scratch_);
+  }
   flow.sent_bytes = std::max(flow.sent_bytes, offset + payload);
   const std::uint32_t wire_bytes = pkt.wire_bytes;
 
@@ -563,7 +575,12 @@ void R2c2Sim::send_ack(FlowId id, ReceiverFlow& recv, NodeId from, NodeId to) {
   // Header + 8 B cumulative + two 16 B SACK blocks.
   ack.wire_bytes = static_cast<std::uint32_t>(DataHeader::kWireSize) + 8 + 32;
   ack.sent_at = engine_.now();
-  ack.route = encode_path(topo_, cur_router().pick_path(RouteAlg::kRps, from, to, rng_, id));
+  if (recv.ack_route_epoch != router_epoch_) {
+    cur_router().pick_path_into(RouteAlg::kRps, from, to, rng_, path_scratch_, id);
+    recv.ack_route = encode_path(topo_, path_scratch_);
+    recv.ack_route_epoch = router_epoch_;
+  }
+  ack.route = recv.ack_route;
   net_.forward(from, std::move(ack));
 }
 
@@ -734,6 +751,9 @@ void R2c2Sim::rebuild_context() {
     cur_router_ = std::make_unique<Router>(*cur_topo_);
     cur_trees_ = std::make_unique<BroadcastTrees>(*cur_topo_, config_.broadcast_trees);
   }
+  // Invalidate every per-flow cached route (data and ACK): the epoch
+  // comparison makes each flow re-derive lazily on its next packet.
+  ++router_epoch_;
   c_context_rebuilds_.add(1);
   // The route universe changed: denominators and the waterfill problem are
   // stale in the old link-id space. Rebuild both against the new router.

@@ -152,6 +152,12 @@ class R2c2Sim {
     // Reliability extension state (null when config.reliable is false).
     std::unique_ptr<ReliableSender> rel;
     bool finish_announced = false;
+    // Encoded route cache for deterministic protocols (kDor, kEcmp): their
+    // path is a pure function of (alg, src, dst, flow id), so it is walked
+    // and encoded once per decision-plane epoch instead of per packet.
+    // route_epoch != router_epoch_ marks the cache stale (router rebuilt).
+    RouteCode cached_route;
+    int route_epoch = -1;
   };
 
   struct ReceiverFlow {
@@ -159,6 +165,11 @@ class R2c2Sim {
     ReorderTracker reorder;
     std::unique_ptr<ReliableReceiver> rel;
     int pkts_since_ack = 0;
+    // A flow's ACKs follow one RPS-drawn path, re-drawn whenever the
+    // decision plane changes (ACKs are tiny; spraying them buys nothing,
+    // and the pinned path makes the reverse direction allocation-free).
+    RouteCode ack_route;
+    int ack_route_epoch = -1;
   };
 
   struct PendingBroadcast {
@@ -246,6 +257,12 @@ class R2c2Sim {
   std::unique_ptr<Router> cur_router_;
   std::unique_ptr<BroadcastTrees> cur_trees_;
   std::optional<FaultInjector> injector_;
+  // Bumped on every decision-plane swap; per-flow route caches compare
+  // their epoch against it instead of registering for invalidation.
+  int router_epoch_ = 0;
+  // Scratch for pick_path_into on the per-packet path (no allocation once
+  // warm; the sim is single-threaded, so one buffer suffices).
+  Path path_scratch_;
 
   FlowTable global_view_;  // flows whose start broadcast fully propagated
   // Rate-computation state reused across recomputations: the CSR problem

@@ -136,14 +136,19 @@ std::vector<NodeId> Topology::min_next_hops(NodeId at, NodeId to) const {
 }
 
 std::vector<int> Topology::coords_of(NodeId n) const {
+  std::vector<int> coords;
+  coords_into(n, coords);
+  return coords;
+}
+
+void Topology::coords_into(NodeId n, std::vector<int>& out) const {
   if (!grid_) throw std::logic_error("coords_of on non-grid topology");
-  std::vector<int> coords(grid_->dims.size());
+  out.resize(grid_->dims.size());
   std::uint32_t rem = n;
   for (std::size_t i = 0; i < grid_->dims.size(); ++i) {
-    coords[i] = static_cast<int>(rem % static_cast<std::uint32_t>(grid_->dims[i]));
+    out[i] = static_cast<int>(rem % static_cast<std::uint32_t>(grid_->dims[i]));
     rem /= static_cast<std::uint32_t>(grid_->dims[i]);
   }
-  return coords;
 }
 
 NodeId Topology::node_at(std::span<const int> coords) const {

@@ -94,6 +94,9 @@ class Topology {
   const std::optional<GridMeta>& grid() const { return grid_; }
   void set_grid(GridMeta meta) { grid_ = std::move(meta); }
   std::vector<int> coords_of(NodeId n) const;
+  // Allocation-free variant for hot paths: resizes `out` to the grid's
+  // dimensionality (no-op once warmed) and fills it in place.
+  void coords_into(NodeId n, std::vector<int>& out) const;
   NodeId node_at(std::span<const int> coords) const;
 
   // Human-readable description ("torus 8x8x8", "mesh 4x4", ...).

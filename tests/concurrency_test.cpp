@@ -1,11 +1,13 @@
-// Cross-cutting robustness: Router's weight cache under concurrent access
-// (the Maze emulator queries it from every node thread), simulator
+// Cross-cutting robustness: Router's lock-free weight tables under
+// concurrent access (the Maze emulator queries them from every node
+// thread; the GA and bench sweeps from every pool lane), simulator
 // determinism, and R2C2 running atop a small switched Clos (Section 6).
 #include <gtest/gtest.h>
 
 #include <atomic>
 #include <thread>
 
+#include "common/thread_pool.h"
 #include "routing/routing.h"
 #include "sim/r2c2_sim.h"
 #include "topology/topology.h"
@@ -54,6 +56,69 @@ TEST(Concurrency, ConcurrentReadersSeeSameCachedEntry) {
   }
   for (auto& th : threads) th.join();
   for (int t = 1; t < 8; ++t) EXPECT_EQ(seen[static_cast<std::size_t>(t)], seen[0]);
+}
+
+TEST(Concurrency, WarmTablesServeStableReferences) {
+  // After precompute, link_weights is a pure table read: the reference a
+  // thread saw before the concurrent phase must still be the entry every
+  // thread sees during it (entries are published once, never replaced).
+  const Topology topo = make_torus({4, 4, 4}, 10 * kGbps, 100);
+  const Router router(topo);
+  ThreadPool pool(3);
+  router.precompute(RouteAlg::kRps, &pool);
+  router.precompute(RouteAlg::kDor, &pool);
+
+  const LinkWeights* before = &router.link_weights(RouteAlg::kRps, 3, 60);
+  std::atomic<bool> mismatch{false};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 8; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < 4000; ++i) {
+        if (&router.link_weights(RouteAlg::kRps, 3, 60) != before) mismatch.store(true);
+        const auto alg = (i % 2 == 0) ? RouteAlg::kRps : RouteAlg::kDor;
+        const NodeId s = static_cast<NodeId>(i % topo.num_nodes());
+        const NodeId d = static_cast<NodeId>((i * 7 + 1) % topo.num_nodes());
+        const LinkWeights& w = router.link_weights(alg, s, d);
+        if (s != d && w.empty()) mismatch.store(true);
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_FALSE(mismatch.load());
+}
+
+TEST(Concurrency, ConcurrentPathWalksAreSelfConsistent) {
+  // pick_path_into from many threads at once (per-thread rng and output
+  // buffer, thread-local walk scratch): every returned path must be a
+  // valid src -> dst walk over existing links. Covers the kEcmp
+  // thread-local weight buffer too.
+  const Topology topo = make_torus({4, 4, 4}, 10 * kGbps, 100);
+  const Router router(topo);
+  std::atomic<bool> bad{false};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 8; ++t) {
+    threads.emplace_back([&, t] {
+      Rng rng(0x9000u + static_cast<std::uint64_t>(t));
+      Path path;
+      for (int i = 0; i < 3000; ++i) {
+        const NodeId s = static_cast<NodeId>(rng.uniform_int(topo.num_nodes()));
+        NodeId d;
+        do {
+          d = static_cast<NodeId>(rng.uniform_int(topo.num_nodes()));
+        } while (d == s);
+        const auto alg = static_cast<RouteAlg>(rng.uniform_int(kNumRouteAlgs));
+        router.pick_path_into(alg, s, d, rng, path, static_cast<FlowId>(i));
+        if (path.front() != s || path.back() != d) bad.store(true);
+        for (std::size_t h = 0; h + 1 < path.size(); ++h) {
+          if (topo.find_link(path[h], path[h + 1]) == kInvalidLink) bad.store(true);
+        }
+        const LinkWeights& w = router.link_weights(RouteAlg::kEcmp, s, d, static_cast<FlowId>(i));
+        if (w.empty()) bad.store(true);
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_FALSE(bad.load());
 }
 
 TEST(Determinism, IdenticalSeedsGiveIdenticalRuns) {

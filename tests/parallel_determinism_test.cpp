@@ -1,0 +1,146 @@
+// The parallel evaluation plane must be invisible in results: the GA
+// returns a bit-identical SelectionResult for every thread count, and the
+// fitness memo survives 64-bit hash collisions (keyed lookups compare the
+// genotype, not just the hash).
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/thread_pool.h"
+#include "control/route_selection.h"
+#include "topology/topology.h"
+
+namespace r2c2 {
+namespace {
+
+std::vector<FlowSpec> permutation_like_flows(const Topology& topo, int n, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<FlowSpec> flows;
+  for (int i = 0; i < n; ++i) {
+    FlowSpec f;
+    f.id = static_cast<FlowId>(i + 1);
+    f.src = static_cast<NodeId>(rng.uniform_int(topo.num_nodes()));
+    do {
+      f.dst = static_cast<NodeId>(rng.uniform_int(topo.num_nodes()));
+    } while (f.dst == f.src);
+    f.alg = RouteAlg::kRps;
+    f.weight = 1.0;
+    f.priority = 0;
+    f.demand = kUnlimitedDemand;
+    flows.push_back(f);
+  }
+  return flows;
+}
+
+void expect_identical(const SelectionResult& a, const SelectionResult& b, int threads) {
+  EXPECT_EQ(a.assignment, b.assignment) << "threads=" << threads;
+  EXPECT_EQ(a.utility, b.utility) << "threads=" << threads;  // bitwise, not near
+  EXPECT_EQ(a.evaluations, b.evaluations) << "threads=" << threads;
+}
+
+TEST(ParallelDeterminism, GaIsBitIdenticalAcrossThreadCounts) {
+  const Topology topo = make_torus({4, 4, 4}, 10 * kGbps, 100);
+  const Router router(topo);
+  const auto flows = permutation_like_flows(topo, 80, 0xfeed);
+
+  SelectionConfig cfg;
+  cfg.choices = {RouteAlg::kRps, RouteAlg::kVlb};
+  cfg.population = 30;
+  cfg.max_generations = 8;
+  cfg.stall_generations = 4;
+  cfg.seed = 7;
+
+  cfg.threads = 1;
+  const SelectionResult serial = select_routes_ga(router, flows, cfg);
+  EXPECT_GT(serial.utility, 0.0);
+  EXPECT_GT(serial.evaluations, 0);
+
+  std::vector<int> counts{2, 4, 8};
+  // CI legs pin an extra count (e.g. the runner's core count) via env.
+  if (const char* env = std::getenv("R2C2_TEST_THREADS")) {
+    const int v = std::atoi(env);
+    if (v >= 1) counts.push_back(v);
+  }
+  for (const int threads : counts) {
+    cfg.threads = threads;
+    expect_identical(select_routes_ga(router, flows, cfg), serial, threads);
+  }
+}
+
+TEST(ParallelDeterminism, GaWithExternalPoolMatchesSerial) {
+  // Callers may hand the GA a long-lived pool instead of a thread count;
+  // the result must not depend on which construction path was taken.
+  const Topology topo = make_torus({4, 4}, 10 * kGbps, 100);
+  const Router router(topo);
+  const auto flows = permutation_like_flows(topo, 40, 0xbee);
+
+  SelectionConfig cfg;
+  cfg.choices = {RouteAlg::kRps, RouteAlg::kVlb, RouteAlg::kDor};
+  cfg.population = 20;
+  cfg.max_generations = 6;
+  cfg.seed = 3;
+
+  cfg.threads = 1;
+  const SelectionResult serial = select_routes_ga(router, flows, cfg);
+
+  ThreadPool pool(3);
+  cfg.pool = &pool;
+  expect_identical(select_routes_ga(router, flows, cfg), serial, pool.lanes());
+  // The pool actually ran fitness work (not a silent serial fallback).
+  EXPECT_GT(pool.stats().executed, 0u);
+}
+
+TEST(ParallelDeterminism, SelectionIsIndependentOfPriorRouterUse) {
+  // A router warmed by a previous (different) flow set must give the same
+  // selection as a cold one: entries are immutable and per-pair, so cache
+  // state can never leak between computations.
+  const Topology topo = make_torus({4, 4}, 10 * kGbps, 100);
+  const auto flows = permutation_like_flows(topo, 30, 0xabc);
+  SelectionConfig cfg;
+  cfg.population = 16;
+  cfg.max_generations = 5;
+  cfg.seed = 11;
+
+  const Router cold(topo);
+  const SelectionResult from_cold = select_routes_ga(cold, flows, cfg);
+
+  const Router warmed(topo);
+  warmed.precompute(RouteAlg::kRps);
+  warmed.precompute(RouteAlg::kVlb);
+  const SelectionResult from_warm = select_routes_ga(warmed, flows, cfg);
+  expect_identical(from_warm, from_cold, 1);
+}
+
+TEST(FitnessMemo, CollidingHashesKeepSeparateEntries) {
+  // Regression: the memo used to key by the 64-bit FNV hash alone, so two
+  // genotypes with colliding hashes silently shared one fitness value.
+  // Force a collision by inserting two different genotypes under the SAME
+  // hash: lookups must compare the stored genotype and keep both.
+  detail::FitnessMemo memo;
+  const std::vector<std::uint8_t> a{0, 1, 0, 1};
+  const std::vector<std::uint8_t> b{1, 0, 1, 0};
+  const std::uint64_t forced_hash = 0x1234;
+
+  memo.insert(forced_hash, a, 10.0);
+  ASSERT_NE(memo.find(forced_hash, a), nullptr);
+  EXPECT_EQ(*memo.find(forced_hash, a), 10.0);
+  // b collides but was never inserted: must be a miss, not a's value.
+  EXPECT_EQ(memo.find(forced_hash, b), nullptr);
+
+  memo.insert(forced_hash, b, 20.0);
+  EXPECT_EQ(memo.size(), 2u);
+  EXPECT_EQ(*memo.find(forced_hash, a), 10.0);
+  EXPECT_EQ(*memo.find(forced_hash, b), 20.0);
+}
+
+TEST(FitnessMemo, HashIsOrderSensitiveFnv) {
+  const std::vector<std::uint8_t> a{0, 1};
+  const std::vector<std::uint8_t> b{1, 0};
+  EXPECT_NE(detail::FitnessMemo::hash(a), detail::FitnessMemo::hash(b));
+  EXPECT_EQ(detail::FitnessMemo::hash(a), detail::FitnessMemo::hash(a));
+}
+
+}  // namespace
+}  // namespace r2c2

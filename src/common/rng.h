@@ -72,6 +72,12 @@ class Rng {
 
   bool bernoulli(double p) { return uniform() < p; }
 
+  // Full generator state, for snapshot/restore (src/snapshot/). A generator
+  // constructed with any seed and then set_state(other.state()) produces
+  // exactly the output stream `other` would have produced.
+  const std::array<std::uint64_t, 4>& state() const { return state_; }
+  void set_state(const std::array<std::uint64_t, 4>& state) { state_ = state; }
+
   // Exponential with the given mean (= 1/lambda). Used for Poisson
   // inter-arrival times.
   double exponential(double mean) {

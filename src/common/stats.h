@@ -81,6 +81,13 @@ class Ewma {
   bool initialized() const { return initialized_; }
   double value() const { return value_; }
 
+  // Restores a previously observed (value, initialized) pair, for
+  // snapshot/restore (src/snapshot/). Alpha is configuration, not state.
+  void set_state(double value, bool initialized) {
+    value_ = value;
+    initialized_ = initialized;
+  }
+
  private:
   double alpha_;
   double value_ = 0.0;

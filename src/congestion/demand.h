@@ -37,6 +37,10 @@ class DemandEstimator {
   Bps demand() const { return ewma_.value(); }
   TimeNs period() const { return period_; }
 
+  // Snapshot/restore passthrough (src/snapshot/): the EWMA holds the only
+  // mutable state; period and alpha are configuration.
+  void set_state(double value, bool initialized) { ewma_.set_state(value, initialized); }
+
  private:
   TimeNs period_;
   Ewma ewma_;

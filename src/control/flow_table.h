@@ -24,12 +24,15 @@
 
 #include <cstdint>
 #include <optional>
+#include <string>
 #include <unordered_map>
 #include <vector>
 
 #include "common/rng.h"
 #include "congestion/waterfill.h"
 #include "packet/packet.h"
+#include "snapshot/archive.h"
+#include "snapshot/digest.h"
 
 namespace r2c2 {
 
@@ -81,6 +84,16 @@ class FlowTable {
   // Monotone change counter (bumped on every content mutation; a pure
   // lease refresh that changes no spec field does not count).
   std::uint64_t version() const { return version_; }
+
+  // --- Snapshot support (src/snapshot/) ---
+  // Entries are archived sorted by key, so a table rebuilt from its own
+  // archive is byte-identical regardless of either table's hash-map
+  // insertion history. `save` takes a caller-chosen section tag because a
+  // simulation holds one table per node.
+  void save(snapshot::ArchiveWriter& w, const std::string& tag) const;
+  void load(snapshot::ArchiveReader& r, const std::string& tag);
+  // Mixes contents (sorted by key), view hash, version and GC counter.
+  void mix_digest(snapshot::Digest& d) const;
 
  private:
   struct Entry {

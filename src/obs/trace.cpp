@@ -26,6 +26,7 @@ const char* event_name(EventType type) {
     case EventType::kStackTick: return "stack_tick";
     case EventType::kLeaseRefresh: return "lease_refresh";
     case EventType::kGhostExpired: return "ghost_expired";
+    case EventType::kStateDigest: return "state_digest";
     case EventType::kCount: break;
   }
   return "unknown";
@@ -54,6 +55,8 @@ const char* event_category(EventType type) {
     case EventType::kLeaseRefresh:
     case EventType::kGhostExpired:
       return "stack";
+    case EventType::kStateDigest:
+      return "snapshot";
     case EventType::kCount:
       break;
   }

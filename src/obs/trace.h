@@ -49,6 +49,7 @@ enum class EventType : std::uint8_t {
   kStackTick,           // span; R2c2Stack::tick (lease refresh + GC)
   kLeaseRefresh,        // arg0 = flows re-advertised
   kGhostExpired,        // arg0 = entries GC'd
+  kStateDigest,         // divergence detector: arg0 = rolling state digest
   kCount,               // sentinel, keep last
 };
 

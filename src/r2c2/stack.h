@@ -28,6 +28,7 @@
 #include <cstdint>
 #include <functional>
 #include <optional>
+#include <string>
 #include <unordered_map>
 #include <vector>
 
@@ -152,6 +153,16 @@ class R2c2Stack {
   std::uint64_t lease_refreshes() const { return lease_refreshes_; }
   std::uint64_t ghosts_expired() const { return view_.ghosts_expired(); }
   TimeNs now() const { return now_; }
+
+  // --- Snapshot support (src/snapshot/) ---
+  // Archives the RNG, the view table, local flows (sorted by id), the flow
+  // sequence counter, lease clocks and broadcast counters. Configuration
+  // (context, callbacks) is the host's to reconstruct; the waterfill
+  // scratch is a cache and is rebuilt on the first recompute() after load.
+  // `tag` distinguishes the per-node sections of a rack-wide archive.
+  void save(snapshot::ArchiveWriter& w, const std::string& tag) const;
+  void load(snapshot::ArchiveReader& r, const std::string& tag);
+  void mix_digest(snapshot::Digest& d) const;
 
  private:
   struct LocalFlow {

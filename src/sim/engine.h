@@ -14,6 +14,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <functional>
 #include <limits>
 #include <new>
 #include <type_traits>
@@ -21,8 +22,25 @@
 #include <vector>
 
 #include "common/types.h"
+#include "snapshot/archive.h"
+#include "snapshot/digest.h"
 
 namespace r2c2::sim {
+
+// Serializable description of a scheduled event, for snapshot/restore
+// (src/snapshot/). An Action is an opaque closure; transports that want
+// their event queue to survive a save/load tag every event with a
+// descriptor — a kind plus up to two operands (a flow id, a link id, a
+// parked-packet slot, ...) — from which an equivalent Action can be
+// rebuilt against the restored object graph. kind 0 means "opaque": such
+// events execute normally but make the queue unsaveable (Engine::save
+// throws), which is how transports that never opted in (TcpSim, PfqSim)
+// stay unaffected.
+struct EventDesc {
+  std::uint32_t kind = 0;
+  std::uint64_t a = 0;
+  std::uint64_t b = 0;
+};
 
 // Move-only type-erased callable with a 48-byte inline buffer (libstdc++'s
 // std::function only inlines 16 bytes, heap-allocating most simulator
@@ -121,15 +139,22 @@ class Engine {
 
   TimeNs now() const { return now_; }
 
-  void schedule_at(TimeNs t, Action action) {
+  void schedule_at(TimeNs t, Action action) { schedule_at(t, EventDesc{}, std::move(action)); }
+  void schedule_at(TimeNs t, EventDesc desc, Action action) {
     if (t < now_) t = now_;  // never schedule into the past
-    heap_.push_back(Event{t, next_seq_++, std::move(action)});
+    heap_.push_back(Event{t, next_seq_++, desc, std::move(action)});
     sift_up(heap_.size() - 1);
   }
   void schedule_in(TimeNs dt, Action action) { schedule_at(now_ + dt, std::move(action)); }
+  void schedule_in(TimeNs dt, EventDesc desc, Action action) {
+    schedule_at(now_ + dt, desc, std::move(action));
+  }
 
   // Runs events until the queue drains or simulated time would exceed
-  // `until`. Returns the number of events processed by this call.
+  // `until`. Returns the number of events processed by this call. For a
+  // finite horizon the clock always lands exactly on `until` (whether or
+  // not events remain) — callers stepping the engine in fixed intervals,
+  // like the snapshot/digest driver, stay on their grid.
   std::uint64_t run(TimeNs until = std::numeric_limits<TimeNs>::max()) {
     std::uint64_t processed = 0;
     while (!heap_.empty() && heap_.front().time <= until) {
@@ -139,17 +164,95 @@ class Engine {
       ++processed;
       ++total_events_;
     }
-    if (heap_.empty() && until != std::numeric_limits<TimeNs>::max()) now_ = until;
+    if (until != std::numeric_limits<TimeNs>::max() && now_ < until) now_ = until;
     return processed;
   }
 
   bool empty() const { return heap_.empty(); }
+  std::size_t pending() const { return heap_.size(); }
   std::uint64_t total_events() const { return total_events_; }
+  std::uint64_t next_seq() const { return next_seq_; }
+
+  // --- Snapshot support (src/snapshot/) ---
+  // Serializes the clock, the sequence counter and every pending event's
+  // (time, seq, descriptor) triple, in heap-array order — restoring the
+  // identical array preserves both the heap invariant and the exact
+  // (time, seq) tie-breaking, so a restored engine replays the same event
+  // interleaving bit for bit. Throws SnapshotError if any pending event
+  // lacks a descriptor (kind 0).
+  void save(snapshot::ArchiveWriter& w) const {
+    w.begin_section("engine");
+    w.i64(now_);
+    w.u64(next_seq_);
+    w.u64(total_events_);
+    w.u64(heap_.size());
+    for (const Event& e : heap_) {
+      if (e.desc.kind == 0) {
+        throw snapshot::SnapshotError(
+            "pending event without a descriptor: this transport cannot be snapshotted");
+      }
+      w.i64(e.time);
+      w.u64(e.seq);
+      w.u32(e.desc.kind);
+      w.u64(e.desc.a);
+      w.u64(e.desc.b);
+    }
+    w.end_section();
+  }
+
+  // Replaces the entire engine state with the archived one. `rebuild` maps
+  // each descriptor back to an executable Action bound to the restored
+  // object graph; it must throw SnapshotError on descriptors it does not
+  // recognize. Parse-then-commit: the heap is only replaced once every
+  // event has been read and rebuilt.
+  void load(snapshot::ArchiveReader& r,
+            const std::function<Action(const EventDesc&)>& rebuild) {
+    r.open_section("engine");
+    const TimeNs now = r.i64();
+    const std::uint64_t next_seq = r.u64();
+    const std::uint64_t total_events = r.u64();
+    const std::uint64_t count = r.u64();
+    std::vector<Event> events;
+    events.reserve(count);
+    for (std::uint64_t i = 0; i < count; ++i) {
+      Event e;
+      e.time = r.i64();
+      e.seq = r.u64();
+      e.desc.kind = r.u32();
+      e.desc.a = r.u64();
+      e.desc.b = r.u64();
+      e.action = rebuild(e.desc);
+      events.push_back(std::move(e));
+    }
+    r.close_section();
+    heap_ = std::move(events);
+    now_ = now;
+    next_seq_ = next_seq;
+    total_events_ = total_events;
+  }
+
+  // Mixes the clock, counters and every pending (time, seq, descriptor)
+  // into a rolling state digest, in heap-array order (deterministic for a
+  // deterministic schedule history). Opaque events mix their kind 0.
+  void mix_digest(snapshot::Digest& d) const {
+    d.mix_i64(now_);
+    d.mix(next_seq_);
+    d.mix(total_events_);
+    d.mix(heap_.size());
+    for (const Event& e : heap_) {
+      d.mix_i64(e.time);
+      d.mix(e.seq);
+      d.mix(e.desc.kind);
+      d.mix(e.desc.a);
+      d.mix(e.desc.b);
+    }
+  }
 
  private:
   struct Event {
     TimeNs time;
     std::uint64_t seq;
+    EventDesc desc;
     Action action;
     bool before(const Event& o) const { return time != o.time ? time < o.time : seq < o.seq; }
   };

@@ -4,6 +4,8 @@
 #include <deque>
 #include <stdexcept>
 
+#include "sim/event_kind.h"
+
 namespace r2c2::sim {
 
 namespace {
@@ -97,9 +99,43 @@ FaultInjector::FaultInjector(Engine& engine, Network& net, const Topology& topo,
 void FaultInjector::arm() {
   if (armed_) throw std::logic_error("FaultInjector armed twice");
   armed_ = true;
-  for (const FaultEvent& ev : script_.events) {
-    engine_.schedule_at(ev.at, [this, ev] { apply(ev); });
+  for (std::size_t i = 0; i < script_.events.size(); ++i) {
+    const FaultEvent& ev = script_.events[i];
+    engine_.schedule_at(ev.at, EventDesc{kEvFaultApply, i, 0}, [this, ev] { apply(ev); });
   }
+}
+
+void FaultInjector::save(snapshot::ArchiveWriter& w) const {
+  w.begin_section("fault_injector");
+  w.u8(armed_ ? 1 : 0);
+  w.u64(failures_injected_);
+  w.u64(restores_injected_);
+  w.end_section();
+}
+
+void FaultInjector::load(snapshot::ArchiveReader& r) {
+  r.open_section("fault_injector");
+  const bool armed = r.u8() != 0;
+  const std::uint64_t failures = r.u64();
+  const std::uint64_t restores = r.u64();
+  r.close_section();
+  armed_ = armed;
+  failures_injected_ = failures;
+  restores_injected_ = restores;
+}
+
+Engine::Action FaultInjector::rebuild_event(const EventDesc& desc) {
+  if (desc.kind != kEvFaultApply || desc.a >= script_.events.size()) {
+    throw snapshot::SnapshotError("fault-apply event references an invalid script index");
+  }
+  const FaultEvent ev = script_.events[desc.a];
+  return [this, ev] { apply(ev); };
+}
+
+void FaultInjector::mix_digest(snapshot::Digest& d) const {
+  d.mix(armed_ ? 1 : 0);
+  d.mix(failures_injected_);
+  d.mix(restores_injected_);
 }
 
 void FaultInjector::set_cable(LinkId link, bool up) {

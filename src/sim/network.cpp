@@ -1,7 +1,12 @@
 #include "sim/network.h"
 
+#include <array>
 #include <cassert>
+#include <span>
+#include <string>
 #include <utility>
+
+#include "sim/event_kind.h"
 
 namespace r2c2::sim {
 
@@ -72,7 +77,7 @@ void Network::try_transmit(LinkId link) {
 
   // The link frees after serialization; the packet arrives after
   // serialization + propagation (+ forwarding overhead at the next node).
-  engine_.schedule_in(tx, [this, link] {
+  engine_.schedule_in(tx, EventDesc{kEvLinkFree, link, 0}, [this, link] {
     ports_[link].busy = false;
     try_transmit(link);
   });
@@ -93,8 +98,10 @@ void Network::try_transmit(LinkId link) {
     return;
   }
   const NodeId to = l.to;
+  const std::uint64_t slot = park(std::move(pkt));
   engine_.schedule_in(tx + l.latency + config_.forwarding_delay,
-                      [this, to, p = std::move(pkt)]() mutable { deliver_(to, std::move(p)); });
+                      EventDesc{kEvDeliver, slot, to},
+                      [this, to, slot] { deliver_(to, take_parked(slot)); });
 }
 
 void Network::forward(NodeId at, SimPacket&& pkt) {
@@ -113,6 +120,229 @@ std::vector<std::uint64_t> Network::max_queue_snapshot() const {
   snapshot.reserve(ports_.size());
   for (const Port& p : ports_) snapshot.push_back(p.max_queued_bytes);
   return snapshot;
+}
+
+// --- Snapshot support ---
+
+std::uint64_t Network::park(SimPacket&& pkt) {
+  if (!park_free_.empty()) {
+    const std::uint64_t slot = park_free_.back();
+    park_free_.pop_back();
+    park_slots_[slot] = std::move(pkt);
+    park_used_[slot] = 1;
+    return slot;
+  }
+  park_slots_.push_back(std::move(pkt));
+  park_used_.push_back(1);
+  return park_slots_.size() - 1;
+}
+
+SimPacket Network::take_parked(std::uint64_t slot) {
+  assert(slot < park_slots_.size() && park_used_[slot]);
+  park_used_[slot] = 0;
+  park_free_.push_back(slot);
+  return std::move(park_slots_[slot]);
+}
+
+Engine::Action Network::rebuild_event(const EventDesc& desc) {
+  switch (desc.kind) {
+    case kEvLinkFree: {
+      if (desc.a >= ports_.size()) throw snapshot::SnapshotError("link-free event out of range");
+      const LinkId link = static_cast<LinkId>(desc.a);
+      return [this, link] {
+        ports_[link].busy = false;
+        try_transmit(link);
+      };
+    }
+    case kEvDeliver: {
+      if (desc.a >= park_slots_.size() || !park_used_[desc.a]) {
+        throw snapshot::SnapshotError("deliver event references an empty packet slot");
+      }
+      const std::uint64_t slot = desc.a;
+      const NodeId to = static_cast<NodeId>(desc.b);
+      return [this, to, slot] { deliver_(to, take_parked(slot)); };
+    }
+    default:
+      throw snapshot::SnapshotError("network cannot rebuild event kind " +
+                                    std::to_string(desc.kind));
+  }
+}
+
+void Network::write_packet(snapshot::ArchiveWriter& w, const SimPacket& pkt) {
+  w.u8(static_cast<std::uint8_t>(pkt.type));
+  w.u32(pkt.flow);
+  w.u16(pkt.src);
+  w.u16(pkt.dst);
+  w.u32(pkt.seq);
+  w.u32(pkt.payload);
+  w.u32(pkt.wire_bytes);
+  w.bytes(std::span<const std::uint8_t>(pkt.route.bits()));
+  w.u8(static_cast<std::uint8_t>(pkt.route.length()));
+  w.u8(pkt.ridx);
+  w.u8(pkt.tree);
+  w.u16(pkt.bcast_src);
+  w.u64(pkt.bcast_id);
+  w.i64(pkt.sent_at);
+  w.u64(pkt.ack_cum);
+  for (std::uint64_t s : pkt.sack) w.u64(s);
+}
+
+SimPacket Network::read_packet(snapshot::ArchiveReader& r) {
+  SimPacket pkt;
+  pkt.type = static_cast<PacketType>(r.u8());
+  pkt.flow = r.u32();
+  pkt.src = r.u16();
+  pkt.dst = r.u16();
+  pkt.seq = r.u32();
+  pkt.payload = r.u32();
+  pkt.wire_bytes = r.u32();
+  std::array<std::uint8_t, 16> bits{};
+  r.bytes(std::span<std::uint8_t>(bits));
+  const int rlen = r.u8();
+  pkt.route = RouteCode::from_bits(bits, rlen);
+  pkt.ridx = r.u8();
+  pkt.tree = r.u8();
+  pkt.bcast_src = r.u16();
+  pkt.bcast_id = r.u64();
+  pkt.sent_at = r.i64();
+  pkt.ack_cum = r.u64();
+  for (std::uint64_t& s : pkt.sack) s = r.u64();
+  return pkt;
+}
+
+void Network::mix_packet(snapshot::Digest& d, const SimPacket& pkt) {
+  d.mix(static_cast<std::uint64_t>(pkt.type));
+  d.mix(pkt.flow);
+  d.mix(pkt.src);
+  d.mix(pkt.dst);
+  d.mix(pkt.seq);
+  d.mix(pkt.payload);
+  d.mix(pkt.wire_bytes);
+  for (std::uint8_t b : pkt.route.bits()) d.mix(b);
+  d.mix(static_cast<std::uint64_t>(pkt.route.length()));
+  d.mix(pkt.ridx);
+  d.mix(pkt.tree);
+  d.mix(pkt.bcast_src);
+  d.mix(pkt.bcast_id);
+  d.mix_i64(pkt.sent_at);
+  d.mix(pkt.ack_cum);
+  for (std::uint64_t s : pkt.sack) d.mix(s);
+}
+
+void Network::save(snapshot::ArchiveWriter& w) const {
+  w.begin_section("network");
+  w.u64(ports_.size());
+  for (const Port& p : ports_) {
+    w.u8(p.up ? 1 : 0);
+    w.u8(p.busy ? 1 : 0);
+    w.u64(p.queued_bytes);
+    w.u64(p.max_queued_bytes);
+    w.u64(p.ctrl_q.size());
+    for (const SimPacket& pkt : p.ctrl_q) write_packet(w, pkt);
+    w.u64(p.data_q.size());
+    for (const SimPacket& pkt : p.data_q) write_packet(w, pkt);
+  }
+  w.u64(park_slots_.size());
+  for (std::size_t i = 0; i < park_slots_.size(); ++i) {
+    w.u8(park_used_[i]);
+    if (park_used_[i]) write_packet(w, park_slots_[i]);
+  }
+  w.u64(park_free_.size());
+  for (std::uint64_t slot : park_free_) w.u64(slot);
+  for (std::uint64_t word : corruption_rng_.state()) w.u64(word);
+  w.u64(data_bytes_);
+  w.u64(control_bytes_);
+  w.u64(drops_);
+  w.u64(corrupted_data_);
+  w.u64(corrupted_control_);
+  w.u64(failed_link_drops_);
+  w.end_section();
+}
+
+void Network::load(snapshot::ArchiveReader& r) {
+  r.open_section("network");
+  const std::uint64_t num_ports = r.u64();
+  if (num_ports != ports_.size()) {
+    throw snapshot::SnapshotError("snapshot topology mismatch: " + std::to_string(num_ports) +
+                                  " links archived, " + std::to_string(ports_.size()) +
+                                  " in this network");
+  }
+  // Parse-then-commit: build everything in locals, swap in only after the
+  // section has been fully consumed without error.
+  std::vector<Port> ports(num_ports);
+  for (Port& p : ports) {
+    p.up = r.u8() != 0;
+    p.busy = r.u8() != 0;
+    p.queued_bytes = r.u64();
+    p.max_queued_bytes = r.u64();
+    const std::uint64_t nctrl = r.u64();
+    for (std::uint64_t i = 0; i < nctrl; ++i) p.ctrl_q.push_back(read_packet(r));
+    const std::uint64_t ndata = r.u64();
+    for (std::uint64_t i = 0; i < ndata; ++i) p.data_q.push_back(read_packet(r));
+  }
+  const std::uint64_t nslots = r.u64();
+  std::vector<SimPacket> slots(nslots);
+  std::vector<std::uint8_t> used(nslots, 0);
+  for (std::uint64_t i = 0; i < nslots; ++i) {
+    used[i] = r.u8();
+    if (used[i]) slots[i] = read_packet(r);
+  }
+  const std::uint64_t nfree = r.u64();
+  std::vector<std::uint64_t> free_list;
+  free_list.reserve(nfree);
+  for (std::uint64_t i = 0; i < nfree; ++i) {
+    const std::uint64_t slot = r.u64();
+    if (slot >= nslots || used[slot]) {
+      throw snapshot::SnapshotError("corrupt parked-packet free list");
+    }
+    free_list.push_back(slot);
+  }
+  std::array<std::uint64_t, 4> rng_state{};
+  for (std::uint64_t& word : rng_state) word = r.u64();
+  const std::uint64_t data_bytes = r.u64();
+  const std::uint64_t control_bytes = r.u64();
+  const std::uint64_t drops = r.u64();
+  const std::uint64_t corrupted_data = r.u64();
+  const std::uint64_t corrupted_control = r.u64();
+  const std::uint64_t failed_link_drops = r.u64();
+  r.close_section();
+
+  ports_ = std::move(ports);
+  park_slots_ = std::move(slots);
+  park_used_ = std::move(used);
+  park_free_ = std::move(free_list);
+  corruption_rng_.set_state(rng_state);
+  data_bytes_ = data_bytes;
+  control_bytes_ = control_bytes;
+  drops_ = drops;
+  corrupted_data_ = corrupted_data;
+  corrupted_control_ = corrupted_control;
+  failed_link_drops_ = failed_link_drops;
+}
+
+void Network::mix_digest(snapshot::Digest& d) const {
+  d.mix(ports_.size());
+  for (const Port& p : ports_) {
+    d.mix(p.up ? 1 : 0);
+    d.mix(p.busy ? 1 : 0);
+    d.mix(p.queued_bytes);
+    d.mix(p.ctrl_q.size());
+    for (const SimPacket& pkt : p.ctrl_q) mix_packet(d, pkt);
+    d.mix(p.data_q.size());
+    for (const SimPacket& pkt : p.data_q) mix_packet(d, pkt);
+  }
+  d.mix(park_slots_.size());
+  for (std::size_t i = 0; i < park_slots_.size(); ++i) {
+    d.mix(park_used_[i]);
+    if (park_used_[i]) mix_packet(d, park_slots_[i]);
+  }
+  for (std::uint64_t word : corruption_rng_.state()) d.mix(word);
+  d.mix(data_bytes_);
+  d.mix(control_bytes_);
+  d.mix(drops_);
+  d.mix(corrupted_data_);
+  d.mix(corrupted_control_);
+  d.mix(failed_link_drops_);
 }
 
 }  // namespace r2c2::sim

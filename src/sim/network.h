@@ -18,6 +18,7 @@
 #include "common/types.h"
 #include "packet/packet.h"
 #include "sim/engine.h"
+#include "snapshot/digest.h"
 #include "topology/topology.h"
 
 namespace r2c2::sim {
@@ -123,6 +124,33 @@ class Network {
   // Max occupancy per port, for the queue-occupancy CDFs (Figs. 7b, 14).
   std::vector<std::uint64_t> max_queue_snapshot() const;
 
+  // --- Snapshot support (src/snapshot/) ---
+  // Packets referenced by pending engine events live in a slot store rather
+  // than inside the closures, so the events serialize as (kind, slot, ...)
+  // descriptors. Slot ids are stable across save/load: the free list is
+  // serialized verbatim, so a restored network hands out the same slot for
+  // the same future park() call and descriptors keep matching.
+  std::uint64_t park(SimPacket&& pkt);
+  SimPacket take_parked(std::uint64_t slot);
+
+  // Rebuilds the closure for a kEvLinkFree / kEvDeliver descriptor; throws
+  // SnapshotError on any other kind.
+  Engine::Action rebuild_event(const EventDesc& desc);
+
+  // Ports (queued packets of both classes), the parked-packet store,
+  // traffic/drop counters and the corruption RNG. The engine's event queue
+  // is saved separately by the owning transport.
+  void save(snapshot::ArchiveWriter& w) const;
+  void load(snapshot::ArchiveReader& r);
+
+  // Mixes all of the above into a rolling state digest, in a canonical
+  // order independent of container internals.
+  void mix_digest(snapshot::Digest& d) const;
+
+  static void write_packet(snapshot::ArchiveWriter& w, const SimPacket& pkt);
+  static SimPacket read_packet(snapshot::ArchiveReader& r);
+  static void mix_packet(snapshot::Digest& d, const SimPacket& pkt);
+
  private:
   struct Port {
     std::deque<SimPacket> data_q;
@@ -145,6 +173,13 @@ class Network {
   DeliverFn deliver_;
   DropFn dropped_;
   DropFn corrupted_fn_;
+  // Parked-packet store: packets owned by pending engine events. As a
+  // bonus over the old lambda-captured copies, a SimPacket exceeds the
+  // Action inline buffer, so parking also removes a per-delivery heap
+  // allocation from the hot path.
+  std::vector<SimPacket> park_slots_;
+  std::vector<std::uint8_t> park_used_;
+  std::vector<std::uint64_t> park_free_;  // LIFO free list
   Rng corruption_rng_;
   std::uint64_t data_bytes_ = 0;
   std::uint64_t control_bytes_ = 0;

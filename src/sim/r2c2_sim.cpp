@@ -5,6 +5,7 @@
 #include <stdexcept>
 
 #include "obs/scope.h"
+#include "sim/event_kind.h"
 
 namespace r2c2::sim {
 
@@ -56,9 +57,11 @@ R2c2Sim::R2c2Sim(const Topology& topo, const Router& router, R2c2SimConfig confi
     if (!config_.retransmit_dropped_control) return;
     const LinkId link = topo_.find_link(at, pkt.dst);
     if (link == kInvalidLink) return;
-    engine_.schedule_in(5 * kNsPerUs, [this, link, copy = pkt]() mutable {
-      net_.send_on_link(link, std::move(copy));
-    });
+    // The retransmit copy is parked (not captured) so the pending event
+    // serializes as a (slot, link) descriptor.
+    const std::uint64_t slot = net_.park(SimPacket(pkt));
+    engine_.schedule_in(5 * kNsPerUs, EventDesc{kEvCtrlRetransmit, slot, link},
+                        [this, slot, link] { net_.send_on_link(link, net_.take_parked(slot)); });
   });
 #if R2C2_TRACING_ENABLED
   if (trace_ != nullptr) {
@@ -103,12 +106,19 @@ R2c2Sim::R2c2Sim(const Topology& topo, const Router& router, R2c2SimConfig confi
 
 void R2c2Sim::add_flows(const std::vector<FlowArrival>& flows) {
   for (const FlowArrival& f : flows) {
-    engine_.schedule_at(f.start, [this, f] { start_flow(f); });
+    const std::uint64_t index = arrivals_.size();
+    arrivals_.push_back(f);
+    engine_.schedule_at(f.start, EventDesc{kEvStartFlow, index, 0},
+                        [this, index] { start_flow(arrivals_[index]); });
   }
 }
 
 RunMetrics R2c2Sim::run(TimeNs until) {
   engine_.run(until);
+  return collect_metrics();
+}
+
+RunMetrics R2c2Sim::collect_metrics() {
   RunMetrics m;
   m.flows = records_;
   m.max_queue_bytes = net_.max_queue_snapshot();
@@ -191,7 +201,7 @@ void R2c2Sim::start_flow(const FlowArrival& arrival) {
   spec.id = id;
   spec.src = arrival.src;
   spec.dst = arrival.dst;
-  spec.alg = config_.route_alg;
+  spec.alg = arrival.alg >= 0 ? static_cast<RouteAlg>(arrival.alg) : config_.route_alg;
   spec.weight = arrival.weight;
   spec.priority = arrival.priority;
   spec.demand = kUnlimitedDemand;
@@ -348,11 +358,14 @@ void R2c2Sim::apply_global(const BroadcastMsg& msg) {
 void R2c2Sim::schedule_recompute_tick() {
   if (config_.recompute_interval == 0 || tick_scheduled_) return;
   tick_scheduled_ = true;
-  engine_.schedule_in(config_.recompute_interval, [this] {
-    tick_scheduled_ = false;
-    recompute_rates();
-    if (!senders_.empty() || !global_view_.empty()) schedule_recompute_tick();
-  });
+  engine_.schedule_in(config_.recompute_interval, EventDesc{kEvRecomputeTick, 0, 0},
+                      [this] { recompute_tick(); });
+}
+
+void R2c2Sim::recompute_tick() {
+  tick_scheduled_ = false;
+  recompute_rates();
+  if (!senders_.empty() || !global_view_.empty()) schedule_recompute_tick();
 }
 
 void R2c2Sim::recompute_rates() {
@@ -395,7 +408,7 @@ void R2c2Sim::schedule_emit(FlowId id) {
   if (flow.emit_scheduled || flow.rate_bps <= 0.0) return;
   flow.emit_scheduled = true;
   const TimeNs at = std::max(engine_.now(), flow.next_send);
-  engine_.schedule_at(at, [this, id] { emit_packet(id); });
+  engine_.schedule_at(at, EventDesc{kEvEmitPacket, id, 0}, [this, id] { emit_packet(id); });
 }
 
 void R2c2Sim::emit_packet(FlowId id) {
@@ -417,7 +430,8 @@ void R2c2Sim::emit_packet(FlowId id) {
       const std::optional<TimeNs> deadline = flow.rel->next_deadline();
       if (deadline.has_value() && !flow.rel->fully_acked()) {
         flow.emit_scheduled = true;
-        engine_.schedule_at(*deadline, [this, id] { emit_packet(id); });
+        engine_.schedule_at(*deadline, EventDesc{kEvEmitPacket, id, 0},
+                            [this, id] { emit_packet(id); });
       }
       return;
     }
@@ -626,17 +640,19 @@ void R2c2Sim::start_fault_ticks() {
     }
     if (!detection_tick_scheduled_) {
       detection_tick_scheduled_ = true;
-      engine_.schedule_in(config_.failure_timeout, [this] { detection_tick(); });
+      engine_.schedule_in(config_.failure_timeout, EventDesc{kEvDetectionTick, 0, 0},
+                          [this] { detection_tick(); });
     }
   }
   if (config_.lease_interval > 0) {
     if (!lease_tick_scheduled_) {
       lease_tick_scheduled_ = true;
-      engine_.schedule_in(config_.lease_interval, [this] { lease_tick(); });
+      engine_.schedule_in(config_.lease_interval, EventDesc{kEvLeaseTick, 0, 0},
+                          [this] { lease_tick(); });
     }
     if (!gc_tick_scheduled_) {
       gc_tick_scheduled_ = true;
-      engine_.schedule_in(config_.lease_ttl, [this] { gc_tick(); });
+      engine_.schedule_in(config_.lease_ttl, EventDesc{kEvGcTick, 0, 0}, [this] { gc_tick(); });
     }
   }
 }
@@ -659,7 +675,8 @@ void R2c2Sim::keepalive_tick() {
     net_.send_on_link(id, std::move(pkt));
   }
   keepalive_tick_scheduled_ = true;
-  engine_.schedule_in(config_.keepalive_interval, [this] { keepalive_tick(); });
+  engine_.schedule_in(config_.keepalive_interval, EventDesc{kEvKeepaliveTick, 0, 0},
+                      [this] { keepalive_tick(); });
 }
 
 void R2c2Sim::detection_tick() {
@@ -671,7 +688,8 @@ void R2c2Sim::detection_tick() {
     if (now - last_heard_[id] > config_.failure_timeout) note_detection(id, true);
   }
   detection_tick_scheduled_ = true;
-  engine_.schedule_in(config_.keepalive_interval, [this] { detection_tick(); });
+  engine_.schedule_in(config_.keepalive_interval, EventDesc{kEvDetectionTick, 0, 0},
+                      [this] { detection_tick(); });
 }
 
 void R2c2Sim::on_keepalive(SimPacket&& pkt) {
@@ -715,7 +733,8 @@ void R2c2Sim::note_detection(LinkId directed, bool failure) {
 void R2c2Sim::schedule_rebuild() {
   if (rebuild_scheduled_) return;
   rebuild_scheduled_ = true;
-  engine_.schedule_in(config_.rebuild_delay, [this] { rebuild_context(); });
+  engine_.schedule_in(config_.rebuild_delay, EventDesc{kEvRebuildContext, 0, 0},
+                      [this] { rebuild_context(); });
 }
 
 void R2c2Sim::rebuild_context() {
@@ -732,6 +751,7 @@ void R2c2Sim::rebuild_context() {
     cur_trees_.reset();
     cur_router_.reset();
     cur_topo_.reset();
+    cur_down_.clear();
   } else {
     std::unique_ptr<Topology> degraded;
     try {
@@ -741,7 +761,8 @@ void R2c2Sim::rebuild_context() {
       // (restores will shrink it) or a false-positive pileup. Keep the old
       // decision plane and retry after another detection window.
       rebuild_scheduled_ = true;
-      engine_.schedule_in(config_.failure_timeout, [this] { rebuild_context(); });
+      engine_.schedule_in(config_.failure_timeout, EventDesc{kEvRebuildContext, 0, 0},
+                          [this] { rebuild_context(); });
       return;
     }
     // Old router/trees reference the old topology: tear down in order.
@@ -750,6 +771,7 @@ void R2c2Sim::rebuild_context() {
     cur_topo_ = std::move(degraded);
     cur_router_ = std::make_unique<Router>(*cur_topo_);
     cur_trees_ = std::make_unique<BroadcastTrees>(*cur_topo_, config_.broadcast_trees);
+    cur_down_ = down;
   }
   // Invalidate every per-flow cached route (data and ACK): the epoch
   // comparison makes each flow re-derive lazily on its next packet.
@@ -766,7 +788,15 @@ void R2c2Sim::rebuild_context() {
   // Section 3.2: "upon detecting a failure, nodes broadcast information
   // about all their ongoing flows" — re-announce every live flow over the
   // new trees so views heal even where the original copies were lost.
-  for (auto& [id, flow] : senders_) {
+  // Sorted by flow id: broadcast() draws the tree from the RNG, so the
+  // iteration order must be a function of state, not of the hash map's
+  // insertion history (which a snapshot restore does not reproduce).
+  std::vector<FlowId> live;
+  live.reserve(senders_.size());
+  for (const auto& [id, flow] : senders_) live.push_back(id);
+  std::sort(live.begin(), live.end());
+  for (const FlowId id : live) {
+    const SenderFlow& flow = senders_.at(id);
     BroadcastMsg msg;
     msg.type = PacketType::kFlowStart;
     msg.src = flow.spec.src;
@@ -797,8 +827,14 @@ void R2c2Sim::lease_tick() {
   lease_tick_scheduled_ = false;
   if (!fault_ticks_needed()) return;
   // Re-advertise every live flow; the demand-update broadcast doubles as a
-  // lease refresh (and resurrects entries lost to failures).
-  for (auto& [id, flow] : senders_) {
+  // lease refresh (and resurrects entries lost to failures). Sorted by id:
+  // each broadcast draws a tree from the RNG (see rebuild_context).
+  std::vector<FlowId> live;
+  live.reserve(senders_.size());
+  for (const auto& [id, flow] : senders_) live.push_back(id);
+  std::sort(live.begin(), live.end());
+  for (const FlowId id : live) {
+    const SenderFlow& flow = senders_.at(id);
     BroadcastMsg msg;
     msg.type = PacketType::kDemandUpdate;
     msg.src = flow.spec.src;
@@ -816,7 +852,8 @@ void R2c2Sim::lease_tick() {
                        0);
   }
   lease_tick_scheduled_ = true;
-  engine_.schedule_in(config_.lease_interval, [this] { lease_tick(); });
+  engine_.schedule_in(config_.lease_interval, EventDesc{kEvLeaseTick, 0, 0},
+                      [this] { lease_tick(); });
 }
 
 void R2c2Sim::gc_tick() {
@@ -824,6 +861,10 @@ void R2c2Sim::gc_tick() {
   if (!fault_ticks_needed() && global_view_.empty()) return;
   gc_scratch_.clear();
   global_view_.expire_stale(engine_.now(), config_.lease_ttl, kInvalidNode, &gc_scratch_);
+  // Canonical processing order: add_denom clamps at zero, so the order in
+  // which expirations are subtracted is observable in the float state.
+  std::sort(gc_scratch_.begin(), gc_scratch_.end(),
+            [](const FlowSpec& a, const FlowSpec& b) { return a.id < b.id; });
   for (const FlowSpec& spec : gc_scratch_) {
     add_denom(spec, -1.0);
     // A ghost whose sender is gone (lost FIN) also leaks its (src, fseq)
@@ -846,8 +887,715 @@ void R2c2Sim::gc_tick() {
   if (!gc_scratch_.empty() && config_.recompute_interval == 0) recompute_rates();
   if (fault_ticks_needed() || !global_view_.empty()) {
     gc_tick_scheduled_ = true;
-    engine_.schedule_in(config_.lease_ttl, [this] { gc_tick(); });
+    engine_.schedule_in(config_.lease_ttl, EventDesc{kEvGcTick, 0, 0}, [this] { gc_tick(); });
   }
+}
+
+// --- Snapshot, resume and divergence detection ---------------------------
+
+namespace {
+
+void write_msg(snapshot::ArchiveWriter& w, const BroadcastMsg& msg) {
+  w.u8(static_cast<std::uint8_t>(msg.type));
+  w.u16(msg.src);
+  w.u16(msg.dst);
+  w.u8(msg.fseq);
+  w.u8(msg.weight);
+  w.u8(msg.priority);
+  w.u32(msg.demand_kbps);
+  w.u8(msg.tree);
+  w.u8(static_cast<std::uint8_t>(msg.rp));
+}
+
+BroadcastMsg read_msg(snapshot::ArchiveReader& r) {
+  BroadcastMsg msg;
+  msg.type = static_cast<PacketType>(r.u8());
+  msg.src = r.u16();
+  msg.dst = r.u16();
+  msg.fseq = r.u8();
+  msg.weight = r.u8();
+  msg.priority = r.u8();
+  msg.demand_kbps = r.u32();
+  msg.tree = r.u8();
+  msg.rp = static_cast<RouteAlg>(r.u8());
+  return msg;
+}
+
+void mix_msg(snapshot::Digest& d, const BroadcastMsg& msg) {
+  d.mix(static_cast<std::uint64_t>(msg.type));
+  d.mix(msg.src);
+  d.mix(msg.dst);
+  d.mix(msg.fseq);
+  d.mix(msg.weight);
+  d.mix(msg.priority);
+  d.mix(msg.demand_kbps);
+  d.mix(msg.tree);
+  d.mix(static_cast<std::uint64_t>(msg.rp));
+}
+
+void write_route(snapshot::ArchiveWriter& w, const RouteCode& route) {
+  w.bytes(std::span<const std::uint8_t>(route.bits()));
+  w.u8(static_cast<std::uint8_t>(route.length()));
+}
+
+RouteCode read_route(snapshot::ArchiveReader& r) {
+  std::array<std::uint8_t, 16> bits{};
+  r.bytes(std::span<std::uint8_t>(bits));
+  const int length = r.u8();
+  return RouteCode::from_bits(bits, length);
+}
+
+void mix_route(snapshot::Digest& d, const RouteCode& route) {
+  for (std::uint8_t b : route.bits()) d.mix(b);
+  d.mix(static_cast<std::uint64_t>(route.length()));
+}
+
+void write_spec(snapshot::ArchiveWriter& w, const FlowSpec& spec) {
+  w.u32(spec.id);
+  w.u16(spec.src);
+  w.u16(spec.dst);
+  w.u8(static_cast<std::uint8_t>(spec.alg));
+  w.f64(spec.weight);
+  w.u8(spec.priority);
+  w.f64(spec.demand);
+}
+
+FlowSpec read_spec(snapshot::ArchiveReader& r) {
+  FlowSpec spec;
+  spec.id = r.u32();
+  spec.src = r.u16();
+  spec.dst = r.u16();
+  spec.alg = static_cast<RouteAlg>(r.u8());
+  spec.weight = r.f64();
+  spec.priority = r.u8();
+  spec.demand = r.f64();
+  return spec;
+}
+
+void mix_spec(snapshot::Digest& d, const FlowSpec& spec) {
+  d.mix(spec.id);
+  d.mix(spec.src);
+  d.mix(spec.dst);
+  d.mix(static_cast<std::uint64_t>(spec.alg));
+  d.mix_f64(spec.weight);
+  d.mix(spec.priority);
+  d.mix_f64(spec.demand);
+}
+
+template <typename Map>
+std::vector<typename Map::key_type> sorted_keys(const Map& map) {
+  std::vector<typename Map::key_type> keys;
+  keys.reserve(map.size());
+  for (const auto& [k, v] : map) keys.push_back(k);
+  std::sort(keys.begin(), keys.end());
+  return keys;
+}
+
+}  // namespace
+
+std::uint64_t R2c2Sim::config_fingerprint() const {
+  snapshot::Digest d;
+  // Topology identity: a snapshot restores only onto the same wire
+  // substrate (ids, endpoints, capacities, latencies all match).
+  d.mix(topo_.num_nodes());
+  d.mix(topo_.num_links());
+  for (LinkId id = 0; id < static_cast<LinkId>(topo_.num_links()); ++id) {
+    const Link& l = topo_.link(id);
+    d.mix(l.from);
+    d.mix(l.to);
+    d.mix_f64(l.bandwidth);
+    d.mix_i64(l.latency);
+  }
+  d.mix_f64(config_.alloc.headroom);
+  d.mix_i64(config_.recompute_interval);
+  d.mix(static_cast<std::uint64_t>(config_.route_alg));
+  d.mix(static_cast<std::uint64_t>(config_.broadcast_trees));
+  d.mix(config_.net.data_buffer_bytes);
+  d.mix(config_.net.control_priority ? 1 : 0);
+  d.mix_i64(config_.net.forwarding_delay);
+  d.mix_f64(config_.net.corruption_rate);
+  d.mix(config_.net.corruption_seed);
+  d.mix(config_.mtu_payload);
+  d.mix(config_.rate_limit_new_flows ? 1 : 0);
+  d.mix(config_.reliable ? 1 : 0);
+  d.mix_i64(config_.rto);
+  d.mix(static_cast<std::uint64_t>(config_.ack_every_pkts));
+  d.mix(config_.retransmit_dropped_control ? 1 : 0);
+  d.mix(config_.faults.events.size());
+  for (const FaultEvent& ev : config_.faults.events) {
+    d.mix_i64(ev.at);
+    d.mix(static_cast<std::uint64_t>(ev.kind));
+    d.mix(ev.link);
+    d.mix(ev.node);
+  }
+  d.mix_i64(config_.keepalive_interval);
+  d.mix_i64(config_.failure_timeout);
+  d.mix_i64(config_.rebuild_delay);
+  d.mix_i64(config_.lease_interval);
+  d.mix_i64(config_.lease_ttl);
+  d.mix(config_.seed);
+  // The registered workload: pending start events archive as indices into
+  // this list, so it must match element for element.
+  d.mix(arrivals_.size());
+  for (const FlowArrival& f : arrivals_) {
+    d.mix_i64(f.start);
+    d.mix(f.src);
+    d.mix(f.dst);
+    d.mix(f.bytes);
+    d.mix_f64(f.weight);
+    d.mix(f.priority);
+    d.mix(static_cast<std::uint64_t>(static_cast<std::int64_t>(f.alg)));
+  }
+  return d.value();
+}
+
+std::uint64_t R2c2Sim::state_digest() const {
+  snapshot::Digest d;
+  engine_.mix_digest(d);
+  for (std::uint64_t word : rng_.state()) d.mix(word);
+  global_view_.mix_digest(d);
+  net_.mix_digest(d);
+  if (injector_) injector_->mix_digest(d);
+  d.mix_i64(router_epoch_);
+  d.mix(next_bcast_id_);
+  d.mix(unfinished_);
+  d.mix_i64(fault_horizon_);
+  d.mix((tick_scheduled_ ? 1 : 0) | (keepalive_tick_scheduled_ ? 2 : 0) |
+        (detection_tick_scheduled_ ? 4 : 0) | (lease_tick_scheduled_ ? 8 : 0) |
+        (gc_tick_scheduled_ ? 16 : 0) | (rebuild_scheduled_ ? 32 : 0));
+  d.mix(rebroadcast_outstanding_);
+  d.mix(cables_down_);
+  for (std::uint16_t v : next_fseq_) d.mix(v);
+  for (double v : link_denom_) d.mix_f64(v);
+  for (TimeNs v : last_heard_) d.mix_i64(v);
+  for (char v : cable_down_) d.mix(static_cast<std::uint64_t>(v));
+  d.mix(cur_down_.size());
+  for (LinkId v : cur_down_) d.mix(v);
+
+  d.mix(senders_.size());
+  for (const FlowId id : sorted_keys(senders_)) {
+    const SenderFlow& f = senders_.at(id);
+    d.mix(id);
+    mix_spec(d, f.spec);
+    d.mix(f.fseq);
+    d.mix(f.total_bytes);
+    d.mix(f.sent_bytes);
+    d.mix_f64(f.rate_bps);
+    d.mix(f.emit_scheduled ? 1 : 0);
+    d.mix_i64(f.next_send);
+    d.mix_i64(f.rate_since);
+    d.mix_f64(f.rate_integral);
+    d.mix_i64(f.started_at);
+    d.mix(f.rel != nullptr ? 1 : 0);
+    if (f.rel) f.rel->mix_digest(d);
+    d.mix(f.finish_announced ? 1 : 0);
+    mix_route(d, f.cached_route);
+    d.mix_i64(f.route_epoch);
+  }
+  d.mix(receivers_.size());
+  for (const FlowId id : sorted_keys(receivers_)) {
+    const ReceiverFlow& f = receivers_.at(id);
+    d.mix(id);
+    d.mix(f.received_bytes);
+    f.reorder.mix_digest(d);
+    d.mix(f.rel != nullptr ? 1 : 0);
+    if (f.rel) f.rel->mix_digest(d);
+    d.mix_i64(f.pkts_since_ack);
+    mix_route(d, f.ack_route);
+    d.mix_i64(f.ack_route_epoch);
+  }
+  d.mix(pending_.size());
+  for (const std::uint64_t id : sorted_keys(pending_)) {
+    const PendingBroadcast& p = pending_.at(id);
+    d.mix(id);
+    mix_msg(d, p.msg);
+    d.mix(p.remaining);
+    d.mix(p.recovery ? 1 : 0);
+  }
+  d.mix(active_by_key_.size());
+  for (const std::uint32_t key : sorted_keys(active_by_key_)) {
+    d.mix(key);
+    d.mix(active_by_key_.at(key));
+  }
+  d.mix(records_.size());
+  for (const FlowRecord& rec : records_) {
+    d.mix(rec.id);
+    d.mix(rec.src);
+    d.mix(rec.dst);
+    d.mix(rec.bytes);
+    d.mix_i64(rec.arrival);
+    d.mix_i64(rec.completed);
+    d.mix(rec.max_reorder_pkts);
+    d.mix_f64(rec.avg_assigned_rate_bps);
+  }
+  d.mix(recoveries_.size());
+  for (const RecoveryRecord& rec : recoveries_) {
+    d.mix(rec.link);
+    d.mix(rec.failure ? 1 : 0);
+    d.mix_i64(rec.injected_at);
+    d.mix_i64(rec.detected_at);
+    d.mix_i64(rec.recovered_at);
+    d.mix_i64(rec.reconverged_at);
+  }
+  d.mix(open_recoveries_.size());
+  for (std::size_t idx : open_recoveries_) d.mix(idx);
+  for (const auto* map : {&injected_fail_at_, &injected_restore_at_}) {
+    d.mix(map->size());
+    for (const LinkId cable : sorted_keys(*map)) {
+      d.mix(cable);
+      d.mix_i64(map->at(cable));
+    }
+  }
+  d.mix(c_recomputations_.value());
+  d.mix(c_retransmissions_.value());
+  d.mix(c_failures_detected_.value());
+  d.mix(c_restores_detected_.value());
+  d.mix(c_context_rebuilds_.value());
+  d.mix(c_flows_rebroadcast_.value());
+  d.mix(c_lease_refreshes_.value());
+  d.mix(c_flows_started_.value());
+  d.mix(c_flows_finished_.value());
+  d.mix(c_broadcasts_sent_.value());
+  return d.value();
+}
+
+void R2c2Sim::save(snapshot::ArchiveWriter& w) const {
+  w.begin_section("sim.meta");
+  w.u64(config_fingerprint());
+  w.end_section();
+
+  w.begin_section("sim.core");
+  for (std::uint64_t word : rng_.state()) w.u64(word);
+  w.i64(router_epoch_);
+  w.u64(next_bcast_id_);
+  w.u64(unfinished_);
+  w.i64(fault_horizon_);
+  w.u8(tick_scheduled_ ? 1 : 0);
+  w.u8(keepalive_tick_scheduled_ ? 1 : 0);
+  w.u8(detection_tick_scheduled_ ? 1 : 0);
+  w.u8(lease_tick_scheduled_ ? 1 : 0);
+  w.u8(gc_tick_scheduled_ ? 1 : 0);
+  w.u8(rebuild_scheduled_ ? 1 : 0);
+  w.u32(rebroadcast_outstanding_);
+  w.u64(cables_down_);
+  w.u64(next_fseq_.size());
+  for (std::uint16_t v : next_fseq_) w.u16(v);
+  w.u64(link_denom_.size());
+  for (double v : link_denom_) w.f64(v);
+  w.u64(last_heard_.size());
+  for (TimeNs v : last_heard_) w.i64(v);
+  w.u64(cable_down_.size());
+  for (char v : cable_down_) w.u8(static_cast<std::uint8_t>(v));
+  w.u64(cur_down_.size());
+  for (LinkId v : cur_down_) w.u32(v);
+  w.end_section();
+
+  w.begin_section("sim.counters");
+  w.u64(c_recomputations_.value());
+  w.u64(c_retransmissions_.value());
+  w.u64(c_failures_detected_.value());
+  w.u64(c_restores_detected_.value());
+  w.u64(c_context_rebuilds_.value());
+  w.u64(c_flows_rebroadcast_.value());
+  w.u64(c_lease_refreshes_.value());
+  w.u64(c_flows_started_.value());
+  w.u64(c_flows_finished_.value());
+  w.u64(c_broadcasts_sent_.value());
+  w.end_section();
+
+  w.begin_section("sim.flows");
+  w.u64(senders_.size());
+  for (const FlowId id : sorted_keys(senders_)) {
+    const SenderFlow& f = senders_.at(id);
+    w.u32(id);
+    write_spec(w, f.spec);
+    w.u8(f.fseq);
+    w.u64(f.total_bytes);
+    w.u64(f.sent_bytes);
+    w.f64(f.rate_bps);
+    w.u8(f.emit_scheduled ? 1 : 0);
+    w.i64(f.next_send);
+    w.i64(f.rate_since);
+    w.f64(f.rate_integral);
+    w.i64(f.started_at);
+    w.u8(f.rel != nullptr ? 1 : 0);
+    if (f.rel) f.rel->save(w);
+    w.u8(f.finish_announced ? 1 : 0);
+    write_route(w, f.cached_route);
+    w.i64(f.route_epoch);
+  }
+  w.u64(receivers_.size());
+  for (const FlowId id : sorted_keys(receivers_)) {
+    const ReceiverFlow& f = receivers_.at(id);
+    w.u32(id);
+    w.u64(f.received_bytes);
+    f.reorder.save(w);
+    w.u8(f.rel != nullptr ? 1 : 0);
+    if (f.rel) f.rel->save(w);
+    w.i64(f.pkts_since_ack);
+    write_route(w, f.ack_route);
+    w.i64(f.ack_route_epoch);
+  }
+  w.u64(active_by_key_.size());
+  for (const std::uint32_t key : sorted_keys(active_by_key_)) {
+    w.u32(key);
+    w.u32(active_by_key_.at(key));
+  }
+  w.u64(records_.size());
+  for (const FlowRecord& rec : records_) {
+    w.u32(rec.id);
+    w.u16(rec.src);
+    w.u16(rec.dst);
+    w.u64(rec.bytes);
+    w.i64(rec.arrival);
+    w.i64(rec.completed);
+    w.u32(rec.max_reorder_pkts);
+    w.f64(rec.avg_assigned_rate_bps);
+  }
+  w.u64(recoveries_.size());
+  for (const RecoveryRecord& rec : recoveries_) {
+    w.u32(rec.link);
+    w.u8(rec.failure ? 1 : 0);
+    w.i64(rec.injected_at);
+    w.i64(rec.detected_at);
+    w.i64(rec.recovered_at);
+    w.i64(rec.reconverged_at);
+  }
+  w.u64(open_recoveries_.size());
+  for (std::size_t idx : open_recoveries_) w.u64(idx);
+  for (const auto* map : {&injected_fail_at_, &injected_restore_at_}) {
+    w.u64(map->size());
+    for (const LinkId cable : sorted_keys(*map)) {
+      w.u32(cable);
+      w.i64(map->at(cable));
+    }
+  }
+  w.end_section();
+
+  w.begin_section("sim.pending");
+  w.u64(pending_.size());
+  for (const std::uint64_t id : sorted_keys(pending_)) {
+    const PendingBroadcast& p = pending_.at(id);
+    w.u64(id);
+    write_msg(w, p.msg);
+    w.u32(p.remaining);
+    w.u8(p.recovery ? 1 : 0);
+  }
+  w.end_section();
+
+  global_view_.save(w, "sim.view");
+  net_.save(w);
+  if (injector_) injector_->save(w);
+  engine_.save(w);
+}
+
+Engine::Action R2c2Sim::rebuild_event(const EventDesc& desc) {
+  switch (desc.kind) {
+    case kEvLinkFree:
+    case kEvDeliver:
+      return net_.rebuild_event(desc);
+    case kEvStartFlow: {
+      if (desc.a >= arrivals_.size()) {
+        throw snapshot::SnapshotError("start-flow event references an unknown arrival");
+      }
+      const std::uint64_t index = desc.a;
+      return [this, index] { start_flow(arrivals_[index]); };
+    }
+    case kEvEmitPacket: {
+      const FlowId id = static_cast<FlowId>(desc.a);
+      return [this, id] { emit_packet(id); };
+    }
+    case kEvRecomputeTick:
+      return [this] { recompute_tick(); };
+    case kEvKeepaliveTick:
+      return [this] { keepalive_tick(); };
+    case kEvDetectionTick:
+      return [this] { detection_tick(); };
+    case kEvLeaseTick:
+      return [this] { lease_tick(); };
+    case kEvGcTick:
+      return [this] { gc_tick(); };
+    case kEvRebuildContext:
+      return [this] { rebuild_context(); };
+    case kEvFaultApply:
+      if (!injector_) {
+        throw snapshot::SnapshotError("fault event archived but no fault script configured");
+      }
+      return injector_->rebuild_event(desc);
+    case kEvCtrlRetransmit: {
+      const std::uint64_t slot = desc.a;
+      if (desc.b >= topo_.num_links()) {
+        throw snapshot::SnapshotError("control-retransmit event references an unknown link");
+      }
+      const LinkId link = static_cast<LinkId>(desc.b);
+      return [this, slot, link] { net_.send_on_link(link, net_.take_parked(slot)); };
+    }
+    default:
+      throw snapshot::SnapshotError("unknown archived event kind " + std::to_string(desc.kind));
+  }
+}
+
+void R2c2Sim::load(snapshot::ArchiveReader& r) {
+  if (engine_.now() != 0 || !records_.empty()) {
+    throw snapshot::SnapshotError("load() requires a freshly constructed sim that has not run");
+  }
+  r.open_section("sim.meta");
+  const std::uint64_t fp = r.u64();
+  r.close_section();
+  if (fp != config_fingerprint()) {
+    throw snapshot::SnapshotError(
+        "snapshot was taken under a different topology/config/workload");
+  }
+  // Section payloads are checksummed, but their *tags* are not: insist on
+  // every section up front, so a corrupted tag is rejected before any
+  // subsystem commits (the no-partial-mutation guarantee).
+  for (const char* tag :
+       {"sim.core", "sim.counters", "sim.flows", "sim.pending", "sim.view", "network", "engine"}) {
+    if (!r.has_section(tag)) {
+      throw snapshot::SnapshotError(std::string("archive is missing section ") + tag);
+    }
+  }
+  if (injector_ && !r.has_section("fault_injector")) {
+    throw snapshot::SnapshotError("fault script configured but archive has no fault state");
+  }
+
+  r.open_section("sim.core");
+  std::array<std::uint64_t, 4> rng_state{};
+  for (std::uint64_t& word : rng_state) word = r.u64();
+  const int router_epoch = static_cast<int>(r.i64());
+  const std::uint64_t next_bcast_id = r.u64();
+  const std::uint64_t unfinished = r.u64();
+  const TimeNs fault_horizon = r.i64();
+  const bool tick_scheduled = r.u8() != 0;
+  const bool keepalive_tick_scheduled = r.u8() != 0;
+  const bool detection_tick_scheduled = r.u8() != 0;
+  const bool lease_tick_scheduled = r.u8() != 0;
+  const bool gc_tick_scheduled = r.u8() != 0;
+  const bool rebuild_scheduled = r.u8() != 0;
+  const std::uint32_t rebroadcast_outstanding = r.u32();
+  const std::uint64_t cables_down = r.u64();
+  auto read_u16s = [&r](std::size_t expect) {
+    const std::uint64_t n = r.u64();
+    if (n != expect) throw snapshot::SnapshotError("archived per-node state size mismatch");
+    std::vector<std::uint16_t> v(n);
+    for (auto& x : v) x = r.u16();
+    return v;
+  };
+  std::vector<std::uint16_t> next_fseq = read_u16s(next_fseq_.size());
+  const std::uint64_t n_denom = r.u64();
+  if (n_denom != link_denom_.size()) {
+    throw snapshot::SnapshotError("archived per-link state size mismatch");
+  }
+  std::vector<double> link_denom(n_denom);
+  for (auto& x : link_denom) x = r.f64();
+  const std::uint64_t n_heard = r.u64();
+  if (n_heard != last_heard_.size()) {
+    throw snapshot::SnapshotError("archived per-link state size mismatch");
+  }
+  std::vector<TimeNs> last_heard(n_heard);
+  for (auto& x : last_heard) x = r.i64();
+  const std::uint64_t n_down = r.u64();
+  if (n_down != cable_down_.size()) {
+    throw snapshot::SnapshotError("archived per-link state size mismatch");
+  }
+  std::vector<char> cable_down(n_down);
+  for (auto& x : cable_down) x = static_cast<char>(r.u8());
+  const std::uint64_t n_cur_down = r.u64();
+  std::vector<LinkId> cur_down(n_cur_down);
+  for (auto& x : cur_down) {
+    x = r.u32();
+    if (x >= topo_.num_links()) throw snapshot::SnapshotError("archived down-link out of range");
+  }
+  r.close_section();
+
+  r.open_section("sim.counters");
+  std::uint64_t counters[10];
+  for (std::uint64_t& c : counters) c = r.u64();
+  r.close_section();
+
+  r.open_section("sim.flows");
+  const std::uint64_t n_senders = r.u64();
+  std::unordered_map<FlowId, SenderFlow> senders;
+  senders.reserve(n_senders);
+  for (std::uint64_t i = 0; i < n_senders; ++i) {
+    const FlowId id = r.u32();
+    SenderFlow f;
+    f.spec = read_spec(r);
+    f.fseq = r.u8();
+    f.total_bytes = r.u64();
+    f.sent_bytes = r.u64();
+    f.rate_bps = r.f64();
+    f.emit_scheduled = r.u8() != 0;
+    f.next_send = r.i64();
+    f.rate_since = r.i64();
+    f.rate_integral = r.f64();
+    f.started_at = r.i64();
+    if (r.u8() != 0) {
+      f.rel = std::make_unique<ReliableSender>(
+          f.total_bytes, ReliableSender::Config{config_.mtu_payload, config_.rto, 64});
+      f.rel->load(r);
+    }
+    f.finish_announced = r.u8() != 0;
+    f.cached_route = read_route(r);
+    f.route_epoch = static_cast<int>(r.i64());
+    if (!senders.emplace(id, std::move(f)).second) {
+      throw snapshot::SnapshotError("duplicate sender flow in archive");
+    }
+  }
+  const std::uint64_t n_receivers = r.u64();
+  std::unordered_map<FlowId, ReceiverFlow> receivers;
+  receivers.reserve(n_receivers);
+  for (std::uint64_t i = 0; i < n_receivers; ++i) {
+    const FlowId id = r.u32();
+    ReceiverFlow f;
+    f.received_bytes = r.u64();
+    f.reorder.load(r);
+    if (r.u8() != 0) {
+      f.rel = std::make_unique<ReliableReceiver>(0);
+      f.rel->load(r);
+    }
+    f.pkts_since_ack = static_cast<int>(r.i64());
+    f.ack_route = read_route(r);
+    f.ack_route_epoch = static_cast<int>(r.i64());
+    if (!receivers.emplace(id, std::move(f)).second) {
+      throw snapshot::SnapshotError("duplicate receiver flow in archive");
+    }
+  }
+  const std::uint64_t n_active = r.u64();
+  std::unordered_map<std::uint32_t, FlowId> active_by_key;
+  active_by_key.reserve(n_active);
+  for (std::uint64_t i = 0; i < n_active; ++i) {
+    const std::uint32_t key = r.u32();
+    active_by_key[key] = r.u32();
+  }
+  const std::uint64_t n_records = r.u64();
+  std::vector<FlowRecord> records;
+  records.reserve(n_records);
+  for (std::uint64_t i = 0; i < n_records; ++i) {
+    FlowRecord rec;
+    rec.id = r.u32();
+    rec.src = r.u16();
+    rec.dst = r.u16();
+    rec.bytes = r.u64();
+    rec.arrival = r.i64();
+    rec.completed = r.i64();
+    rec.max_reorder_pkts = r.u32();
+    rec.avg_assigned_rate_bps = r.f64();
+    records.push_back(rec);
+  }
+  const std::uint64_t n_recoveries = r.u64();
+  std::vector<RecoveryRecord> recoveries;
+  recoveries.reserve(n_recoveries);
+  for (std::uint64_t i = 0; i < n_recoveries; ++i) {
+    RecoveryRecord rec;
+    rec.link = r.u32();
+    rec.failure = r.u8() != 0;
+    rec.injected_at = r.i64();
+    rec.detected_at = r.i64();
+    rec.recovered_at = r.i64();
+    rec.reconverged_at = r.i64();
+    recoveries.push_back(rec);
+  }
+  const std::uint64_t n_open = r.u64();
+  std::vector<std::size_t> open_recoveries;
+  open_recoveries.reserve(n_open);
+  for (std::uint64_t i = 0; i < n_open; ++i) {
+    const std::uint64_t idx = r.u64();
+    if (idx >= n_recoveries) throw snapshot::SnapshotError("open recovery index out of range");
+    open_recoveries.push_back(idx);
+  }
+  std::unordered_map<LinkId, TimeNs> injected_fail_at;
+  std::unordered_map<LinkId, TimeNs> injected_restore_at;
+  for (auto* map : {&injected_fail_at, &injected_restore_at}) {
+    const std::uint64_t n = r.u64();
+    map->reserve(n);
+    for (std::uint64_t i = 0; i < n; ++i) {
+      const LinkId cable = r.u32();
+      (*map)[cable] = r.i64();
+    }
+  }
+  r.close_section();
+
+  r.open_section("sim.pending");
+  const std::uint64_t n_pending = r.u64();
+  std::unordered_map<std::uint64_t, PendingBroadcast> pending;
+  pending.reserve(n_pending);
+  for (std::uint64_t i = 0; i < n_pending; ++i) {
+    const std::uint64_t id = r.u64();
+    PendingBroadcast p;
+    p.msg = read_msg(r);
+    p.remaining = r.u32();
+    p.recovery = r.u8() != 0;
+    pending.emplace(id, p);
+  }
+  r.close_section();
+
+  // All sim-local sections parsed; commit, then restore the subsystems
+  // (each is parse-then-commit internally) and rebuild derived state.
+  rng_.set_state(rng_state);
+  router_epoch_ = router_epoch;
+  next_bcast_id_ = next_bcast_id;
+  unfinished_ = unfinished;
+  fault_horizon_ = fault_horizon;
+  tick_scheduled_ = tick_scheduled;
+  keepalive_tick_scheduled_ = keepalive_tick_scheduled;
+  detection_tick_scheduled_ = detection_tick_scheduled;
+  lease_tick_scheduled_ = lease_tick_scheduled;
+  gc_tick_scheduled_ = gc_tick_scheduled;
+  rebuild_scheduled_ = rebuild_scheduled;
+  rebroadcast_outstanding_ = rebroadcast_outstanding;
+  cables_down_ = cables_down;
+  next_fseq_ = std::move(next_fseq);
+  link_denom_ = std::move(link_denom);
+  last_heard_ = std::move(last_heard);
+  cable_down_ = std::move(cable_down);
+  cur_down_ = std::move(cur_down);
+  senders_ = std::move(senders);
+  receivers_ = std::move(receivers);
+  active_by_key_ = std::move(active_by_key);
+  records_ = std::move(records);
+  recoveries_ = std::move(recoveries);
+  open_recoveries_ = std::move(open_recoveries);
+  injected_fail_at_ = std::move(injected_fail_at);
+  injected_restore_at_ = std::move(injected_restore_at);
+  pending_ = std::move(pending);
+
+  obs::Counter* cs[10] = {&c_recomputations_,    &c_retransmissions_,  &c_failures_detected_,
+                          &c_restores_detected_, &c_context_rebuilds_, &c_flows_rebroadcast_,
+                          &c_lease_refreshes_,   &c_flows_started_,    &c_flows_finished_,
+                          &c_broadcasts_sent_};
+  for (int i = 0; i < 10; ++i) {
+    cs[i]->reset();
+    cs[i]->add(counters[i]);
+  }
+
+  record_index_.clear();
+  for (std::size_t i = 0; i < records_.size(); ++i) record_index_[records_[i].id] = i;
+
+  // Reconstruct the decision plane in force at save time from its defining
+  // down-set (identical inputs -> identical Router/BroadcastTrees, since
+  // their construction is deterministic).
+  cur_trees_.reset();
+  cur_router_.reset();
+  cur_topo_.reset();
+  if (!cur_down_.empty()) {
+    cur_topo_ = std::make_unique<Topology>(make_degraded(topo_, cur_down_));
+    cur_router_ = std::make_unique<Router>(*cur_topo_);
+    cur_trees_ = std::make_unique<BroadcastTrees>(*cur_topo_, config_.broadcast_trees);
+  }
+  // Caches: force a waterfill-problem rebuild on the next recomputation.
+  wf_built_version_ = ~0ULL;
+
+  global_view_.load(r, "sim.view");
+  net_.load(r);
+  if (injector_) {
+    injector_->load(r);
+  } else if (r.has_section("fault_injector")) {
+    throw snapshot::SnapshotError("archive carries fault state but no script is configured");
+  }
+  // The event queue last: rebuilding delivery closures validates parked
+  // packet slots against the restored network.
+  engine_.load(r, [this](const EventDesc& desc) { return rebuild_event(desc); });
 }
 
 }  // namespace r2c2::sim

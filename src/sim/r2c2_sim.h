@@ -117,11 +117,40 @@ class R2c2Sim {
  public:
   R2c2Sim(const Topology& topo, const Router& router, R2c2SimConfig config);
 
-  // Registers the workload; flows start at their arrival times.
+  // Registers the workload; flows start at their arrival times. Arrivals
+  // are retained for the lifetime of the sim: pending start events archive
+  // as indices into this list, so a restored run can rebind them.
   void add_flows(const std::vector<FlowArrival>& flows);
 
   // Runs to completion (or `until`); returns collected metrics.
   RunMetrics run(TimeNs until = std::numeric_limits<TimeNs>::max());
+
+  // Incremental driving for the replay/snapshot harness: advance the clock
+  // without collecting metrics, then collect once at the end. run() is
+  // exactly run_until(until) + collect_metrics().
+  void run_until(TimeNs until) { engine_.run(until); }
+  RunMetrics collect_metrics();
+  TimeNs now() const { return engine_.now(); }
+  bool idle() const { return engine_.empty(); }
+
+  // --- Snapshot, resume and divergence detection (src/snapshot/) ---
+  // Order-sensitive 64-bit digest over the complete simulation state, in a
+  // canonical (container-independent) order. Two runs whose digests agree
+  // at time t have bit-identical state trajectories up to t.
+  std::uint64_t state_digest() const;
+  // Fingerprint of everything the archive does NOT carry: topology, config,
+  // fault script and registered arrivals. A snapshot only restores into a
+  // sim constructed with the identical inputs; load() verifies this.
+  std::uint64_t config_fingerprint() const;
+  // Serializes the full mutable state (engine queue included — every event
+  // the R2C2 sim schedules carries a descriptor). Usable at any quiescent
+  // point between events, i.e. outside deliver()/tick callbacks.
+  void save(snapshot::ArchiveWriter& w) const;
+  // Restores into a freshly constructed sim (same ctor arguments, same
+  // add_flows calls) that has not yet run. Throws SnapshotError on
+  // fingerprint mismatch, corrupt input, or a sim that already ran; the
+  // sim is unchanged unless the whole load succeeds.
+  void load(snapshot::ArchiveReader& r);
 
   // Exposed for tests: the number of rate recomputations performed.
   std::uint64_t recomputations() const { return c_recomputations_.value(); }
@@ -179,6 +208,8 @@ class R2c2Sim {
   };
 
   void start_flow(const FlowArrival& arrival);
+  void recompute_tick();
+  Engine::Action rebuild_event(const EventDesc& desc);
   void finish_sending(FlowId id);
   void on_data_at_receiver(SimPacket&& pkt);
   void on_ack_at_sender(SimPacket&& pkt);
@@ -256,6 +287,11 @@ class R2c2Sim {
   std::unique_ptr<Topology> cur_topo_;
   std::unique_ptr<Router> cur_router_;
   std::unique_ptr<BroadcastTrees> cur_trees_;
+  // Canonical down-cable set the current decision plane was built from
+  // (empty = pristine). The debounced rebuild means this can lag
+  // cable_down_; archiving it lets load() reconstruct the exact decision
+  // plane in force at save time, not the one the verdicts would imply.
+  std::vector<LinkId> cur_down_;
   std::optional<FaultInjector> injector_;
   // Bumped on every decision-plane swap; per-flow route caches compare
   // their epoch against it instead of registering for invalidation.
@@ -279,6 +315,7 @@ class R2c2Sim {
   std::unordered_map<std::uint32_t, FlowId> active_by_key_;  // (src,fseq) -> flow
   std::vector<std::uint16_t> next_fseq_;                     // per node
   std::vector<double> link_denom_;  // sum of weight*fraction of active flows
+  std::vector<FlowArrival> arrivals_;  // registered workload, in add order
   std::vector<FlowRecord> records_;
   std::unordered_map<FlowId, std::size_t> record_index_;
   std::uint64_t next_bcast_id_ = 1;

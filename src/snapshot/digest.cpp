@@ -1,0 +1,45 @@
+#include "snapshot/digest.h"
+
+#include <cinttypes>
+#include <cstdio>
+
+#include "snapshot/archive.h"
+
+namespace r2c2::snapshot {
+
+bool DigestLog::write_file(const std::string& path) const {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  bool ok = true;
+  for (const DigestPoint& p : points) {
+    if (std::fprintf(f, "%" PRId64 " %016" PRIx64 "\n", p.at, p.digest) < 0) ok = false;
+  }
+  if (std::fclose(f) != 0) ok = false;
+  return ok;
+}
+
+DigestLog DigestLog::read_file(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "r");
+  if (f == nullptr) throw SnapshotError("cannot open digest log '" + path + "'");
+  DigestLog log;
+  std::int64_t at = 0;
+  std::uint64_t digest = 0;
+  int rc = 0;
+  while ((rc = std::fscanf(f, "%" SCNd64 " %" SCNx64, &at, &digest)) == 2) {
+    log.points.push_back({at, digest});
+  }
+  const bool trailing = rc != EOF;
+  std::fclose(f);
+  if (trailing) throw SnapshotError("malformed digest log '" + path + "'");
+  return log;
+}
+
+std::ptrdiff_t DigestLog::first_divergence(const DigestLog& a, const DigestLog& b) {
+  const std::size_t n = std::min(a.points.size(), b.points.size());
+  for (std::size_t i = 0; i < n; ++i) {
+    if (!(a.points[i] == b.points[i])) return static_cast<std::ptrdiff_t>(i);
+  }
+  return -1;
+}
+
+}  // namespace r2c2::snapshot

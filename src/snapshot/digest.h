@@ -1,0 +1,65 @@
+// Rolling state digests for divergence detection.
+//
+// A Digest is a 64-bit order-sensitive hash accumulator: subsystems mix in
+// their state word by word (doubles are mixed as IEEE-754 bits, so equality
+// means bit-equality, not approximate equality). Two runs of the same build
+// whose digests agree at every recorded point executed the same state
+// trajectory; the first disagreeing point is where they diverged.
+//
+// A DigestLog is the recorded (time, digest) trail of one run. It can be
+// written to / parsed from a plain text file ("<time_ns> <hex digest>" per
+// line) so trails from two different builds — which cannot share a process
+// — can be compared by tools/replay's bisect mode.
+#pragma once
+
+#include <cstdint>
+#include <bit>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+
+namespace r2c2::snapshot {
+
+class Digest {
+ public:
+  void mix(std::uint64_t v) {
+    // splitmix64 finalizer over (state ^ word): order-sensitive, cheap, and
+    // every input bit diffuses into the whole state.
+    std::uint64_t z = state_ ^ (v + 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    state_ = z ^ (z >> 31);
+  }
+  void mix_f64(double v) { mix(std::bit_cast<std::uint64_t>(v)); }
+  void mix_i64(std::int64_t v) { mix(static_cast<std::uint64_t>(v)); }
+
+  std::uint64_t value() const { return state_; }
+
+ private:
+  std::uint64_t state_ = 0x52324332'534e4150ULL;  // "R2C2SNAP"
+};
+
+struct DigestPoint {
+  TimeNs at = 0;
+  std::uint64_t digest = 0;
+
+  bool operator==(const DigestPoint&) const = default;
+};
+
+struct DigestLog {
+  std::vector<DigestPoint> points;
+
+  void record(TimeNs at, std::uint64_t digest) { points.push_back({at, digest}); }
+
+  // Plain-text round trip ("<time_ns> <16-hex-digit digest>" per line).
+  bool write_file(const std::string& path) const;
+  static DigestLog read_file(const std::string& path);  // throws SnapshotError
+
+  // Index of the first point where the two logs disagree (different digest
+  // at the same time, or different time at the same index), or -1 if one
+  // log is a prefix of the other or they are identical.
+  static std::ptrdiff_t first_divergence(const DigestLog& a, const DigestLog& b);
+};
+
+}  // namespace r2c2::snapshot

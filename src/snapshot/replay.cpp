@@ -1,0 +1,162 @@
+#include "snapshot/replay.h"
+
+#include <limits>
+#include <utility>
+
+#include "control/route_selection.h"
+#include "routing/routing.h"
+#include "snapshot/archive.h"
+
+namespace r2c2::snapshot {
+
+namespace {
+
+std::vector<FlowArrival> mesh_workload(const Topology& topo, int flows, std::uint64_t seed) {
+  WorkloadConfig wl;
+  wl.num_nodes = topo.num_nodes();
+  wl.num_flows = flows;
+  wl.mean_interarrival = 5 * kNsPerUs;
+  wl.max_bytes = 96 * 1024;
+  wl.seed = seed;
+  return generate_poisson_uniform(wl);
+}
+
+}  // namespace
+
+std::uint64_t metrics_digest(const sim::RunMetrics& m) {
+  Digest d;
+  d.mix(m.flows.size());
+  for (const sim::FlowRecord& f : m.flows) {
+    d.mix(f.id);
+    d.mix(f.src);
+    d.mix(f.dst);
+    d.mix(f.bytes);
+    d.mix_i64(f.arrival);
+    d.mix_i64(f.completed);
+    d.mix(f.max_reorder_pkts);
+    d.mix_f64(f.avg_assigned_rate_bps);
+  }
+  d.mix(m.max_queue_bytes.size());
+  for (std::uint64_t q : m.max_queue_bytes) d.mix(q);
+  d.mix(m.data_bytes_on_wire);
+  d.mix(m.control_bytes_on_wire);
+  d.mix(m.drops);
+  d.mix(m.events);
+  d.mix_i64(m.sim_end);
+  d.mix(m.recoveries.size());
+  for (const sim::RecoveryRecord& r : m.recoveries) {
+    d.mix(r.link);
+    d.mix(r.failure ? 1 : 0);
+    d.mix_i64(r.injected_at);
+    d.mix_i64(r.detected_at);
+    d.mix_i64(r.recovered_at);
+    d.mix_i64(r.reconverged_at);
+  }
+  d.mix(m.failures_injected);
+  d.mix(m.restores_injected);
+  d.mix(m.failures_detected);
+  d.mix(m.restores_detected);
+  d.mix(m.context_rebuilds);
+  d.mix(m.flows_rebroadcast);
+  d.mix(m.failed_link_drops);
+  d.mix(m.corrupted_control);
+  d.mix(m.corrupted_data);
+  d.mix(m.ghost_flows_expired);
+  d.mix(m.lease_refreshes_sent);
+  return d.value();
+}
+
+Scenario::Scenario(ReplayConfig config) : config_(std::move(config)) {
+  topo_ = std::make_unique<Topology>(make_torus({4, 4}, 10 * kGbps, 100));
+  router_ = std::make_unique<Router>(*topo_);
+
+  if (config_.scenario == "fault") {
+    // Chaos mode: fail/restore waves while the self-healing machinery
+    // (keepalives, rebuilds, leases) and packet corruption are all on.
+    sim_config_.reliable = true;
+    sim_config_.keepalive_interval = 10 * kNsPerUs;
+    sim_config_.rebuild_delay = 20 * kNsPerUs;
+    sim_config_.lease_interval = 100 * kNsPerUs;
+    sim_config_.rto = 200 * kNsPerUs;
+    sim_config_.net.corruption_rate = 5e-4;
+    sim_config_.seed = config_.seed;
+    Rng chaos_rng(config_.seed * 2654435761ULL + 1);
+    sim::ChaosConfig cc;
+    cc.waves = 5;
+    cc.start = 40 * kNsPerUs;
+    sim_config_.faults = sim::make_chaos_script(*topo_, chaos_rng, cc);
+    arrivals_ = mesh_workload(*topo_, 60, config_.seed);
+  } else if (config_.scenario == "ga") {
+    // Genetic-algorithm route selection picks a per-flow RPS/VLB mix up
+    // front (with the configured fitness-evaluation thread count — the
+    // result is bit-identical across thread counts, so the whole run must
+    // be too); the workload then carries the chosen protocol per arrival.
+    sim_config_.reliable = true;
+    sim_config_.lease_interval = 100 * kNsPerUs;
+    sim_config_.rto = 200 * kNsPerUs;
+    sim_config_.seed = config_.seed;
+    arrivals_ = mesh_workload(*topo_, 50, config_.seed);
+    std::vector<FlowSpec> flows;
+    flows.reserve(arrivals_.size());
+    FlowId id = 1;
+    for (const FlowArrival& a : arrivals_) {
+      flows.push_back({id++, a.src, a.dst, RouteAlg::kRps, a.weight, a.priority,
+                       kUnlimitedDemand});
+    }
+    SelectionConfig sel;
+    sel.population = 30;
+    sel.max_generations = 10;
+    sel.stall_generations = 4;
+    sel.seed = config_.seed;
+    sel.threads = config_.threads;
+    const SelectionResult chosen = select_routes_ga(*router_, flows, sel);
+    for (std::size_t i = 0; i < arrivals_.size(); ++i) {
+      arrivals_[i].alg = static_cast<std::int8_t>(chosen.assignment[i]);
+    }
+  } else {
+    throw SnapshotError("unknown scenario '" + config_.scenario + "' (want fault|ga)");
+  }
+  sim_config_.trace = config_.trace;
+
+  sim_ = std::make_unique<sim::R2c2Sim>(*topo_, *router_, sim_config_);
+  sim_->add_flows(arrivals_);
+}
+
+ReplayResult Scenario::run() {
+  ReplayResult out;
+  sim::R2c2Sim& s = *sim_;
+  // Digest boundaries are absolute multiples of digest_every, so a run
+  // resumed from a snapshot taken at a boundary lands on the same grid and
+  // its digest trail is comparable point for point.
+  TimeNs t = s.now();
+  while (!s.idle()) {
+    t += config_.digest_every;
+    s.run_until(t);
+    const std::uint64_t digest = s.state_digest();
+    out.digests.record(s.now(), digest);
+    R2C2_TRACE_INSTANT(config_.trace, s.now(), 0, obs::EventType::kStateDigest, digest, 0);
+    if (config_.snapshot_every > 0 && !config_.snapshot_prefix.empty() && !s.idle() &&
+        t % config_.snapshot_every == 0) {
+      const std::string path = config_.snapshot_prefix + std::to_string(t) + ".snap";
+      save_snapshot(s, path);
+      out.snapshots_written.push_back(path);
+    }
+  }
+  out.final_digest = s.state_digest();
+  out.metrics = s.collect_metrics();
+  out.metrics_digest = snapshot::metrics_digest(out.metrics);
+  return out;
+}
+
+void save_snapshot(const sim::R2c2Sim& simulator, const std::string& path) {
+  ArchiveWriter w;
+  simulator.save(w);
+  w.write_file(path);
+}
+
+void load_snapshot(sim::R2c2Sim& simulator, const std::string& path) {
+  ArchiveReader r = ArchiveReader::from_file(path);
+  simulator.load(r);
+}
+
+}  // namespace r2c2::snapshot

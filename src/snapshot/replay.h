@@ -1,0 +1,92 @@
+// Snapshot/resume/divergence-replay harness shared by tools/replay, the CI
+// snapshot job and tests/snapshot_test.cpp.
+//
+// A Scenario owns everything a deterministic R2C2 simulation run needs —
+// topology, router, config, workload — built from a (name, threads, seed)
+// triple, so two processes (or two builds) handed the same triple construct
+// bit-identical runs. Two scenarios are provided:
+//
+//   "fault"  chaos-mode fail/restore waves plus control/data corruption on
+//            a 4x4 torus, the self-healing control plane fully armed;
+//   "ga"     the genetic-algorithm route selector assigns per-flow
+//            protocols (RPS/VLB mix) up front — with the configured
+//            fitness-evaluation thread count — and the sim runs the mixed
+//            workload. Exercises the claim that GA parallelism is
+//            bit-identical across thread counts end to end.
+//
+// run() drives the sim in fixed digest intervals, recording the rolling
+// state digest at every boundary (and into the flight recorder as
+// kStateDigest instants when one is attached), optionally writing a
+// snapshot archive every snapshot_every nanoseconds. Because the engine is
+// advanced with run_until() from outside, the digest cadence perturbs
+// nothing: event sequence numbers, RNG draws and event order are identical
+// to an uninstrumented run.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+#include "obs/trace.h"
+#include "sim/fault.h"
+#include "sim/metrics.h"
+#include "sim/r2c2_sim.h"
+#include "snapshot/digest.h"
+#include "topology/topology.h"
+#include "workload/generator.h"
+
+namespace r2c2::snapshot {
+
+struct ReplayConfig {
+  std::string scenario = "fault";  // "fault" | "ga"
+  int threads = 1;                 // GA fitness-evaluation threads ("ga" only)
+  std::uint64_t seed = 13;
+  TimeNs digest_every = 20 * kNsPerUs;  // digest cadence (the "tick")
+  TimeNs snapshot_every = 0;            // 0 = no periodic snapshot files
+  std::string snapshot_prefix;          // files named <prefix><time_ns>.snap
+  obs::FlightRecorder* trace = nullptr;  // also receives kStateDigest instants
+};
+
+struct ReplayResult {
+  DigestLog digests;       // one point per digest_every boundary
+  std::uint64_t final_digest = 0;
+  std::uint64_t metrics_digest = 0;  // all RunMetrics fields, mixed
+  sim::RunMetrics metrics;
+  std::vector<std::string> snapshots_written;  // paths, in time order
+};
+
+// Order-sensitive digest over every field of a RunMetrics (including the
+// per-flow and per-recovery vectors): equal digests mean the two runs
+// produced bit-identical results.
+std::uint64_t metrics_digest(const sim::RunMetrics& m);
+
+class Scenario {
+ public:
+  explicit Scenario(ReplayConfig config);
+
+  // The configured-but-unrun simulator (load a snapshot into it to resume).
+  sim::R2c2Sim& simulator() { return *sim_; }
+  const ReplayConfig& config() const { return config_; }
+
+  // Runs (or resumes, if a snapshot was loaded) until the event queue
+  // drains, recording digests and writing periodic snapshots.
+  ReplayResult run();
+
+ private:
+  ReplayConfig config_;
+  std::unique_ptr<Topology> topo_;
+  std::unique_ptr<Router> router_;
+  sim::R2c2SimConfig sim_config_;
+  std::vector<FlowArrival> arrivals_;
+  std::unique_ptr<sim::R2c2Sim> sim_;
+};
+
+// Archive round trip through a file: save_snapshot writes `sim` to `path`,
+// load_snapshot restores it into a freshly built scenario's simulator.
+// Both throw SnapshotError on failure.
+void save_snapshot(const sim::R2c2Sim& simulator, const std::string& path);
+void load_snapshot(sim::R2c2Sim& simulator, const std::string& path);
+
+}  // namespace r2c2::snapshot

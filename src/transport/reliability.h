@@ -20,6 +20,8 @@
 #include <vector>
 
 #include "common/types.h"
+#include "snapshot/archive.h"
+#include "snapshot/digest.h"
 
 namespace r2c2 {
 
@@ -49,6 +51,41 @@ class ReliableReceiver {
   // Up to `max_ranges` received ranges strictly above the cumulative point
   // (for the ACK's SACK blocks), lowest first.
   std::vector<ByteRange> sack_ranges(std::size_t max_ranges) const;
+
+  // --- Snapshot support (src/snapshot/). Nested in a caller-tagged
+  // section; std::map iterates in key order, so the byte stream is
+  // canonical by construction.
+  void save(snapshot::ArchiveWriter& w) const {
+    w.u64(total_);
+    w.u64(cumulative_);
+    w.u64(ranges_.size());
+    for (const auto& [begin, end] : ranges_) {
+      w.u64(begin);
+      w.u64(end);
+    }
+  }
+  void load(snapshot::ArchiveReader& r) {
+    const std::uint64_t total = r.u64();
+    const std::uint64_t cumulative = r.u64();
+    const std::uint64_t count = r.u64();
+    std::map<std::uint64_t, std::uint64_t> ranges;
+    for (std::uint64_t i = 0; i < count; ++i) {
+      const std::uint64_t begin = r.u64();
+      ranges[begin] = r.u64();
+    }
+    total_ = total;
+    cumulative_ = cumulative;
+    ranges_ = std::move(ranges);
+  }
+  void mix_digest(snapshot::Digest& d) const {
+    d.mix(total_);
+    d.mix(cumulative_);
+    d.mix(ranges_.size());
+    for (const auto& [begin, end] : ranges_) {
+      d.mix(begin);
+      d.mix(end);
+    }
+  }
 
  private:
   std::uint64_t total_;
@@ -93,6 +130,56 @@ class ReliableSender {
 
   std::uint64_t total_bytes() const { return total_; }
   std::uint64_t retransmissions() const { return retransmissions_; }
+
+  // --- Snapshot support (src/snapshot/). The Config is the host's to
+  // restore (it is part of the run configuration, not mutable state).
+  void save(snapshot::ArchiveWriter& w) const {
+    w.u64(total_);
+    w.u64(next_new_);
+    w.u64(acked_cumulative_);
+    w.u64(retransmissions_);
+    w.u64(in_flight_.size());
+    for (const auto& [offset, seg] : in_flight_) {
+      w.u64(offset);
+      w.u32(seg.length);
+      w.i64(seg.expires);
+      w.u32(static_cast<std::uint32_t>(seg.attempts));
+    }
+  }
+  void load(snapshot::ArchiveReader& r) {
+    const std::uint64_t total = r.u64();
+    const std::uint64_t next_new = r.u64();
+    const std::uint64_t acked = r.u64();
+    const std::uint64_t retx = r.u64();
+    const std::uint64_t count = r.u64();
+    std::map<std::uint64_t, InFlight> in_flight;
+    for (std::uint64_t i = 0; i < count; ++i) {
+      const std::uint64_t offset = r.u64();
+      InFlight seg;
+      seg.length = r.u32();
+      seg.expires = r.i64();
+      seg.attempts = static_cast<int>(r.u32());
+      in_flight[offset] = seg;
+    }
+    total_ = total;
+    next_new_ = next_new;
+    acked_cumulative_ = acked;
+    retransmissions_ = retx;
+    in_flight_ = std::move(in_flight);
+  }
+  void mix_digest(snapshot::Digest& d) const {
+    d.mix(total_);
+    d.mix(next_new_);
+    d.mix(acked_cumulative_);
+    d.mix(retransmissions_);
+    d.mix(in_flight_.size());
+    for (const auto& [offset, seg] : in_flight_) {
+      d.mix(offset);
+      d.mix(seg.length);
+      d.mix_i64(seg.expires);
+      d.mix(static_cast<std::uint64_t>(seg.attempts));
+    }
+  }
 
  private:
   struct InFlight {

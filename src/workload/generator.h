@@ -19,6 +19,10 @@ struct FlowArrival {
   std::uint64_t bytes = 0;
   double weight = 1.0;
   std::uint8_t priority = 0;
+  // Per-flow routing-algorithm override: -1 uses the simulation config's
+  // route_alg; >= 0 is a RouteAlg value. Lets a GA-computed assignment
+  // (control/route_selection.h) drive individual flows.
+  std::int8_t alg = -1;
 };
 
 enum class SizeDistribution {

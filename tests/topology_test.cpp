@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include <functional>
 #include <numeric>
 #include <vector>
 
@@ -148,6 +149,82 @@ TEST(Topology, FoldedClosShape) {
   // Server to server across leaves: 4 hops; same leaf: 2 hops.
   EXPECT_EQ(t.distance(0, 1), 2);
   EXPECT_EQ(t.distance(0, 16), 4);
+}
+
+// --- Folded Clos, small instance verified against hand-computed values ---
+// 2 servers/leaf x 3 leaves x 2 spines: servers 0..5, leaves 6..8, spines
+// 9..10. Small enough that every distance, the bisection bound and the
+// shortest-path counts can be worked out on paper.
+
+Topology small_clos() {
+  return make_folded_clos({.servers_per_leaf = 2,
+                           .num_leaves = 3,
+                           .num_spines = 2,
+                           .bandwidth = 10 * kGbps,
+                           .latency = 100});
+}
+
+TEST(Topology, FoldedClosHopCountMatrix) {
+  const Topology t = small_clos();
+  ASSERT_EQ(t.num_nodes(), 6u + 3 + 2);
+  const auto leaf_of = [](NodeId server) { return static_cast<NodeId>(6 + server / 2); };
+  const auto is_server = [](NodeId n) { return n < 6; };
+  const auto is_leaf = [](NodeId n) { return n >= 6 && n < 9; };
+  // Closed form for every pair; compare the full matrix.
+  const auto expected = [&](NodeId a, NodeId b) -> int {
+    if (a == b) return 0;
+    if (is_server(a) && is_server(b)) return leaf_of(a) == leaf_of(b) ? 2 : 4;
+    if (is_server(a) && is_leaf(b)) return leaf_of(a) == b ? 1 : 3;
+    if (is_leaf(a) && is_server(b)) return leaf_of(b) == a ? 1 : 3;
+    if (is_server(a) || is_server(b)) return 2;  // server <-> spine
+    if (is_leaf(a) && is_leaf(b)) return 2;      // leaf -> spine -> leaf
+    if (is_leaf(a) != is_leaf(b)) return 1;      // leaf <-> spine
+    return 2;                                    // spine -> leaf -> spine
+  };
+  for (NodeId a = 0; a < t.num_nodes(); ++a) {
+    for (NodeId b = 0; b < t.num_nodes(); ++b) {
+      EXPECT_EQ(t.distance(a, b), expected(a, b)) << a << " -> " << b;
+    }
+  }
+  EXPECT_EQ(t.diameter(), 4);
+}
+
+TEST(Topology, FoldedClosBisectionCapacity) {
+  // No grid metadata, so the degree-based fallback applies: half the summed
+  // directed bandwidth. Cables: 6 server-leaf + 3x2 leaf-spine = 12, so 24
+  // directed links at 10 Gbps each -> 120 Gbps.
+  const Topology t = small_clos();
+  ASSERT_EQ(t.num_links(), 24u);
+  EXPECT_DOUBLE_EQ(t.bisection_capacity(), 12 * 10 * kGbps);
+}
+
+TEST(Topology, FoldedClosPathEnumeration) {
+  const Topology t = small_clos();
+  // Count distinct shortest paths by walking min_next_hops recursively.
+  const std::function<int(NodeId, NodeId)> count_paths = [&](NodeId at, NodeId to) -> int {
+    if (at == to) return 1;
+    int total = 0;
+    for (const NodeId next : t.min_next_hops(at, to)) total += count_paths(next, to);
+    return total;
+  };
+  // Same-leaf pair: the single server->leaf->server path.
+  EXPECT_EQ(count_paths(0, 1), 1);
+  ASSERT_EQ(t.min_next_hops(0, 1), std::vector<NodeId>{6});
+  // Cross-leaf pair: exactly one path per spine.
+  EXPECT_EQ(count_paths(0, 2), 2);
+  ASSERT_EQ(t.min_next_hops(0, 2), std::vector<NodeId>{6});
+  // At the leaf, both spines lie on a shortest path toward leaf 7's server.
+  const std::vector<NodeId> fan = t.min_next_hops(6, 2);
+  EXPECT_EQ(fan, (std::vector<NodeId>{9, 10}));
+  // Leaf to leaf: again one path per spine.
+  EXPECT_EQ(count_paths(6, 8), 2);
+  // Every server pair crossing leaves sees exactly num_spines paths.
+  for (NodeId a = 0; a < 6; ++a) {
+    for (NodeId b = 0; b < 6; ++b) {
+      if (a / 2 == b / 2) continue;
+      EXPECT_EQ(count_paths(a, b), 2) << a << " -> " << b;
+    }
+  }
 }
 
 TEST(Topology, BuildErrors) {

@@ -1,0 +1,257 @@
+// replay: deterministic snapshot / resume / divergence-bisection driver.
+//
+// Modes:
+//
+//   replay run    --scenario fault|ga [--threads N] [--seed S]
+//                 [--digest-every NS] [--snapshot-every NS] [--prefix P]
+//                 [--log FILE]
+//       Runs the scenario straight through, printing (and optionally
+//       writing) the per-tick digest log and snapshot files. Run it on two
+//       builds (same flags), then feed both logs to `bisect`.
+//
+//   replay verify --scenario fault|ga [--threads N] [--seed S]
+//                 [--digest-every NS] [--snap-at NS] [--prefix P]
+//       The resume-from-snapshot determinism check: runs straight through,
+//       snapshots at a mid-run digest boundary, resumes that snapshot in a
+//       fresh simulator and asserts that every subsequent digest and the
+//       final run metrics are bit-identical to the uninterrupted run.
+//       Exits 1 on any divergence (CI runs this for both scenarios).
+//
+//   replay bisect --a LOG --b LOG [--prefix P --snapshot-every NS]
+//       Compares two digest logs (from `run` on two builds or two
+//       configurations) and reports the first divergent tick; with a
+//       snapshot cadence it also names the latest snapshot at or before
+//       the divergence — restore that file under a debugger and
+//       single-step the window [snapshot, divergence].
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "snapshot/archive.h"
+#include "snapshot/digest.h"
+#include "snapshot/replay.h"
+
+using namespace r2c2;
+using snapshot::DigestLog;
+using snapshot::ReplayConfig;
+using snapshot::ReplayResult;
+using snapshot::Scenario;
+
+namespace {
+
+[[noreturn]] void usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s run|verify|bisect [options]\n"
+               "  run    --scenario fault|ga [--threads N] [--seed S] [--digest-every NS]\n"
+               "         [--snapshot-every NS] [--prefix P] [--log FILE]\n"
+               "  verify --scenario fault|ga [--threads N] [--seed S] [--digest-every NS]\n"
+               "         [--snap-at NS] [--prefix P]\n"
+               "  bisect --a LOG --b LOG [--prefix P --snapshot-every NS]\n",
+               argv0);
+  std::exit(2);
+}
+
+struct Args {
+  std::string mode;
+  ReplayConfig replay;
+  TimeNs snap_at = 0;  // verify: 0 = midpoint of the straight-through run
+  std::string log_path;
+  std::string log_a, log_b;
+};
+
+Args parse(int argc, char** argv) {
+  if (argc < 2) usage(argv[0]);
+  Args args;
+  args.mode = argv[1];
+  args.replay.snapshot_prefix = "r2c2-replay-";
+  auto value = [&](int& i) -> const char* {
+    if (i + 1 >= argc) usage(argv[0]);
+    return argv[++i];
+  };
+  for (int i = 2; i < argc; ++i) {
+    const std::string opt = argv[i];
+    if (opt == "--scenario") {
+      args.replay.scenario = value(i);
+    } else if (opt == "--threads") {
+      args.replay.threads = std::atoi(value(i));
+    } else if (opt == "--seed") {
+      args.replay.seed = std::strtoull(value(i), nullptr, 10);
+    } else if (opt == "--digest-every") {
+      args.replay.digest_every = std::strtoll(value(i), nullptr, 10);
+    } else if (opt == "--snapshot-every") {
+      args.replay.snapshot_every = std::strtoll(value(i), nullptr, 10);
+    } else if (opt == "--prefix") {
+      args.replay.snapshot_prefix = value(i);
+    } else if (opt == "--snap-at") {
+      args.snap_at = std::strtoll(value(i), nullptr, 10);
+    } else if (opt == "--log") {
+      args.log_path = value(i);
+    } else if (opt == "--a") {
+      args.log_a = value(i);
+    } else if (opt == "--b") {
+      args.log_b = value(i);
+    } else {
+      usage(argv[0]);
+    }
+  }
+  if (args.replay.digest_every <= 0) usage(argv[0]);
+  return args;
+}
+
+int run_mode(const Args& args) {
+  Scenario scenario(args.replay);
+  const ReplayResult res = scenario.run();
+  for (const auto& p : res.digests.points) {
+    std::printf("%lld %016llx\n", static_cast<long long>(p.at),
+                static_cast<unsigned long long>(p.digest));
+  }
+  std::printf("# final_digest %016llx metrics_digest %016llx ticks %zu\n",
+              static_cast<unsigned long long>(res.final_digest),
+              static_cast<unsigned long long>(res.metrics_digest), res.digests.points.size());
+  for (const std::string& s : res.snapshots_written) {
+    std::printf("# snapshot %s\n", s.c_str());
+  }
+  if (!args.log_path.empty() && !res.digests.write_file(args.log_path)) {
+    std::fprintf(stderr, "error: could not write digest log %s\n", args.log_path.c_str());
+    return 2;
+  }
+  return 0;
+}
+
+int verify_mode(const Args& args) {
+  // Pass 1: straight through, no instrumentation beyond the digest trail.
+  ReplayConfig straight_cfg = args.replay;
+  straight_cfg.snapshot_every = 0;
+  Scenario straight(straight_cfg);
+  const ReplayResult full = straight.run();
+  if (full.digests.points.size() < 4) {
+    std::fprintf(stderr, "error: run too short to verify (%zu digest points)\n",
+                 full.digests.points.size());
+    return 2;
+  }
+  const TimeNs end = full.digests.points.back().at;
+  TimeNs snap_at = args.snap_at;
+  if (snap_at <= 0) {
+    snap_at = (end / 2 / args.replay.digest_every) * args.replay.digest_every;
+    if (snap_at <= 0) snap_at = args.replay.digest_every;
+  }
+
+  // Pass 2: same run again, snapshotting at snap_at (and every later
+  // multiple — the extra files are free verification material). Its digest
+  // trail must match pass 1 exactly or the scenario itself is
+  // nondeterministic, which verify must also catch.
+  ReplayConfig snap_cfg = args.replay;
+  snap_cfg.snapshot_every = snap_at;
+  Scenario snapper(snap_cfg);
+  const ReplayResult snapped = snapper.run();
+  const std::ptrdiff_t rerun_div = DigestLog::first_divergence(full.digests, snapped.digests);
+  if (rerun_div >= 0 || snapped.digests.points.size() != full.digests.points.size()) {
+    std::fprintf(stderr, "DIVERGENCE: two straight-through runs disagree at index %td\n",
+                 rerun_div);
+    return 1;
+  }
+  if (snapped.snapshots_written.empty()) {
+    std::fprintf(stderr, "error: no snapshot was written (snap_at=%lld, end=%lld)\n",
+                 static_cast<long long>(snap_at), static_cast<long long>(end));
+    return 2;
+  }
+  const std::string& snap_path = snapped.snapshots_written.front();
+
+  // Pass 3: fresh simulator, resume from the snapshot, run to completion.
+  ReplayConfig resume_cfg = args.replay;
+  resume_cfg.snapshot_every = 0;
+  Scenario resumed(resume_cfg);
+  snapshot::load_snapshot(resumed.simulator(), snap_path);
+  if (resumed.simulator().now() != snap_at) {
+    std::fprintf(stderr, "DIVERGENCE: restored clock %lld != snapshot time %lld\n",
+                 static_cast<long long>(resumed.simulator().now()),
+                 static_cast<long long>(snap_at));
+    return 1;
+  }
+  const ReplayResult tail = resumed.run();
+
+  // The resumed trail must equal the suffix of the straight-through trail.
+  DigestLog expected;
+  for (const auto& p : full.digests.points) {
+    if (p.at > snap_at) expected.points.push_back(p);
+  }
+  const std::ptrdiff_t div = DigestLog::first_divergence(expected, tail.digests);
+  if (div >= 0 || expected.points.size() != tail.digests.points.size()) {
+    if (div >= 0) {
+      std::fprintf(stderr, "DIVERGENCE: resumed run first differs at t=%lld ns (index %td)\n",
+                   static_cast<long long>(expected.points[static_cast<std::size_t>(div)].at),
+                   div);
+    } else {
+      std::fprintf(stderr, "DIVERGENCE: resumed run recorded %zu digest points, expected %zu\n",
+                   tail.digests.points.size(), expected.points.size());
+    }
+    return 1;
+  }
+  if (tail.final_digest != full.final_digest || tail.metrics_digest != full.metrics_digest) {
+    std::fprintf(stderr,
+                 "DIVERGENCE: final state/metrics differ "
+                 "(state %016llx vs %016llx, metrics %016llx vs %016llx)\n",
+                 static_cast<unsigned long long>(tail.final_digest),
+                 static_cast<unsigned long long>(full.final_digest),
+                 static_cast<unsigned long long>(tail.metrics_digest),
+                 static_cast<unsigned long long>(full.metrics_digest));
+    return 1;
+  }
+  std::printf(
+      "OK: %s (threads=%d seed=%llu) resumed at t=%lld ns; %zu post-snapshot digests, final "
+      "state %016llx and metrics %016llx all bit-identical\n",
+      args.replay.scenario.c_str(), args.replay.threads,
+      static_cast<unsigned long long>(args.replay.seed), static_cast<long long>(snap_at),
+      tail.digests.points.size(), static_cast<unsigned long long>(tail.final_digest),
+      static_cast<unsigned long long>(tail.metrics_digest));
+  return 0;
+}
+
+int bisect_mode(const Args& args) {
+  if (args.log_a.empty() || args.log_b.empty()) usage("replay");
+  const DigestLog a = DigestLog::read_file(args.log_a);
+  const DigestLog b = DigestLog::read_file(args.log_b);
+  const std::ptrdiff_t div = DigestLog::first_divergence(a, b);
+  if (div < 0) {
+    if (a.points.size() != b.points.size()) {
+      std::printf("logs agree on their common prefix but differ in length (%zu vs %zu points)\n",
+                  a.points.size(), b.points.size());
+      return 1;
+    }
+    std::printf("logs are identical (%zu points)\n", a.points.size());
+    return 0;
+  }
+  const auto& pa = a.points[static_cast<std::size_t>(div)];
+  const auto& pb = b.points[static_cast<std::size_t>(div)];
+  std::printf("first divergence at index %td: t=%lld ns (%016llx vs %016llx)\n", div,
+              static_cast<long long>(pa.at), static_cast<unsigned long long>(pa.digest),
+              static_cast<unsigned long long>(pb.digest));
+  if (args.replay.snapshot_every > 0) {
+    const TimeNs before = (pa.at - 1) / args.replay.snapshot_every * args.replay.snapshot_every;
+    if (before > 0) {
+      std::printf("restore %s%lld.snap and step the window (%lld, %lld] to localize it\n",
+                  args.replay.snapshot_prefix.c_str(), static_cast<long long>(before),
+                  static_cast<long long>(before), static_cast<long long>(pa.at));
+    } else {
+      std::printf("divergence precedes the first snapshot; replay from t=0\n");
+    }
+  }
+  return 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Args args = parse(argc, argv);
+  try {
+    if (args.mode == "run") return run_mode(args);
+    if (args.mode == "verify") return verify_mode(args);
+    if (args.mode == "bisect") return bisect_mode(args);
+  } catch (const snapshot::SnapshotError& e) {
+    std::fprintf(stderr, "snapshot error: %s\n", e.what());
+    return 2;
+  }
+  usage(argv[0]);
+}

@@ -87,7 +87,7 @@ Counter& MetricsRegistry::counter(std::string_view name) {
   check_unique(name, "counter");
   const auto it = counters_.find(name);
   if (it != counters_.end()) return it->second;
-  return counters_.emplace(std::string(name), Counter{}).first->second;
+  return counters_.try_emplace(std::string(name)).first->second;
 }
 
 Gauge& MetricsRegistry::gauge(std::string_view name) {

@@ -13,6 +13,7 @@
 #pragma once
 
 #include <array>
+#include <atomic>
 #include <cstdint>
 #include <iosfwd>
 #include <limits>
@@ -22,14 +23,19 @@
 
 namespace r2c2::obs {
 
+// Counters take relaxed atomic increments: shard-lane simulation code
+// bumps them concurrently inside the engine's parallel windows, and sums
+// commute, so the value at any window barrier is deterministic. The
+// registry's maps are node-based, so the (now immovable) counter objects
+// are constructed in place and their addresses stay stable.
 class Counter {
  public:
-  void add(std::uint64_t delta = 1) { value_ += delta; }
-  void reset() { value_ = 0; }
-  std::uint64_t value() const { return value_; }
+  void add(std::uint64_t delta = 1) { value_.fetch_add(delta, std::memory_order_relaxed); }
+  void reset() { value_.store(0, std::memory_order_relaxed); }
+  std::uint64_t value() const { return value_.load(std::memory_order_relaxed); }
 
  private:
-  std::uint64_t value_ = 0;
+  std::atomic<std::uint64_t> value_{0};
 };
 
 class Gauge {

@@ -1,21 +1,43 @@
-// Discrete-event simulation engine.
+// Discrete-event simulation engine: serial binary heap, optionally sharded
+// into per-lane heaps driven in parallel under conservative lookahead.
 //
-// A binary heap of (time, sequence)-ordered events; ties in time are
-// processed in scheduling order, which makes every simulation fully
-// deterministic for a given seed.
+// Serial mode (the default, shards == 1) is the original engine: one
+// binary heap of (time, key)-ordered events; ties in time are processed
+// in scheduling order, which makes every simulation fully deterministic
+// for a given seed. The heap is hand-rolled over a std::vector rather
+// than std::priority_queue because extraction must *move* the event's
+// action out (std::priority_queue only exposes a const top(), and
+// const_cast-ing it is undefined-behavior territory). Actions are stored
+// in a small-buffer-optimized callable, so the common case — a lambda
+// capturing `this` plus a couple of ids — costs no heap allocation per
+// event.
 //
-// The heap is hand-rolled over a std::vector rather than std::priority_queue
-// because extraction must *move* the event's action out (std::priority_queue
-// only exposes a const top(), and const_cast-ing it is undefined-behavior
-// territory). Actions are stored in a small-buffer-optimized callable, so
-// the common case — a lambda capturing `this` plus a couple of ids — costs
-// no heap allocation per event.
+// Sharded mode (configure_shards with shards K > 1) splits the event
+// queue into K shard lanes plus one global lane (index K), each with its
+// own heap and clock. Simulation code runs each shard's events on a
+// worker thread inside conservative windows [T, T + lookahead): the
+// lookahead is the minimum propagation latency across shard-boundary
+// links, so nothing a shard does inside a window can affect another
+// shard within the same window — no rollback is ever needed. Whenever
+// the global lane owns the earliest event, the engine drops to a
+// single-threaded serial phase so global control logic may touch any
+// lane. Event keys are stamped (origin_seq << 7 | origin_lane), a
+// composite that totals-orders same-timestamp ties exactly like the
+// serial engine's single sequence counter — an N-worker run is
+// bit-identical to the 1-worker run with the same shard count.
+//
+// Worker count is pure parallelism: it never changes the trajectory.
+// Shard count K > 1 is part of the configuration (different event
+// interleaving than K == 1) and is mixed into snapshot fingerprints by
+// the simulator.
 #pragma once
 
+#include <cassert>
 #include <cstddef>
 #include <cstdint>
 #include <functional>
 #include <limits>
+#include <memory>
 #include <new>
 #include <type_traits>
 #include <utility>
@@ -133,169 +155,365 @@ class Action {
   alignas(std::max_align_t) unsigned char buf_[kInlineBytes];
 };
 
+namespace detail {
+// Lane context of the executing thread during a parallel window (or
+// mailbox drain); -1 everywhere else. One engine runs a window at a time
+// per thread, so a single slot suffices.
+inline thread_local int tls_engine_lane = -1;
+}  // namespace detail
+
 class Engine {
  public:
   using Action = r2c2::sim::Action;
 
-  TimeNs now() const { return now_; }
+  // Lane index fits in the low 7 bits of an event key.
+  static constexpr int kLaneBits = 7;
+  static constexpr int kMaxShards = 126;
+
+  Engine();
+  ~Engine();
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  // Switches the engine into sharded mode: `shards` shard lanes plus one
+  // global lane. `lookahead` is the conservative window width (minimum
+  // shard-boundary propagation delay, see topology/partition.h) and must
+  // be positive. `workers` threads drive the shard lanes inside windows
+  // (clamped to [1, shards]; the thread gang is spawned lazily on the
+  // first parallel run). Must be called before anything is scheduled.
+  void configure_shards(int shards, int workers, TimeNs lookahead);
+
+  int shards() const { return shards_; }
+  int workers() const { return workers_; }
+  int num_lanes() const { return static_cast<int>(lanes_.size()); }
+  int global_lane() const { return shards_ == 1 ? 0 : shards_; }
+  TimeNs lookahead() const { return lookahead_; }
+
+  // Lane the calling thread is executing in: the worker's lane inside a
+  // parallel window or drain, the executing event's lane in a serial
+  // phase, the global lane outside run().
+  int current_lane() const {
+    const int tls = detail::tls_engine_lane;
+    return tls >= 0 ? tls : cur_lane_;
+  }
+  // True while shard lanes are running a conservative window in parallel.
+  // Cross-lane interaction is forbidden then: hand packets over via
+  // mailboxes and drain them at the window barrier.
+  bool in_window() const { return in_window_; }
+
+  // Clock of the calling context's lane (the single clock in serial mode).
+  TimeNs now() const { return lanes_[static_cast<std::size_t>(current_lane())].now; }
+  TimeNs lane_now(int lane) const { return lanes_[static_cast<std::size_t>(lane)].now; }
 
   void schedule_at(TimeNs t, Action action) { schedule_at(t, EventDesc{}, std::move(action)); }
   void schedule_at(TimeNs t, EventDesc desc, Action action) {
-    if (t < now_) t = now_;  // never schedule into the past
-    heap_.push_back(Event{t, next_seq_++, desc, std::move(action)});
-    sift_up(heap_.size() - 1);
+    const int lane_idx = current_lane();
+    Lane& lane = lanes_[static_cast<std::size_t>(lane_idx)];
+    if (t < lane.now) {
+      // Never schedule into the past — but never do it silently either.
+      // Outside parallel windows a past-time deadline is legal (an RTO
+      // that expired while the flow was stalled, a barrier-deferred op
+      // re-arming a tick); the clamp is counted so the obs layer can
+      // surface it. Inside a window it is a causality violation: the
+      // event would be lost behind the lane's cursor.
+      ++lane.clamped;
+      assert(!in_window_ && "past-time schedule inside a parallel window");
+      t = lane.now;
+    }
+    push_event(lane, Event{t, alloc_key_from(lane_idx), desc, std::move(action)});
   }
-  void schedule_in(TimeNs dt, Action action) { schedule_at(now_ + dt, std::move(action)); }
+  void schedule_in(TimeNs dt, Action action) { schedule_at(now() + dt, std::move(action)); }
   void schedule_in(TimeNs dt, EventDesc desc, Action action) {
-    schedule_at(now_ + dt, desc, std::move(action));
+    schedule_at(now() + dt, desc, std::move(action));
+  }
+
+  // Schedules onto an explicit lane, stamping the key from the *calling*
+  // lane's sequence counter (ties keep the origin's serial order). Only
+  // legal across lanes outside parallel windows; inside a window a shard
+  // may only reach other lanes through mailboxes + schedule_keyed.
+  void schedule_on(int lane_idx, TimeNs t, EventDesc desc, Action action) {
+    assert(lane_idx >= 0 && lane_idx < num_lanes());
+    assert(!in_window_ || lane_idx == current_lane());
+    schedule_keyed(lane_idx, t, alloc_key_from(current_lane()), desc, std::move(action));
+  }
+
+  // Allocates an event key from the calling lane without scheduling —
+  // mailbox posts stamp (time, key) at send time and the destination
+  // inserts via schedule_keyed at the window barrier, preserving the
+  // origin's tie order exactly as if the event had been pushed directly.
+  std::uint64_t alloc_key() { return alloc_key_from(current_lane()); }
+
+  void schedule_keyed(int lane_idx, TimeNs t, std::uint64_t key, EventDesc desc, Action action) {
+    Lane& lane = lanes_[static_cast<std::size_t>(lane_idx)];
+    if (t < lane.now) {
+      ++lane.clamped;
+      assert(!in_window_ && "mailbox delivery landed behind the destination lane");
+      t = lane.now;
+    }
+    push_event(lane, Event{t, key, desc, std::move(action)});
   }
 
   // Runs events until the queue drains or simulated time would exceed
   // `until`. Returns the number of events processed by this call. For a
-  // finite horizon the clock always lands exactly on `until` (whether or
+  // finite horizon every lane clock lands exactly on `until` (whether or
   // not events remain) — callers stepping the engine in fixed intervals,
   // like the snapshot/digest driver, stay on their grid.
   std::uint64_t run(TimeNs until = std::numeric_limits<TimeNs>::max()) {
-    std::uint64_t processed = 0;
-    while (!heap_.empty() && heap_.front().time <= until) {
-      Event ev = pop_min();
-      now_ = ev.time;
-      ev.action();
-      ++processed;
-      ++total_events_;
+    if (shards_ == 1) {
+      Lane& lane = lanes_[0];
+      std::uint64_t processed = 0;
+      while (!lane.heap.empty() && lane.heap.front().time <= until) {
+        Event ev = pop_min(lane);
+        lane.now = ev.time;
+        ev.action();
+        ++processed;
+      }
+      lane.events += processed;
+      if (until != std::numeric_limits<TimeNs>::max() && lane.now < until) lane.now = until;
+      return processed;
     }
-    if (until != std::numeric_limits<TimeNs>::max() && now_ < until) now_ = until;
-    return processed;
+    return run_sharded(until);
   }
 
-  bool empty() const { return heap_.empty(); }
-  std::size_t pending() const { return heap_.size(); }
-  std::uint64_t total_events() const { return total_events_; }
-  std::uint64_t next_seq() const { return next_seq_; }
+  bool empty() const {
+    for (const Lane& lane : lanes_) {
+      if (!lane.heap.empty()) return false;
+    }
+    return true;
+  }
+  std::size_t pending() const {
+    std::size_t n = 0;
+    for (const Lane& lane : lanes_) n += lane.heap.size();
+    return n;
+  }
+  std::uint64_t total_events() const {
+    std::uint64_t n = 0;
+    for (const Lane& lane : lanes_) n += lane.events;
+    return n;
+  }
+  std::uint64_t next_seq() const {
+    std::uint64_t n = 0;
+    for (const Lane& lane : lanes_) n += lane.next_key;
+    return n;
+  }
+
+  // --- Window hooks (sharded mode) ---
+  // lane_drain(lane) runs at the window barrier, on the thread that owns
+  // `lane`, after all lanes finished the window: the network drains the
+  // lane's incoming mailboxes here. barrier_apply() then runs on the
+  // driving thread with all workers parked: the simulator applies
+  // cross-shard state ops (flow-table and broadcast bookkeeping) here.
+  void set_lane_drain(std::function<void(int)> fn) { lane_drain_ = std::move(fn); }
+  void set_barrier_apply(std::function<void()> fn) { barrier_apply_ = std::move(fn); }
+
+  // --- Observability ---
+  struct LaneStats {
+    TimeNs now = 0;
+    std::uint64_t events = 0;    // events executed on this lane
+    std::uint64_t clamped = 0;   // past-time schedules clamped to the lane clock
+    std::uint64_t windows = 0;   // parallel windows this lane participated in
+    std::uint64_t stalls = 0;    // windows in which the lane had no runnable event
+  };
+  LaneStats lane_stats(int lane) const {
+    const Lane& l = lanes_[static_cast<std::size_t>(lane)];
+    return LaneStats{l.now, l.events, l.clamped, l.windows, l.stalls};
+  }
+  // Total past-time clamps across lanes (the satellite obs metric).
+  std::uint64_t clamped_schedules() const {
+    std::uint64_t n = 0;
+    for (const Lane& lane : lanes_) n += lane.clamped;
+    return n;
+  }
+  // Parallel windows executed (0 in serial mode).
+  std::uint64_t windows_run() const { return windows_; }
+  // Serial phases executed (sharded mode: global-lane turns).
+  std::uint64_t serial_phases() const { return serial_phases_; }
 
   // --- Snapshot support (src/snapshot/) ---
-  // Serializes the clock, the sequence counter and every pending event's
-  // (time, seq, descriptor) triple, in heap-array order — restoring the
-  // identical array preserves both the heap invariant and the exact
-  // (time, seq) tie-breaking, so a restored engine replays the same event
-  // interleaving bit for bit. Throws SnapshotError if any pending event
-  // lacks a descriptor (kind 0).
+  // Serializes per lane the clock, the key counter and every pending
+  // event's (time, key, descriptor) triple, in heap-array order —
+  // restoring the identical array preserves both the heap invariant and
+  // the exact (time, key) tie-breaking, so a restored engine replays the
+  // same event interleaving bit for bit. With a single lane the layout is
+  // byte-identical to the historical serial format. Throws SnapshotError
+  // if any pending event lacks a descriptor (kind 0).
   void save(snapshot::ArchiveWriter& w) const {
     w.begin_section("engine");
-    w.i64(now_);
-    w.u64(next_seq_);
-    w.u64(total_events_);
-    w.u64(heap_.size());
-    for (const Event& e : heap_) {
-      if (e.desc.kind == 0) {
-        throw snapshot::SnapshotError(
-            "pending event without a descriptor: this transport cannot be snapshotted");
+    for (const Lane& lane : lanes_) {
+      w.i64(lane.now);
+      w.u64(lane.next_key);
+      w.u64(lane.events);
+      w.u64(lane.heap.size());
+      for (const Event& e : lane.heap) {
+        if (e.desc.kind == 0) {
+          throw snapshot::SnapshotError(
+              "pending event without a descriptor: this transport cannot be snapshotted");
+        }
+        w.i64(e.time);
+        w.u64(e.key);
+        w.u32(e.desc.kind);
+        w.u64(e.desc.a);
+        w.u64(e.desc.b);
       }
-      w.i64(e.time);
-      w.u64(e.seq);
-      w.u32(e.desc.kind);
-      w.u64(e.desc.a);
-      w.u64(e.desc.b);
     }
     w.end_section();
   }
 
-  // Replaces the entire engine state with the archived one. `rebuild` maps
-  // each descriptor back to an executable Action bound to the restored
-  // object graph; it must throw SnapshotError on descriptors it does not
-  // recognize. Parse-then-commit: the heap is only replaced once every
-  // event has been read and rebuilt.
-  void load(snapshot::ArchiveReader& r,
-            const std::function<Action(const EventDesc&)>& rebuild) {
+  // Replaces the entire engine state with the archived one. `rebuild`
+  // maps each descriptor back to an executable Action bound to the
+  // restored object graph; it must throw SnapshotError on descriptors it
+  // does not recognize. Taken as a template (function_ref style) so the
+  // caller's lambda is invoked directly — no std::function allocation per
+  // restore — and each lane's heap storage is reserved up front, so large
+  // queue restores cost one allocation per lane. Parse-then-commit: the
+  // lanes are only replaced once every event has been read and rebuilt.
+  template <typename Rebuild>
+  void load(snapshot::ArchiveReader& r, Rebuild&& rebuild) {
     r.open_section("engine");
-    const TimeNs now = r.i64();
-    const std::uint64_t next_seq = r.u64();
-    const std::uint64_t total_events = r.u64();
-    const std::uint64_t count = r.u64();
-    std::vector<Event> events;
-    events.reserve(count);
-    for (std::uint64_t i = 0; i < count; ++i) {
-      Event e;
-      e.time = r.i64();
-      e.seq = r.u64();
-      e.desc.kind = r.u32();
-      e.desc.a = r.u64();
-      e.desc.b = r.u64();
-      e.action = rebuild(e.desc);
-      events.push_back(std::move(e));
+    std::vector<Lane> lanes(lanes_.size());
+    for (Lane& lane : lanes) {
+      lane.now = r.i64();
+      lane.next_key = r.u64();
+      lane.events = r.u64();
+      const std::uint64_t count = r.u64();
+      lane.heap.reserve(count);
+      for (std::uint64_t i = 0; i < count; ++i) {
+        Event e;
+        e.time = r.i64();
+        e.key = r.u64();
+        e.desc.kind = r.u32();
+        e.desc.a = r.u64();
+        e.desc.b = r.u64();
+        e.action = rebuild(static_cast<const EventDesc&>(e.desc));
+        lane.heap.push_back(std::move(e));
+      }
     }
     r.close_section();
-    heap_ = std::move(events);
-    now_ = now;
-    next_seq_ = next_seq;
-    total_events_ = total_events;
+    for (std::size_t i = 0; i < lanes_.size(); ++i) {
+      Lane& dst = lanes_[i];
+      Lane& src = lanes[i];
+      dst.heap = std::move(src.heap);
+      dst.now = src.now;
+      dst.next_key = src.next_key;
+      dst.events = src.events;
+      // clamped/windows/stalls are observability-only (not digested):
+      // they keep accumulating across a restore.
+    }
   }
 
-  // Mixes the clock, counters and every pending (time, seq, descriptor)
-  // into a rolling state digest, in heap-array order (deterministic for a
-  // deterministic schedule history). Opaque events mix their kind 0.
+  // Mixes per lane the clock, counters and every pending (time, key,
+  // descriptor) into a rolling state digest, in heap-array order
+  // (deterministic for a deterministic schedule history). Opaque events
+  // mix their kind 0. Single-lane digests match the historical serial
+  // digest exactly.
   void mix_digest(snapshot::Digest& d) const {
-    d.mix_i64(now_);
-    d.mix(next_seq_);
-    d.mix(total_events_);
-    d.mix(heap_.size());
-    for (const Event& e : heap_) {
-      d.mix_i64(e.time);
-      d.mix(e.seq);
-      d.mix(e.desc.kind);
-      d.mix(e.desc.a);
-      d.mix(e.desc.b);
+    for (const Lane& lane : lanes_) {
+      d.mix_i64(lane.now);
+      d.mix(lane.next_key);
+      d.mix(lane.events);
+      d.mix(lane.heap.size());
+      for (const Event& e : lane.heap) {
+        d.mix_i64(e.time);
+        d.mix(e.key);
+        d.mix(e.desc.kind);
+        d.mix(e.desc.a);
+        d.mix(e.desc.b);
+      }
     }
   }
 
  private:
   struct Event {
     TimeNs time;
-    std::uint64_t seq;
+    std::uint64_t key;
     EventDesc desc;
     Action action;
-    bool before(const Event& o) const { return time != o.time ? time < o.time : seq < o.seq; }
+    bool before(const Event& o) const { return time != o.time ? time < o.time : key < o.key; }
   };
 
-  Event pop_min() {
-    Event out = std::move(heap_.front());
-    if (heap_.size() > 1) {
-      heap_.front() = std::move(heap_.back());
-      heap_.pop_back();
-      sift_down(0);
+  // Each lane is an independent heap + clock. Padded so neighboring
+  // lanes' hot cursors don't share a cache line under the worker gang.
+  struct alignas(64) Lane {
+    std::vector<Event> heap;
+    TimeNs now = 0;
+    std::uint64_t next_key = 0;  // raw per-lane sequence; encoded on allocation
+    std::uint64_t events = 0;
+    std::uint64_t clamped = 0;
+    std::uint64_t windows = 0;
+    std::uint64_t stalls = 0;
+  };
+
+  class Gang;
+  friend class Gang;
+
+  std::uint64_t alloc_key_from(int origin) {
+    Lane& lane = lanes_[static_cast<std::size_t>(origin)];
+    const std::uint64_t seq = lane.next_key++;
+    if (shards_ == 1) return seq;  // legacy single-counter keys
+    return (seq << kLaneBits) | static_cast<std::uint64_t>(origin);
+  }
+
+  static void push_event(Lane& lane, Event ev) {
+    lane.heap.push_back(std::move(ev));
+    sift_up(lane.heap, lane.heap.size() - 1);
+  }
+
+  static Event pop_min(Lane& lane) {
+    auto& heap = lane.heap;
+    Event out = std::move(heap.front());
+    if (heap.size() > 1) {
+      heap.front() = std::move(heap.back());
+      heap.pop_back();
+      sift_down(heap, 0);
     } else {
-      heap_.pop_back();
+      heap.pop_back();
     }
     return out;
   }
 
-  void sift_up(std::size_t i) {
+  static void sift_up(std::vector<Event>& heap, std::size_t i) {
     while (i > 0) {
       const std::size_t parent = (i - 1) / 2;
-      if (!heap_[i].before(heap_[parent])) break;
-      std::swap(heap_[i], heap_[parent]);
+      if (!heap[i].before(heap[parent])) break;
+      std::swap(heap[i], heap[parent]);
       i = parent;
     }
   }
 
-  void sift_down(std::size_t i) {
-    const std::size_t n = heap_.size();
+  static void sift_down(std::vector<Event>& heap, std::size_t i) {
+    const std::size_t n = heap.size();
     for (;;) {
       const std::size_t l = 2 * i + 1;
       const std::size_t r = 2 * i + 2;
       std::size_t best = i;
-      if (l < n && heap_[l].before(heap_[best])) best = l;
-      if (r < n && heap_[r].before(heap_[best])) best = r;
+      if (l < n && heap[l].before(heap[best])) best = l;
+      if (r < n && heap[r].before(heap[best])) best = r;
       if (best == i) break;
-      std::swap(heap_[i], heap_[best]);
+      std::swap(heap[i], heap[best]);
       i = best;
     }
   }
 
-  std::vector<Event> heap_;
-  TimeNs now_ = 0;
-  std::uint64_t next_seq_ = 0;
-  std::uint64_t total_events_ = 0;
+  // Sharded driver (engine.cpp): alternates serial phases (global lane
+  // owns the earliest event) with conservative parallel windows.
+  std::uint64_t run_sharded(TimeNs until);
+  std::uint64_t serial_phase(TimeNs t);
+  std::uint64_t run_lane_until(Lane& lane, TimeNs we);
+  void run_window(TimeNs we);
+  void ensure_gang();
+
+  std::vector<Lane> lanes_;
+  int shards_ = 1;
+  int workers_ = 1;
+  TimeNs lookahead_ = 0;
+  int cur_lane_ = 0;        // executing lane when not on a gang thread
+  bool in_window_ = false;  // written by the driver, read by workers across barriers
+  TimeNs window_we_ = 0;    // exclusive end of the window being run
+  std::uint64_t windows_ = 0;
+  std::uint64_t serial_phases_ = 0;
+  std::function<void(int)> lane_drain_;
+  std::function<void()> barrier_apply_;
+  std::unique_ptr<Gang> gang_;
 };
 
 }  // namespace r2c2::sim

@@ -10,16 +10,48 @@
 
 namespace r2c2::sim {
 
+namespace {
+// Deterministic per-lane seed derivation (splitmix-style odd multiplier);
+// lane streams must differ from each other and from the serial stream.
+std::uint64_t lane_seed(std::uint64_t base, int lane) {
+  return base ^ (0x9e3779b97f4a7c15ULL * static_cast<std::uint64_t>(lane + 1));
+}
+}  // namespace
+
 Network::Network(Engine& engine, const Topology& topo, NetworkConfig config)
-    : engine_(engine), topo_(topo), config_(config), ports_(topo.num_links()),
-      corruption_rng_(config.corruption_seed) {}
+    : engine_(engine), topo_(topo), config_(config), ports_(topo.num_links()) {
+  parks_.resize(1);
+  corruption_rngs_.emplace_back(config.corruption_seed);
+}
+
+void Network::set_shard_plan(const ShardPlan& plan) {
+  assert(parks_.size() == 1 && parks_[0].slots.empty() &&
+         "set_shard_plan must precede all traffic");
+  shards_ = plan.shards;
+  if (shards_ <= 1) return;
+  const int lanes = shards_ + 1;  // + global lane
+  node_lane_ = plan.lane_of;
+  link_lane_.resize(topo_.num_links());
+  for (std::size_t l = 0; l < topo_.num_links(); ++l) {
+    link_lane_[l] = node_lane_[topo_.link(static_cast<LinkId>(l)).from];
+  }
+  parks_.assign(static_cast<std::size_t>(lanes), ParkStore{});
+  corruption_rngs_.clear();
+  for (int i = 0; i < lanes; ++i) {
+    corruption_rngs_.emplace_back(lane_seed(config_.corruption_seed, i));
+  }
+  mail_.assign(static_cast<std::size_t>(shards_) * static_cast<std::size_t>(shards_), {});
+  mail_posted_.assign(static_cast<std::size_t>(shards_), 0);
+  mail_peak_.assign(static_cast<std::size_t>(shards_), 0);
+}
 
 void Network::set_link_up(LinkId link, bool up) {
   Port& port = ports_[link];
   if (port.up == up) return;
   port.up = up;
   if (!up) {
-    failed_link_drops_ += port.data_q.size() + port.ctrl_q.size();
+    failed_link_drops_.fetch_add(port.data_q.size() + port.ctrl_q.size(),
+                                 std::memory_order_relaxed);
     port.data_q.clear();
     port.ctrl_q.clear();
     port.queued_bytes = 0;
@@ -31,13 +63,13 @@ void Network::set_link_up(LinkId link, bool up) {
 void Network::send_on_link(LinkId link, SimPacket&& pkt) {
   Port& port = ports_[link];
   if (!port.up) {
-    ++failed_link_drops_;
+    failed_link_drops_.fetch_add(1, std::memory_order_relaxed);
     return;
   }
   const bool ctrl = is_control(pkt);
   if (!ctrl && config_.data_buffer_bytes > 0 &&
       port.queued_bytes + pkt.wire_bytes > config_.data_buffer_bytes) {
-    ++drops_;
+    drops_.fetch_add(1, std::memory_order_relaxed);
     if (dropped_) dropped_(topo_.link(link).from, pkt);
     return;
   }
@@ -49,6 +81,53 @@ void Network::send_on_link(LinkId link, SimPacket&& pkt) {
     port.data_q.push_back(std::move(pkt));
   }
   if (!port.busy) try_transmit(link);
+}
+
+// Schedules the arrival of `pkt` at `to`. Same-lane (and serial-mode)
+// arrivals push straight onto the destination lane; cross-lane arrivals
+// inside a parallel window go through the mailbox and are inserted at the
+// barrier with the key allocated here — identical (time, key) order
+// either way.
+void Network::schedule_delivery(NodeId to, TimeNs at, SimPacket&& pkt) {
+  if (shards_ == 1) {
+    const std::uint64_t slot = park_in(0, std::move(pkt));
+    engine_.schedule_at(at, EventDesc{kEvDeliver, slot, to},
+                        [this, to, slot] { deliver_(to, take_parked(slot)); });
+    return;
+  }
+  const int dst_lane = node_lane_[to];
+  const int cur = engine_.current_lane();
+  if (engine_.in_window() && dst_lane != cur) {
+    mail_[static_cast<std::size_t>(cur) * static_cast<std::size_t>(shards_) +
+          static_cast<std::size_t>(dst_lane)]
+        .push_back(MailEntry{at, engine_.alloc_key(), to, std::move(pkt)});
+    ++mail_posted_[static_cast<std::size_t>(cur)];
+    return;
+  }
+  // Park in the destination lane's store: the deliver event executes
+  // there, and only a lane's owner touches its store inside windows.
+  const std::uint64_t slot = park_in(dst_lane, std::move(pkt));
+  engine_.schedule_on(dst_lane, at, EventDesc{kEvDeliver, slot, to},
+                      [this, to, slot] { deliver_(to, take_parked(slot)); });
+}
+
+void Network::drain_mailbox(int dst) {
+  std::uint64_t depth = 0;
+  for (int src = 0; src < shards_; ++src) {
+    auto& box = mail_[static_cast<std::size_t>(src) * static_cast<std::size_t>(shards_) +
+                      static_cast<std::size_t>(dst)];
+    depth += box.size();
+    for (MailEntry& e : box) {
+      const NodeId to = e.to;
+      const std::uint64_t slot = park_in(dst, std::move(e.pkt));
+      engine_.schedule_keyed(dst, e.at, e.key, EventDesc{kEvDeliver, slot, to},
+                             [this, to, slot] { deliver_(to, take_parked(slot)); });
+    }
+    box.clear();  // keeps capacity: steady-state windows do not allocate
+  }
+  if (depth > mail_peak_[static_cast<std::size_t>(dst)]) {
+    mail_peak_[static_cast<std::size_t>(dst)] = depth;
+  }
 }
 
 void Network::try_transmit(LinkId link) {
@@ -70,38 +149,48 @@ void Network::try_transmit(LinkId link) {
   const Link& l = topo_.link(link);
   const TimeNs tx = transmission_time_ns(pkt.wire_bytes, l.bandwidth);
   if (is_control(pkt)) {
-    control_bytes_ += pkt.wire_bytes;
+    control_bytes_.fetch_add(pkt.wire_bytes, std::memory_order_relaxed);
   } else {
-    data_bytes_ += pkt.wire_bytes;
+    data_bytes_.fetch_add(pkt.wire_bytes, std::memory_order_relaxed);
   }
 
   // The link frees after serialization; the packet arrives after
   // serialization + propagation (+ forwarding overhead at the next node).
-  engine_.schedule_in(tx, EventDesc{kEvLinkFree, link, 0}, [this, link] {
+  // The completion always runs on the lane that owns the port; inside a
+  // window that is the current lane, from global context it hops lanes.
+  const auto link_free = [this, link] {
     ports_[link].busy = false;
     try_transmit(link);
-  });
+  };
+  if (shards_ == 1) {
+    engine_.schedule_in(tx, EventDesc{kEvLinkFree, link, 0}, link_free);
+  } else {
+    engine_.schedule_on(link_lane_[link], engine_.now() + tx, EventDesc{kEvLinkFree, link, 0},
+                        link_free);
+  }
   // Failure injection: a corrupted packet fails its checksum at the next
   // hop and is discarded. Corrupted control packets are reported through
   // the drop callback so the transport's Section 3.2 recovery (retransmit
   // the broadcast copy) runs; corrupted data is the reliability layer's
-  // problem (Section 6).
-  if (config_.corruption_rate > 0.0 && corruption_rng_.bernoulli(config_.corruption_rate)) {
-    if (is_control(pkt)) {
-      ++corrupted_control_;
-      if (corrupted_fn_) corrupted_fn_(l.from, pkt);
-      if (dropped_) dropped_(l.from, pkt);
-    } else {
-      ++corrupted_data_;
-      if (corrupted_fn_) corrupted_fn_(l.from, pkt);
+  // problem (Section 6). The bernoulli draw comes from the executing
+  // lane's stream, so concurrent lanes never contend on one RNG.
+  if (config_.corruption_rate > 0.0) {
+    Rng& rng = corruption_rngs_[shards_ == 1 ? 0
+                                             : static_cast<std::size_t>(engine_.current_lane())];
+    if (rng.bernoulli(config_.corruption_rate)) {
+      if (is_control(pkt)) {
+        corrupted_control_.fetch_add(1, std::memory_order_relaxed);
+        if (corrupted_fn_) corrupted_fn_(l.from, pkt);
+        if (dropped_) dropped_(l.from, pkt);
+      } else {
+        corrupted_data_.fetch_add(1, std::memory_order_relaxed);
+        if (corrupted_fn_) corrupted_fn_(l.from, pkt);
+      }
+      return;
     }
-    return;
   }
-  const NodeId to = l.to;
-  const std::uint64_t slot = park(std::move(pkt));
-  engine_.schedule_in(tx + l.latency + config_.forwarding_delay,
-                      EventDesc{kEvDeliver, slot, to},
-                      [this, to, slot] { deliver_(to, take_parked(slot)); });
+  schedule_delivery(l.to, engine_.now() + tx + l.latency + config_.forwarding_delay,
+                    std::move(pkt));
 }
 
 void Network::forward(NodeId at, SimPacket&& pkt) {
@@ -124,24 +213,31 @@ std::vector<std::uint64_t> Network::max_queue_snapshot() const {
 
 // --- Snapshot support ---
 
-std::uint64_t Network::park(SimPacket&& pkt) {
-  if (!park_free_.empty()) {
-    const std::uint64_t slot = park_free_.back();
-    park_free_.pop_back();
-    park_slots_[slot] = std::move(pkt);
-    park_used_[slot] = 1;
-    return slot;
+std::uint64_t Network::park_in(int store_idx, SimPacket&& pkt) {
+  ParkStore& store = parks_[static_cast<std::size_t>(store_idx)];
+  if (!store.free.empty()) {
+    const std::uint64_t idx = store.free.back();
+    store.free.pop_back();
+    store.slots[idx] = std::move(pkt);
+    store.used[idx] = 1;
+    return encode_slot(store_idx, idx);
   }
-  park_slots_.push_back(std::move(pkt));
-  park_used_.push_back(1);
-  return park_slots_.size() - 1;
+  store.slots.push_back(std::move(pkt));
+  store.used.push_back(1);
+  return encode_slot(store_idx, store.slots.size() - 1);
+}
+
+std::uint64_t Network::park(SimPacket&& pkt) {
+  return park_in(shards_ == 1 ? 0 : engine_.current_lane(), std::move(pkt));
 }
 
 SimPacket Network::take_parked(std::uint64_t slot) {
-  assert(slot < park_slots_.size() && park_used_[slot]);
-  park_used_[slot] = 0;
-  park_free_.push_back(slot);
-  return std::move(park_slots_[slot]);
+  ParkStore& store = parks_[static_cast<std::size_t>(slot_store(slot))];
+  const std::uint64_t idx = slot_index(slot);
+  assert(idx < store.slots.size() && store.used[idx]);
+  store.used[idx] = 0;
+  store.free.push_back(idx);
+  return std::move(store.slots[idx]);
 }
 
 Engine::Action Network::rebuild_event(const EventDesc& desc) {
@@ -155,7 +251,11 @@ Engine::Action Network::rebuild_event(const EventDesc& desc) {
       };
     }
     case kEvDeliver: {
-      if (desc.a >= park_slots_.size() || !park_used_[desc.a]) {
+      const int store_idx = slot_store(desc.a);
+      const std::uint64_t idx = slot_index(desc.a);
+      if (store_idx >= static_cast<int>(parks_.size()) ||
+          idx >= parks_[static_cast<std::size_t>(store_idx)].slots.size() ||
+          !parks_[static_cast<std::size_t>(store_idx)].used[idx]) {
         throw snapshot::SnapshotError("deliver event references an empty packet slot");
       }
       const std::uint64_t slot = desc.a;
@@ -242,20 +342,31 @@ void Network::save(snapshot::ArchiveWriter& w) const {
     w.u64(p.data_q.size());
     for (const SimPacket& pkt : p.data_q) write_packet(w, pkt);
   }
-  w.u64(park_slots_.size());
-  for (std::size_t i = 0; i < park_slots_.size(); ++i) {
-    w.u8(park_used_[i]);
-    if (park_used_[i]) write_packet(w, park_slots_[i]);
+  // Per-lane park stores and RNG streams; with one shard this is one of
+  // each — byte-identical to the historical format. Saves only happen at
+  // run_until boundaries, where every window mailbox has been drained.
+  for (const auto& box : mail_) {
+    assert(box.empty() && "snapshot inside an undrained window");
+    (void)box;
   }
-  w.u64(park_free_.size());
-  for (std::uint64_t slot : park_free_) w.u64(slot);
-  for (std::uint64_t word : corruption_rng_.state()) w.u64(word);
-  w.u64(data_bytes_);
-  w.u64(control_bytes_);
-  w.u64(drops_);
-  w.u64(corrupted_data_);
-  w.u64(corrupted_control_);
-  w.u64(failed_link_drops_);
+  for (const ParkStore& store : parks_) {
+    w.u64(store.slots.size());
+    for (std::size_t i = 0; i < store.slots.size(); ++i) {
+      w.u8(store.used[i]);
+      if (store.used[i]) write_packet(w, store.slots[i]);
+    }
+    w.u64(store.free.size());
+    for (std::uint64_t slot : store.free) w.u64(slot);
+  }
+  for (const Rng& rng : corruption_rngs_) {
+    for (std::uint64_t word : rng.state()) w.u64(word);
+  }
+  w.u64(data_bytes_.load(std::memory_order_relaxed));
+  w.u64(control_bytes_.load(std::memory_order_relaxed));
+  w.u64(drops_.load(std::memory_order_relaxed));
+  w.u64(corrupted_data_.load(std::memory_order_relaxed));
+  w.u64(corrupted_control_.load(std::memory_order_relaxed));
+  w.u64(failed_link_drops_.load(std::memory_order_relaxed));
   w.end_section();
 }
 
@@ -280,25 +391,29 @@ void Network::load(snapshot::ArchiveReader& r) {
     const std::uint64_t ndata = r.u64();
     for (std::uint64_t i = 0; i < ndata; ++i) p.data_q.push_back(read_packet(r));
   }
-  const std::uint64_t nslots = r.u64();
-  std::vector<SimPacket> slots(nslots);
-  std::vector<std::uint8_t> used(nslots, 0);
-  for (std::uint64_t i = 0; i < nslots; ++i) {
-    used[i] = r.u8();
-    if (used[i]) slots[i] = read_packet(r);
-  }
-  const std::uint64_t nfree = r.u64();
-  std::vector<std::uint64_t> free_list;
-  free_list.reserve(nfree);
-  for (std::uint64_t i = 0; i < nfree; ++i) {
-    const std::uint64_t slot = r.u64();
-    if (slot >= nslots || used[slot]) {
-      throw snapshot::SnapshotError("corrupt parked-packet free list");
+  std::vector<ParkStore> parks(parks_.size());
+  for (ParkStore& store : parks) {
+    const std::uint64_t nslots = r.u64();
+    store.slots.resize(nslots);
+    store.used.assign(nslots, 0);
+    for (std::uint64_t i = 0; i < nslots; ++i) {
+      store.used[i] = r.u8();
+      if (store.used[i]) store.slots[i] = read_packet(r);
     }
-    free_list.push_back(slot);
+    const std::uint64_t nfree = r.u64();
+    store.free.reserve(nfree);
+    for (std::uint64_t i = 0; i < nfree; ++i) {
+      const std::uint64_t slot = r.u64();
+      if (slot >= nslots || store.used[slot]) {
+        throw snapshot::SnapshotError("corrupt parked-packet free list");
+      }
+      store.free.push_back(slot);
+    }
   }
-  std::array<std::uint64_t, 4> rng_state{};
-  for (std::uint64_t& word : rng_state) word = r.u64();
+  std::vector<std::array<std::uint64_t, 4>> rng_states(corruption_rngs_.size());
+  for (auto& state : rng_states) {
+    for (std::uint64_t& word : state) word = r.u64();
+  }
   const std::uint64_t data_bytes = r.u64();
   const std::uint64_t control_bytes = r.u64();
   const std::uint64_t drops = r.u64();
@@ -308,16 +423,16 @@ void Network::load(snapshot::ArchiveReader& r) {
   r.close_section();
 
   ports_ = std::move(ports);
-  park_slots_ = std::move(slots);
-  park_used_ = std::move(used);
-  park_free_ = std::move(free_list);
-  corruption_rng_.set_state(rng_state);
-  data_bytes_ = data_bytes;
-  control_bytes_ = control_bytes;
-  drops_ = drops;
-  corrupted_data_ = corrupted_data;
-  corrupted_control_ = corrupted_control;
-  failed_link_drops_ = failed_link_drops;
+  parks_ = std::move(parks);
+  for (std::size_t i = 0; i < corruption_rngs_.size(); ++i) {
+    corruption_rngs_[i].set_state(rng_states[i]);
+  }
+  data_bytes_.store(data_bytes, std::memory_order_relaxed);
+  control_bytes_.store(control_bytes, std::memory_order_relaxed);
+  drops_.store(drops, std::memory_order_relaxed);
+  corrupted_data_.store(corrupted_data, std::memory_order_relaxed);
+  corrupted_control_.store(corrupted_control, std::memory_order_relaxed);
+  failed_link_drops_.store(failed_link_drops, std::memory_order_relaxed);
 }
 
 void Network::mix_digest(snapshot::Digest& d) const {
@@ -331,18 +446,22 @@ void Network::mix_digest(snapshot::Digest& d) const {
     d.mix(p.data_q.size());
     for (const SimPacket& pkt : p.data_q) mix_packet(d, pkt);
   }
-  d.mix(park_slots_.size());
-  for (std::size_t i = 0; i < park_slots_.size(); ++i) {
-    d.mix(park_used_[i]);
-    if (park_used_[i]) mix_packet(d, park_slots_[i]);
+  for (const ParkStore& store : parks_) {
+    d.mix(store.slots.size());
+    for (std::size_t i = 0; i < store.slots.size(); ++i) {
+      d.mix(store.used[i]);
+      if (store.used[i]) mix_packet(d, store.slots[i]);
+    }
   }
-  for (std::uint64_t word : corruption_rng_.state()) d.mix(word);
-  d.mix(data_bytes_);
-  d.mix(control_bytes_);
-  d.mix(drops_);
-  d.mix(corrupted_data_);
-  d.mix(corrupted_control_);
-  d.mix(failed_link_drops_);
+  for (const Rng& rng : corruption_rngs_) {
+    for (std::uint64_t word : rng.state()) d.mix(word);
+  }
+  d.mix(data_bytes_.load(std::memory_order_relaxed));
+  d.mix(control_bytes_.load(std::memory_order_relaxed));
+  d.mix(drops_.load(std::memory_order_relaxed));
+  d.mix(corrupted_data_.load(std::memory_order_relaxed));
+  d.mix(corrupted_control_.load(std::memory_order_relaxed));
+  d.mix(failed_link_drops_.load(std::memory_order_relaxed));
 }
 
 }  // namespace r2c2::sim

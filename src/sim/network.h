@@ -7,11 +7,23 @@
 // the route index and increment it. Broadcast packets are forwarded by the
 // broadcast FIB instead (handled by the transport's deliver callback
 // re-injecting copies).
+//
+// Under a sharded engine (set_shard_plan with > 1 shard) every port is
+// owned by the lane of its source node: all queue and busy-flag mutation
+// for a link happens on that lane (link-free completions are scheduled
+// onto it explicitly). Deliveries that stay inside a lane schedule
+// directly; deliveries that cross lanes inside a parallel window are
+// posted to a per-(src,dst) mailbox stamped (arrival time, origin event
+// key) and inserted into the destination lane's queue at the window
+// barrier by the destination's owner — same (time, key) tie order as a
+// direct push, so the sharded run is bit-identical to the serial order.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <deque>
 #include <functional>
+#include <span>
 #include <vector>
 
 #include "common/rng.h"
@@ -19,6 +31,7 @@
 #include "packet/packet.h"
 #include "sim/engine.h"
 #include "snapshot/digest.h"
+#include "topology/partition.h"
 #include "topology/topology.h"
 
 namespace r2c2::sim {
@@ -83,6 +96,12 @@ class Network {
   // observational — used by the transports' flight recorders.
   void set_corrupt(DropFn fn) { corrupted_fn_ = std::move(fn); }
 
+  // Adopts the engine's shard partition. Must be called before any
+  // traffic: the parked-packet stores, corruption RNG streams and
+  // mailboxes become per-lane (shards + 1 of each, the extra one for the
+  // global lane). No-op for a 1-shard plan.
+  void set_shard_plan(const ShardPlan& plan);
+
   const Topology& topology() const { return topo_; }
   Engine& engine() { return engine_; }
   const NetworkConfig& config() const { return config_; }
@@ -97,6 +116,11 @@ class Network {
   // locally if the route is exhausted.
   void forward(NodeId at, SimPacket&& pkt);
 
+  // Inserts every packet mailed to lane `dst` during the closing window
+  // into its queue, in fixed source-lane order. Called by the engine's
+  // lane-drain hook on the thread that owns `dst`.
+  void drain_mailbox(int dst);
+
   // --- Runtime fault injection (Section 3.2) ---
   // Marks one directed link up or down. A down link blackholes: everything
   // queued on it is flushed and every later send is silently lost (no drop
@@ -110,26 +134,48 @@ class Network {
   // --- Introspection for metrics ---
   std::uint64_t queue_bytes(LinkId link) const { return ports_[link].queued_bytes; }
   std::uint64_t max_queue_bytes(LinkId link) const { return ports_[link].max_queued_bytes; }
-  std::uint64_t total_data_bytes_sent() const { return data_bytes_; }
-  std::uint64_t total_control_bytes_sent() const { return control_bytes_; }
-  std::uint64_t drops() const { return drops_; }
+  std::uint64_t total_data_bytes_sent() const {
+    return data_bytes_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t total_control_bytes_sent() const {
+    return control_bytes_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t drops() const { return drops_.load(std::memory_order_relaxed); }
   // Corruption accounting, split by class: control packets (broadcasts,
   // keepalives, drop notices) vs data/ack packets. corrupted() keeps the
   // combined count for existing callers.
-  std::uint64_t corrupted() const { return corrupted_data_ + corrupted_control_; }
-  std::uint64_t corrupted_data() const { return corrupted_data_; }
-  std::uint64_t corrupted_control() const { return corrupted_control_; }
+  std::uint64_t corrupted() const { return corrupted_data() + corrupted_control(); }
+  std::uint64_t corrupted_data() const { return corrupted_data_.load(std::memory_order_relaxed); }
+  std::uint64_t corrupted_control() const {
+    return corrupted_control_.load(std::memory_order_relaxed);
+  }
   // Packets lost to a down link (flushed from its queue or sent into it).
-  std::uint64_t failed_link_drops() const { return failed_link_drops_; }
+  std::uint64_t failed_link_drops() const {
+    return failed_link_drops_.load(std::memory_order_relaxed);
+  }
   // Max occupancy per port, for the queue-occupancy CDFs (Figs. 7b, 14).
   std::vector<std::uint64_t> max_queue_snapshot() const;
+
+  // Mailbox traffic stats (sharded mode; obs gauges). Counters exist only
+  // for shard lanes; any other lane (the global lane in particular) posts
+  // no mailbox traffic and reads 0.
+  std::uint64_t mailbox_posted(int src_lane) const {
+    const auto i = static_cast<std::size_t>(src_lane);
+    return i < mail_posted_.size() ? mail_posted_[i] : 0;
+  }
+  std::uint64_t mailbox_peak_depth(int dst_lane) const {
+    const auto i = static_cast<std::size_t>(dst_lane);
+    return i < mail_peak_.size() ? mail_peak_[i] : 0;
+  }
 
   // --- Snapshot support (src/snapshot/) ---
   // Packets referenced by pending engine events live in a slot store rather
   // than inside the closures, so the events serialize as (kind, slot, ...)
   // descriptors. Slot ids are stable across save/load: the free list is
   // serialized verbatim, so a restored network hands out the same slot for
-  // the same future park() call and descriptors keep matching.
+  // the same future park() call and descriptors keep matching. Sharded
+  // engines keep one store per lane; slot ids then carry the store index
+  // in their top bits.
   std::uint64_t park(SimPacket&& pkt);
   SimPacket take_parked(std::uint64_t slot);
 
@@ -137,9 +183,10 @@ class Network {
   // SnapshotError on any other kind.
   Engine::Action rebuild_event(const EventDesc& desc);
 
-  // Ports (queued packets of both classes), the parked-packet store,
-  // traffic/drop counters and the corruption RNG. The engine's event queue
-  // is saved separately by the owning transport.
+  // Ports (queued packets of both classes), the parked-packet store(s),
+  // traffic/drop counters and the corruption RNG stream(s). The engine's
+  // event queue is saved separately by the owning transport. With one
+  // shard the layout is byte-identical to the historical serial format.
   void save(snapshot::ArchiveWriter& w) const;
   void load(snapshot::ArchiveReader& r);
 
@@ -161,6 +208,41 @@ class Network {
     bool up = true;
   };
 
+  // Parked packets owned by pending engine events, one store per engine
+  // lane so window-parallel park/take never contend. The store that parks
+  // a packet is the lane of the event that will take it back.
+  struct ParkStore {
+    std::vector<SimPacket> slots;
+    std::vector<std::uint8_t> used;
+    std::vector<std::uint64_t> free;  // LIFO free list
+  };
+
+  // A packet crossing a shard boundary inside a parallel window, queued
+  // for insertion at the barrier. `key` is allocated from the origin
+  // lane at post time, so (at, key) reproduces the serial tie order.
+  struct MailEntry {
+    TimeNs at = 0;
+    std::uint64_t key = 0;
+    NodeId to = 0;
+    SimPacket pkt;
+  };
+
+  // Slot ids carry the store index above bit 48 in sharded mode (store
+  // sizes stay far below 2^48 packets).
+  static constexpr int kSlotLaneShift = 48;
+  std::uint64_t encode_slot(int store, std::uint64_t idx) const {
+    return shards_ == 1 ? idx
+                        : (static_cast<std::uint64_t>(store) << kSlotLaneShift) | idx;
+  }
+  int slot_store(std::uint64_t slot) const {
+    return shards_ == 1 ? 0 : static_cast<int>(slot >> kSlotLaneShift);
+  }
+  std::uint64_t slot_index(std::uint64_t slot) const {
+    return shards_ == 1 ? slot : (slot & ((std::uint64_t{1} << kSlotLaneShift) - 1));
+  }
+
+  std::uint64_t park_in(int store, SimPacket&& pkt);
+  void schedule_delivery(NodeId to, TimeNs at, SimPacket&& pkt);
   void try_transmit(LinkId link);
   static bool is_control(const SimPacket& pkt) {
     return pkt.type != PacketType::kData && pkt.type != PacketType::kAck;
@@ -173,20 +255,22 @@ class Network {
   DeliverFn deliver_;
   DropFn dropped_;
   DropFn corrupted_fn_;
-  // Parked-packet store: packets owned by pending engine events. As a
-  // bonus over the old lambda-captured copies, a SimPacket exceeds the
-  // Action inline buffer, so parking also removes a per-delivery heap
-  // allocation from the hot path.
-  std::vector<SimPacket> park_slots_;
-  std::vector<std::uint8_t> park_used_;
-  std::vector<std::uint64_t> park_free_;  // LIFO free list
-  Rng corruption_rng_;
-  std::uint64_t data_bytes_ = 0;
-  std::uint64_t control_bytes_ = 0;
-  std::uint64_t drops_ = 0;
-  std::uint64_t corrupted_data_ = 0;
-  std::uint64_t corrupted_control_ = 0;
-  std::uint64_t failed_link_drops_ = 0;
+  int shards_ = 1;
+  std::vector<std::int32_t> node_lane_;  // per node (sharded mode only)
+  std::vector<std::int32_t> link_lane_;  // lane of link.from (sharded mode only)
+  std::vector<ParkStore> parks_;         // one (serial) or shards + 1
+  std::vector<Rng> corruption_rngs_;     // one (serial) or shards + 1
+  std::vector<std::vector<MailEntry>> mail_;  // [src * shards + dst]; cleared per window
+  std::vector<std::uint64_t> mail_posted_;    // per src lane
+  std::vector<std::uint64_t> mail_peak_;      // per dst lane, max drained per window
+  // Traffic counters commute, so relaxed atomic adds from concurrent
+  // shard lanes still read deterministically at every window barrier.
+  std::atomic<std::uint64_t> data_bytes_{0};
+  std::atomic<std::uint64_t> control_bytes_{0};
+  std::atomic<std::uint64_t> drops_{0};
+  std::atomic<std::uint64_t> corrupted_data_{0};
+  std::atomic<std::uint64_t> corrupted_control_{0};
+  std::atomic<std::uint64_t> failed_link_drops_{0};
 };
 
 }  // namespace r2c2::sim

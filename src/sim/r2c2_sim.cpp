@@ -4,6 +4,7 @@
 #include <cassert>
 #include <stdexcept>
 
+#include "obs/engine_gauges.h"
 #include "obs/scope.h"
 #include "sim/event_kind.h"
 
@@ -40,6 +41,30 @@ R2c2Sim::R2c2Sim(const Topology& topo, const Router& router, R2c2SimConfig confi
       cable_down_(topo.num_links(), 0) {
   if (config_.failure_timeout == 0) config_.failure_timeout = 4 * config_.keepalive_interval;
   if (config_.lease_ttl == 0) config_.lease_ttl = 4 * config_.lease_interval;
+  sharded_ = config_.engine_shards > 1;
+  if (sharded_) {
+    if (config_.recompute_interval == 0) {
+      throw std::logic_error(
+          "engine_shards > 1 requires recompute_interval > 0: per-event "
+          "recomputation is inherently global");
+    }
+    plan_ = make_shard_plan(topo_, config_.engine_shards);
+    engine_.configure_shards(plan_.shards, config_.engine_workers, plan_.min_cross_latency);
+    net_.set_shard_plan(plan_);
+    engine_.set_lane_drain([this](int lane) { net_.drain_mailbox(lane); });
+    engine_.set_barrier_apply([this] { apply_pending_ops(); });
+    const std::size_t k = static_cast<std::size_t>(plan_.shards);
+    shard_rng_.reserve(k);
+    for (std::size_t i = 0; i < k; ++i) {
+      shard_rng_.emplace_back(config_.seed ^ (0x9e3779b97f4a7c15ULL * (i + 1)));
+    }
+    shard_scratch_.resize(k);
+    shard_bcast_ctr_.assign(k, 1);
+    ops_.resize(k + 1);
+    // The flight recorder is not thread-safe; shard-lane events record
+    // concurrently once more than one worker drives them.
+    if (engine_.workers() > 1) trace_ = nullptr;
+  }
   net_.set_deliver([this](NodeId at, SimPacket&& pkt) { deliver(at, std::move(pkt)); });
   // Control packets use an unbounded priority queue by default, so they are
   // never dropped. When control priority is disabled (ablation) they share
@@ -152,6 +177,22 @@ RunMetrics R2c2Sim::collect_metrics() {
   metrics_.gauge("r2c2.ghost_flows_expired").set(static_cast<double>(m.ghost_flows_expired));
   metrics_.gauge("sim.events").set(static_cast<double>(m.events));
   metrics_.gauge("sim.end_ns").set(static_cast<double>(m.sim_end));
+  if (sharded_) {
+    std::vector<obs::EngineLaneSample> lanes(static_cast<std::size_t>(engine_.num_lanes()));
+    for (int i = 0; i < engine_.num_lanes(); ++i) {
+      const Engine::LaneStats s = engine_.lane_stats(i);
+      auto& lane = lanes[static_cast<std::size_t>(i)];
+      lane.events = s.events;
+      lane.window_stalls = s.stalls;
+      lane.mailbox_posted = net_.mailbox_posted(i);
+      lane.mailbox_peak = net_.mailbox_peak_depth(i);
+    }
+    obs::publish_engine_lanes(metrics_, lanes, engine_.windows_run(), engine_.serial_phases(),
+                              engine_.clamped_schedules());
+  } else {
+    metrics_.gauge("engine.clamped_schedules")
+        .set(static_cast<double>(engine_.clamped_schedules()));
+  }
   return m;
 }
 
@@ -258,6 +299,19 @@ void R2c2Sim::start_flow(const FlowArrival& arrival) {
   start_fault_ticks();
 }
 
+std::uint64_t R2c2Sim::alloc_bcast_id() {
+  if (!sharded_) return next_bcast_id_++;
+  // Context tag in the low bits (global = 0, shard i = i + 1) keeps the
+  // id spaces disjoint without cross-shard coordination; kLaneBits leaves
+  // 57 bits of counter, far beyond any run length.
+  if (shard_ctx()) {
+    const auto lane = static_cast<std::size_t>(engine_.current_lane());
+    return (shard_bcast_ctr_[lane]++ << Engine::kLaneBits) |
+           static_cast<std::uint64_t>(lane + 1);
+  }
+  return next_bcast_id_++ << Engine::kLaneBits;
+}
+
 void R2c2Sim::broadcast(const BroadcastMsg& base, NodeId origin, bool recovery) {
   if (topo_.num_nodes() <= 1) {
     apply_global(base);
@@ -265,15 +319,30 @@ void R2c2Sim::broadcast(const BroadcastMsg& base, NodeId origin, bool recovery) 
   }
   BroadcastMsg msg = base;
   const BroadcastTrees& trees = cur_trees();
-  msg.tree = static_cast<std::uint8_t>(rng_.uniform_int(static_cast<std::uint64_t>(
+  msg.tree = static_cast<std::uint8_t>(ctx_rng().uniform_int(static_cast<std::uint64_t>(
       trees.trees_per_source())));  // load-balance across trees (Section 3.2)
-  const std::uint64_t bcast_id = next_bcast_id_++;
+  const std::uint64_t bcast_id = alloc_bcast_id();
   c_broadcasts_sent_.add(1);
   R2C2_TRACE_INSTANT(trace_, engine_.now(), origin, obs::EventType::kBroadcastSend, bcast_id,
                      static_cast<std::uint64_t>(msg.type));
-  pending_[bcast_id] =
-      PendingBroadcast{msg, static_cast<std::uint32_t>(topo_.num_nodes() - 1), recovery};
-  if (recovery) ++rebroadcast_outstanding_;
+  if (shard_ctx()) {
+    // A shard-launched broadcast (a finish announcement) registers its
+    // pending entry through the op log; copies already in flight cannot
+    // complete it before the barrier, since the rack has > 1 node and any
+    // copy needs at least one link traversal (>= one lookahead window).
+    DeferredOp op;
+    op.at = engine_.now();
+    op.kind = OpKind::kBcastInsert;
+    op.a = bcast_id;
+    op.msg = msg;
+    op.remaining = static_cast<std::uint32_t>(topo_.num_nodes() - 1);
+    op.flag = recovery;
+    push_op(std::move(op));
+  } else {
+    pending_[bcast_id] =
+        PendingBroadcast{msg, static_cast<std::uint32_t>(topo_.num_nodes() - 1), recovery};
+    if (recovery) ++rebroadcast_outstanding_;
+  }
   // Send one copy toward each child of the origin; copies fan out further
   // at every hop via the broadcast FIB.
   for (const NodeId child : trees.children(origin, origin, msg.tree)) {
@@ -304,6 +373,17 @@ void R2c2Sim::on_broadcast_copy(NodeId at, SimPacket&& pkt) {
     const LinkId link = topo_.find_link(at, child);
     assert(link != kInvalidLink);
     net_.send_on_link(link, std::move(copy));
+  }
+  if (shard_ctx()) {
+    // pending_ is rack-global: record the arrival in the op log. Dedup
+    // against already-completed broadcasts happens when the op applies.
+    DeferredOp op;
+    op.at = engine_.now();
+    op.kind = OpKind::kBcastArrived;
+    op.a = pkt.bcast_id;
+    op.node = at;
+    push_op(std::move(op));
+    return;
   }
   auto it = pending_.find(pkt.bcast_id);
   if (it == pending_.end()) return;
@@ -408,6 +488,13 @@ void R2c2Sim::schedule_emit(FlowId id) {
   if (flow.emit_scheduled || flow.rate_bps <= 0.0) return;
   flow.emit_scheduled = true;
   const TimeNs at = std::max(engine_.now(), flow.next_send);
+  if (sharded_) {
+    // Emission always runs on the sender's home lane, whichever context
+    // (flow start, rate recompute, the lane itself) armed it.
+    engine_.schedule_on(plan_.lane(flow.spec.src), at, EventDesc{kEvEmitPacket, id, 0},
+                        [this, id] { emit_packet(id); });
+    return;
+  }
   engine_.schedule_at(at, EventDesc{kEvEmitPacket, id, 0}, [this, id] { emit_packet(id); });
 }
 
@@ -460,14 +547,16 @@ void R2c2Sim::emit_packet(FlowId id) {
     // Deterministic protocols: the path never changes within one
     // decision-plane epoch (and consumes no rng draws), so encode once.
     if (flow.route_epoch != router_epoch_) {
-      cur_router().pick_path_into(alg, flow.spec.src, flow.spec.dst, rng_, path_scratch_, id);
-      flow.cached_route = encode_path(topo_, path_scratch_);
+      Path& scratch = ctx_scratch();
+      cur_router().pick_path_into(alg, flow.spec.src, flow.spec.dst, ctx_rng(), scratch, id);
+      flow.cached_route = encode_path(topo_, scratch);
       flow.route_epoch = router_epoch_;
     }
     pkt.route = flow.cached_route;
   } else {
-    cur_router().pick_path_into(alg, flow.spec.src, flow.spec.dst, rng_, path_scratch_, id);
-    pkt.route = encode_path(topo_, path_scratch_);
+    Path& scratch = ctx_scratch();
+    cur_router().pick_path_into(alg, flow.spec.src, flow.spec.dst, ctx_rng(), scratch, id);
+    pkt.route = encode_path(topo_, scratch);
   }
   flow.sent_bytes = std::max(flow.sent_bytes, offset + payload);
   const std::uint32_t wire_bytes = pkt.wire_bytes;
@@ -489,6 +578,11 @@ void R2c2Sim::finish_sending(FlowId id) {
   auto it = senders_.find(id);
   assert(it != senders_.end());
   SenderFlow& flow = it->second;
+  // Sharded: the erase is deferred to the barrier, so a second trigger in
+  // the same window (e.g. two final ACKs) must find the flow already
+  // announced. Serial: the immediate erase makes re-entry impossible.
+  if (flow.finish_announced) return;
+  flow.finish_announced = true;
   // Close the rate integral.
   set_rate(flow, 0.0, engine_.now());
 
@@ -501,6 +595,16 @@ void R2c2Sim::finish_sending(FlowId id) {
   records_[record_index_[id]].avg_assigned_rate_bps =
       flow.rate_integral /
       std::max(1e-9, static_cast<double>(engine_.now() - flow.started_at) / 1e9);
+  if (shard_ctx()) {
+    broadcast(msg, msg.src);
+    DeferredOp op;
+    op.at = engine_.now();
+    op.kind = OpKind::kFlowDone;
+    op.a = id;
+    op.flag = flow.rel != nullptr;
+    push_op(std::move(op));
+    return;
+  }
   // Reliable mode finishes only when fully acked, so the lingering
   // receiver state can be reaped here. (Unreliable mode finishes when the
   // last byte is *sent*; the receiver is still draining the pipe.)
@@ -562,7 +666,16 @@ void R2c2Sim::on_data_at_receiver(SimPacket&& pkt) {
     c_flows_finished_.add(1);
     R2C2_TRACE_INSTANT(trace_, engine_.now(), pkt.dst, obs::EventType::kFlowFinish,
                        static_cast<std::uint64_t>(pkt.flow), static_cast<std::uint64_t>(rec.fct()));
-    if (recv.rel) {
+    if (shard_ctx()) {
+      // unfinished_ and receiver-map membership are rack-global; defer.
+      // The receiver entry lingers until the barrier either way — trailing
+      // same-window packets just update state that is about to be reaped.
+      DeferredOp op;
+      op.at = engine_.now();
+      op.kind = recv.rel ? OpKind::kUnfinishedDec : OpKind::kReceiverDone;
+      op.a = pkt.flow;
+      push_op(std::move(op));
+    } else if (recv.rel) {
       // Linger (TIME_WAIT-style): keep re-acking stale retransmissions in
       // case the final ACK is lost; finish_sending reaps the state once
       // the sender is fully acked.
@@ -590,8 +703,9 @@ void R2c2Sim::send_ack(FlowId id, ReceiverFlow& recv, NodeId from, NodeId to) {
   ack.wire_bytes = static_cast<std::uint32_t>(DataHeader::kWireSize) + 8 + 32;
   ack.sent_at = engine_.now();
   if (recv.ack_route_epoch != router_epoch_) {
-    cur_router().pick_path_into(RouteAlg::kRps, from, to, rng_, path_scratch_, id);
-    recv.ack_route = encode_path(topo_, path_scratch_);
+    Path& scratch = ctx_scratch();
+    cur_router().pick_path_into(RouteAlg::kRps, from, to, ctx_rng(), scratch, id);
+    recv.ack_route = encode_path(topo_, scratch);
     recv.ack_route_epoch = router_epoch_;
   }
   ack.route = recv.ack_route;
@@ -685,7 +799,7 @@ void R2c2Sim::detection_tick() {
   const TimeNs now = engine_.now();
   for (LinkId id = 0; id < static_cast<LinkId>(topo_.num_links()); ++id) {
     if (cable_down_[id]) continue;
-    if (now - last_heard_[id] > config_.failure_timeout) note_detection(id, true);
+    if (now - last_heard_[id] > config_.failure_timeout) note_detection(id, true, now);
   }
   detection_tick_scheduled_ = true;
   engine_.schedule_in(config_.keepalive_interval, EventDesc{kEvDetectionTick, 0, 0},
@@ -696,10 +810,24 @@ void R2c2Sim::on_keepalive(SimPacket&& pkt) {
   const LinkId link = topo_.find_link(pkt.src, pkt.dst);
   if (link == kInvalidLink) return;
   last_heard_[link] = engine_.now();
-  if (cable_down_[link]) note_detection(link, false);
+  if (cable_down_[link]) {
+    if (shard_ctx()) {
+      // The restore verdict touches rack-global detection state; defer it.
+      // cable_down_ only changes at barriers, so duplicate ops from probes
+      // on both directions dedup when they apply.
+      DeferredOp op;
+      op.at = engine_.now();
+      op.kind = OpKind::kDetect;
+      op.a = link;
+      op.flag = false;
+      push_op(std::move(op));
+      return;
+    }
+    note_detection(link, false, engine_.now());
+  }
 }
 
-void R2c2Sim::note_detection(LinkId directed, bool failure) {
+void R2c2Sim::note_detection(LinkId directed, bool failure, TimeNs when) {
   if ((cable_down_[directed] != 0) == failure) return;  // already in this state
   const LinkId cable = cable_of(directed);
   const LinkId rev = reverse_link(directed);
@@ -713,20 +841,19 @@ void R2c2Sim::note_detection(LinkId directed, bool failure) {
     --cables_down_;
     c_restores_detected_.add(1);
     // Restart the deadline clock on the revived cable.
-    last_heard_[directed] = engine_.now();
-    if (rev != kInvalidLink) last_heard_[rev] = engine_.now();
+    last_heard_[directed] = when;
+    if (rev != kInvalidLink) last_heard_[rev] = when;
   }
   RecoveryRecord rec;
   rec.link = cable;
   rec.failure = failure;
   const auto& truth = failure ? injected_fail_at_ : injected_restore_at_;
   if (const auto it = truth.find(cable); it != truth.end()) rec.injected_at = it->second;
-  rec.detected_at = engine_.now();
+  rec.detected_at = when;
   open_recoveries_.push_back(recoveries_.size());
   recoveries_.push_back(rec);
-  R2C2_TRACE_INSTANT(trace_, engine_.now(), topo_.link(directed).to,
-                     obs::EventType::kFaultDetect, static_cast<std::uint64_t>(cable),
-                     failure ? 1 : 0);
+  R2C2_TRACE_INSTANT(trace_, when, topo_.link(directed).to, obs::EventType::kFaultDetect,
+                     static_cast<std::uint64_t>(cable), failure ? 1 : 0);
   schedule_rebuild();
 }
 
@@ -891,6 +1018,89 @@ void R2c2Sim::gc_tick() {
   }
 }
 
+// --- Deferred cross-shard state ops --------------------------------------
+
+// Runs at the window barrier (engine barrier_apply hook) with every worker
+// parked. Lane logs are merged by (time, lane, position): each lane's log
+// is already time-nondecreasing, so a stable k-way head comparison yields a
+// total order that is a pure function of simulation state — the same for
+// any worker count.
+void R2c2Sim::apply_pending_ops() {
+  bool any = false;
+  for (const auto& log : ops_) {
+    if (!log.empty()) {
+      any = true;
+      break;
+    }
+  }
+  if (!any) return;
+  ops_pos_.assign(ops_.size(), 0);
+  for (;;) {
+    int best = -1;
+    TimeNs best_at = 0;
+    for (std::size_t lane = 0; lane < ops_.size(); ++lane) {
+      if (ops_pos_[lane] >= ops_[lane].size()) continue;
+      const TimeNs at = ops_[lane][ops_pos_[lane]].at;
+      if (best < 0 || at < best_at) {
+        best = static_cast<int>(lane);
+        best_at = at;
+      }
+    }
+    if (best < 0) break;
+    auto& lane_log = ops_[static_cast<std::size_t>(best)];
+    apply_op(lane_log[ops_pos_[static_cast<std::size_t>(best)]++]);
+  }
+  for (auto& log : ops_) log.clear();  // keeps capacity: no steady-state allocation
+}
+
+void R2c2Sim::apply_op(const DeferredOp& op) {
+  switch (op.kind) {
+    case OpKind::kBcastInsert: {
+      pending_.emplace(op.a, PendingBroadcast{op.msg, op.remaining, op.flag});
+      if (op.flag) ++rebroadcast_outstanding_;
+      break;
+    }
+    case OpKind::kBcastArrived: {
+      auto it = pending_.find(op.a);
+      if (it == pending_.end()) break;  // stale duplicate copy
+      if (--it->second.remaining == 0) {
+        const BroadcastMsg msg = it->second.msg;
+        const bool recovery = it->second.recovery;
+        pending_.erase(it);
+        R2C2_TRACE_INSTANT(trace_, op.at, op.node, obs::EventType::kBroadcastDeliver, op.a,
+                           static_cast<std::uint64_t>(msg.type));
+        apply_global(msg);
+        if (recovery && rebroadcast_outstanding_ > 0 && --rebroadcast_outstanding_ == 0) {
+          for (const std::size_t idx : open_recoveries_) {
+            recoveries_[idx].reconverged_at = op.at;
+          }
+          open_recoveries_.clear();
+          R2C2_TRACE_INSTANT(trace_, op.at, op.node, obs::EventType::kFaultReconverge, 0, 0);
+        }
+      }
+      break;
+    }
+    case OpKind::kFlowDone: {
+      auto it = senders_.find(static_cast<FlowId>(op.a));
+      if (it != senders_.end()) {
+        if (op.flag) receivers_.erase(static_cast<FlowId>(op.a));
+        senders_.erase(it);
+      }
+      break;
+    }
+    case OpKind::kReceiverDone:
+      receivers_.erase(static_cast<FlowId>(op.a));
+      --unfinished_;
+      break;
+    case OpKind::kUnfinishedDec:
+      --unfinished_;
+      break;
+    case OpKind::kDetect:
+      note_detection(static_cast<LinkId>(op.a), op.flag, op.at);
+      break;
+  }
+}
+
 // --- Snapshot, resume and divergence detection ---------------------------
 
 namespace {
@@ -1034,6 +1244,10 @@ std::uint64_t R2c2Sim::config_fingerprint() const {
   d.mix_i64(config_.lease_interval);
   d.mix_i64(config_.lease_ttl);
   d.mix(config_.seed);
+  // Shard count changes the trajectory (lane partitioning, id spaces, op
+  // deferral); worker count deliberately does NOT enter the fingerprint —
+  // snapshots restore across any worker count.
+  d.mix(static_cast<std::uint64_t>(config_.engine_shards));
   // The registered workload: pending start events archive as indices into
   // this list, so it must match element for element.
   d.mix(arrivals_.size());
@@ -1053,6 +1267,12 @@ std::uint64_t R2c2Sim::state_digest() const {
   snapshot::Digest d;
   engine_.mix_digest(d);
   for (std::uint64_t word : rng_.state()) d.mix(word);
+  if (sharded_) {
+    for (const Rng& rng : shard_rng_) {
+      for (std::uint64_t word : rng.state()) d.mix(word);
+    }
+    for (std::uint64_t ctr : shard_bcast_ctr_) d.mix(ctr);
+  }
   global_view_.mix_digest(d);
   net_.mix_digest(d);
   if (injector_) injector_->mix_digest(d);
@@ -1283,6 +1503,22 @@ void R2c2Sim::save(snapshot::ArchiveWriter& w) const {
   }
   w.end_section();
 
+  if (sharded_) {
+    // Quiescence invariant: save() runs between run_until calls, after the
+    // final barrier, so every deferred op has been applied.
+    for (const auto& log : ops_) {
+      (void)log;
+      assert(log.empty());
+    }
+    w.begin_section("sim.shards");
+    w.u64(shard_rng_.size());
+    for (const Rng& rng : shard_rng_) {
+      for (std::uint64_t word : rng.state()) w.u64(word);
+    }
+    for (std::uint64_t ctr : shard_bcast_ctr_) w.u64(ctr);
+    w.end_section();
+  }
+
   global_view_.save(w, "sim.view");
   net_.save(w);
   if (injector_) injector_->save(w);
@@ -1357,6 +1593,9 @@ void R2c2Sim::load(snapshot::ArchiveReader& r) {
   }
   if (injector_ && !r.has_section("fault_injector")) {
     throw snapshot::SnapshotError("fault script configured but archive has no fault state");
+  }
+  if (sharded_ && !r.has_section("sim.shards")) {
+    throw snapshot::SnapshotError("sharded sim configured but archive has no shard state");
   }
 
   r.open_section("sim.core");
@@ -1530,6 +1769,23 @@ void R2c2Sim::load(snapshot::ArchiveReader& r) {
   }
   r.close_section();
 
+  std::vector<std::array<std::uint64_t, 4>> shard_rng_states;
+  std::vector<std::uint64_t> shard_bcast_ctr;
+  if (sharded_) {
+    r.open_section("sim.shards");
+    const std::uint64_t n_shards = r.u64();
+    if (n_shards != shard_rng_.size()) {
+      throw snapshot::SnapshotError("archived shard count does not match engine_shards");
+    }
+    shard_rng_states.resize(n_shards);
+    for (auto& state : shard_rng_states) {
+      for (std::uint64_t& word : state) word = r.u64();
+    }
+    shard_bcast_ctr.resize(n_shards);
+    for (std::uint64_t& ctr : shard_bcast_ctr) ctr = r.u64();
+    r.close_section();
+  }
+
   // All sim-local sections parsed; commit, then restore the subsystems
   // (each is parse-then-commit internally) and rebuild derived state.
   rng_.set_state(rng_state);
@@ -1559,6 +1815,10 @@ void R2c2Sim::load(snapshot::ArchiveReader& r) {
   injected_fail_at_ = std::move(injected_fail_at);
   injected_restore_at_ = std::move(injected_restore_at);
   pending_ = std::move(pending);
+  if (sharded_) {
+    for (std::size_t i = 0; i < shard_rng_.size(); ++i) shard_rng_[i].set_state(shard_rng_states[i]);
+    shard_bcast_ctr_ = std::move(shard_bcast_ctr);
+  }
 
   obs::Counter* cs[10] = {&c_recomputations_,    &c_retransmissions_,  &c_failures_detected_,
                           &c_restores_detected_, &c_context_rebuilds_, &c_flows_rebroadcast_,

@@ -48,6 +48,7 @@
 #include "sim/fault.h"
 #include "sim/metrics.h"
 #include "sim/network.h"
+#include "topology/partition.h"
 #include "topology/topology.h"
 #include "transport/reliability.h"
 #include "workload/generator.h"
@@ -101,6 +102,20 @@ struct R2c2SimConfig {
   // global view (default when 0: 4 * lease_interval).
   TimeNs lease_ttl = 0;
   std::uint64_t seed = 7;
+
+  // --- Sharded parallel engine (src/sim/engine.h) ---
+  // Partition the topology into this many shards, each with its own event
+  // lane; cross-shard packets ride mailboxes under conservative-lookahead
+  // windows. 1 = the classic serial engine, byte-identical to earlier
+  // versions. Shard count is part of the trajectory (it enters the config
+  // fingerprint): runs with different shard counts are different
+  // experiments. Requires recompute_interval > 0 when > 1 (per-event
+  // recomputation is inherently global).
+  int engine_shards = 1;
+  // Worker threads driving the shard lanes. Pure parallelism: any worker
+  // count yields bit-identical digests, metrics and snapshots for a fixed
+  // shard count. Clamped to [1, engine_shards].
+  int engine_workers = 1;
 
   // --- Observability (src/obs/, all optional) ---
   // Flight recorder for binary trace events (flow lifecycle, broadcasts,
@@ -207,6 +222,31 @@ class R2c2Sim {
     bool recovery = false;        // post-failure re-announcement
   };
 
+  // Deferred cross-shard state operation. Shard-lane event handlers may not
+  // touch rack-global structures (pending_, senders_ membership,
+  // unfinished_, detection verdicts); they append one of these to their
+  // lane's log instead. Logs are merged by (time, lane, position) and
+  // applied with all workers parked at the window barrier — a
+  // deterministic serialization of what the serial engine would have done
+  // inline, delayed by at most one lookahead window.
+  enum class OpKind : std::uint8_t {
+    kBcastInsert,    // register a broadcast launched from a shard
+    kBcastArrived,   // one broadcast copy consumed at a node
+    kFlowDone,       // sender finished (reliable: fully acked)
+    kReceiverDone,   // unreliable receiver got the last byte
+    kUnfinishedDec,  // reliable receiver complete; state lingers for acks
+    kDetect,         // keepalive-driven restore detection
+  };
+  struct DeferredOp {
+    TimeNs at = 0;
+    OpKind kind = OpKind::kBcastInsert;
+    std::uint64_t a = 0;          // bcast id / flow id / directed link id
+    NodeId node = kInvalidNode;   // kBcastArrived: completing node (trace)
+    bool flag = false;            // Insert: recovery; FlowDone: reap receiver; Detect: failure
+    std::uint32_t remaining = 0;  // kBcastInsert: copies in flight
+    BroadcastMsg msg{};           // kBcastInsert payload
+  };
+
   void start_flow(const FlowArrival& arrival);
   void recompute_tick();
   Engine::Action rebuild_event(const EventDesc& desc);
@@ -243,7 +283,7 @@ class R2c2Sim {
   void lease_tick();
   void gc_tick();
   void on_keepalive(SimPacket&& pkt);
-  void note_detection(LinkId directed, bool failure);
+  void note_detection(LinkId directed, bool failure, TimeNs when);
   void schedule_rebuild();
   void rebuild_context();
   void rebuild_link_denom();
@@ -255,6 +295,31 @@ class R2c2Sim {
   bool fault_ticks_needed() const {
     return unfinished_ > 0 || !senders_.empty() || engine_.now() <= fault_horizon_;
   }
+
+  // --- Sharded-execution helpers ---
+  // True when the current event is running on a shard lane (as opposed to
+  // the global lane or the legacy serial engine): rack-global mutations
+  // must then go through the deferred-op log.
+  bool shard_ctx() const { return sharded_ && engine_.current_lane() < plan_.shards; }
+  // Per-context RNG / path scratch: the global lane keeps the legacy rng_
+  // and path_scratch_ (byte-identical archives when engine_shards == 1);
+  // each shard lane draws from its own deterministic stream.
+  Rng& ctx_rng() { return shard_ctx() ? shard_rng_[static_cast<std::size_t>(
+                                            engine_.current_lane())]
+                                      : rng_; }
+  Path& ctx_scratch() {
+    return shard_ctx() ? shard_scratch_[static_cast<std::size_t>(engine_.current_lane())]
+                       : path_scratch_;
+  }
+  // Broadcast ids must be unique across contexts without coordination:
+  // sharded runs tag the id with the allocating context (global = 0,
+  // shard i = i + 1) in the low bits.
+  std::uint64_t alloc_bcast_id();
+  void push_op(DeferredOp&& op) {
+    ops_[static_cast<std::size_t>(engine_.current_lane())].push_back(std::move(op));
+  }
+  void apply_pending_ops();  // barrier_apply hook: merge + apply all lane logs
+  void apply_op(const DeferredOp& op);
 
   const Topology& topo_;    // full wire substrate
   const Router& router_;    // pristine decision plane
@@ -297,8 +362,25 @@ class R2c2Sim {
   // their epoch against it instead of registering for invalidation.
   int router_epoch_ = 0;
   // Scratch for pick_path_into on the per-packet path (no allocation once
-  // warm; the sim is single-threaded, so one buffer suffices).
+  // warm). Used by the global context only; shard lanes each have their
+  // own buffer in shard_scratch_.
   Path path_scratch_;
+
+  // --- Sharded engine state (inert when engine_shards == 1) ---
+  bool sharded_ = false;
+  ShardPlan plan_;
+  // Per-shard RNG streams and path scratch: shard-lane events (route
+  // draws, broadcast tree picks) must not contend on rng_/path_scratch_.
+  // Streams are seeded from config.seed and the lane index, so the
+  // trajectory is a function of (seed, shards) alone.
+  std::vector<Rng> shard_rng_;
+  std::vector<Path> shard_scratch_;
+  // Per-shard broadcast-id counters (see alloc_bcast_id).
+  std::vector<std::uint64_t> shard_bcast_ctr_;
+  // Per-lane deferred-op logs, appended in lane execution order (times are
+  // nondecreasing within one lane) and merged at the window barrier.
+  std::vector<std::vector<DeferredOp>> ops_;
+  std::vector<std::size_t> ops_pos_;  // merge cursors (scratch)
 
   FlowTable global_view_;  // flows whose start broadcast fully propagated
   // Rate-computation state reused across recomputations: the CSR problem

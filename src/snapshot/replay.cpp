@@ -117,6 +117,8 @@ Scenario::Scenario(ReplayConfig config) : config_(std::move(config)) {
     throw SnapshotError("unknown scenario '" + config_.scenario + "' (want fault|ga)");
   }
   sim_config_.trace = config_.trace;
+  sim_config_.engine_shards = config_.engine_shards;
+  sim_config_.engine_workers = config_.engine_workers;
 
   sim_ = std::make_unique<sim::R2c2Sim>(*topo_, *router_, sim_config_);
   sim_->add_flows(arrivals_);

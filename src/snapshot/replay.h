@@ -42,6 +42,11 @@ namespace r2c2::snapshot {
 struct ReplayConfig {
   std::string scenario = "fault";  // "fault" | "ga"
   int threads = 1;                 // GA fitness-evaluation threads ("ga" only)
+  // Sharded event engine: shard count changes the trajectory (it is part
+  // of the config fingerprint); worker count is pure parallelism and must
+  // leave every digest, metric and snapshot byte-identical.
+  int engine_shards = 1;
+  int engine_workers = 1;
   std::uint64_t seed = 13;
   TimeNs digest_every = 20 * kNsPerUs;  // digest cadence (the "tick")
   TimeNs snapshot_every = 0;            // 0 = no periodic snapshot files

@@ -1,0 +1,55 @@
+#include "topology/partition.h"
+
+#include <limits>
+#include <stdexcept>
+
+namespace r2c2 {
+
+ShardPlan make_shard_plan(const Topology& topo, int shards) {
+  if (!topo.finalized()) {
+    throw std::logic_error("make_shard_plan: topology must be finalized");
+  }
+  const std::size_t n = topo.num_nodes();
+  if (shards < 1 || static_cast<std::size_t>(shards) > n) {
+    throw std::invalid_argument("make_shard_plan: shards must be in [1, num_nodes]");
+  }
+
+  ShardPlan plan;
+  plan.shards = shards;
+  plan.lane_of.resize(n);
+  // Balanced contiguous ranges: the first (n % shards) shards get one
+  // extra node, so sizes differ by at most one.
+  const std::size_t base = n / static_cast<std::size_t>(shards);
+  const std::size_t extra = n % static_cast<std::size_t>(shards);
+  std::size_t node = 0;
+  for (int s = 0; s < shards; ++s) {
+    const std::size_t size = base + (static_cast<std::size_t>(s) < extra ? 1 : 0);
+    for (std::size_t i = 0; i < size; ++i) {
+      plan.lane_of[node++] = s;
+    }
+  }
+
+  if (shards == 1) return plan;
+
+  TimeNs min_latency = std::numeric_limits<TimeNs>::max();
+  for (std::size_t l = 0; l < topo.num_links(); ++l) {
+    const Link& link = topo.link(static_cast<LinkId>(l));
+    if (plan.lane(link.from) == plan.lane(link.to)) continue;
+    ++plan.cross_links;
+    if (link.latency < min_latency) min_latency = link.latency;
+  }
+  if (plan.cross_links == 0) {
+    // Disconnected shard groups: any positive lookahead is safe.
+    plan.min_cross_latency = std::numeric_limits<TimeNs>::max() / 4;
+    return plan;
+  }
+  if (min_latency <= 0) {
+    throw std::logic_error(
+        "make_shard_plan: a shard-boundary link has zero propagation latency; "
+        "conservative sharding needs positive lookahead");
+  }
+  plan.min_cross_latency = min_latency;
+  return plan;
+}
+
+}  // namespace r2c2

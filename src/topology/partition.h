@@ -1,0 +1,45 @@
+// Topology partitioner for the sharded event engine.
+//
+// Splits the rack's nodes into `shards` contiguous node-id ranges. Both
+// grid builders number nodes in row-major raster order and the Clos
+// builder numbers servers, then leaves, then spines, so contiguous ranges
+// correspond to torus/mesh slabs along the slowest-varying dimension and
+// to pod-ish groups on a Clos — the cuts that minimize boundary cables
+// without a general graph partitioner.
+//
+// The plan also reports the minimum propagation latency over all
+// shard-crossing links: that is the engine's conservative lookahead. A
+// packet handed across a shard boundary at time t cannot be delivered
+// before t + min_cross_latency, so every shard may run min_cross_latency
+// ahead of its neighbors without risking a causality violation.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "common/types.h"
+#include "topology/topology.h"
+
+namespace r2c2 {
+
+struct ShardPlan {
+  int shards = 1;
+  // lane_of[node] in [0, shards).
+  std::vector<std::int32_t> lane_of;
+  // Minimum latency over links whose endpoints live in different shards;
+  // 0 when shards == 1 (no boundary). This is the engine lookahead.
+  TimeNs min_cross_latency = 0;
+  // Number of directed links crossing a shard boundary.
+  std::size_t cross_links = 0;
+
+  std::int32_t lane(NodeId n) const { return lane_of[static_cast<std::size_t>(n)]; }
+};
+
+// Builds a balanced contiguous partition. Throws std::invalid_argument if
+// shards < 1 or shards > num_nodes, std::logic_error if the topology is
+// not finalized or a boundary link has zero latency (no lookahead — such
+// a topology cannot be sharded conservatively).
+ShardPlan make_shard_plan(const Topology& topo, int shards);
+
+}  // namespace r2c2

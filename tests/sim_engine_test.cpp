@@ -36,6 +36,63 @@ TEST(Engine, TiesBreakInScheduleOrder) {
   EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
 }
 
+// Satellite determinism check for the sharded engine's mailbox protocol:
+// several cross-boundary packets share one arrival timestamp at one
+// destination lane; their execution order is fixed by the (time, key)
+// stamps allocated at post time, so it must match the 1-worker (serial
+// window) order bit for bit at every worker count.
+std::vector<int> run_boundary_tie_order(int workers) {
+  constexpr int kShards = 8;
+  Engine e;
+  e.configure_shards(kShards, workers, /*lookahead=*/10);
+  struct Mail {
+    TimeNs at;
+    std::uint64_t key;
+    int tag;
+  };
+  // box[src][dst]: written by the src lane inside the window, drained by
+  // the dst lane's owner at the barrier — the same single-writer protocol
+  // the network's mailboxes use.
+  std::array<std::array<std::vector<Mail>, kShards>, kShards> box{};
+  std::vector<int> delivered;  // appended only by lane 0 events
+  e.set_lane_drain([&](int dst) {
+    for (int src = 0; src < kShards; ++src) {
+      auto& cell = box[static_cast<std::size_t>(src)][static_cast<std::size_t>(dst)];
+      for (const Mail& m : cell) {
+        const int tag = m.tag;
+        e.schedule_keyed(dst, m.at, m.key, EventDesc{},
+                         [&delivered, tag] { delivered.push_back(tag); });
+      }
+      cell.clear();
+    }
+  });
+  auto post = [&](int dst, TimeNs at, int tag) {
+    const auto src = static_cast<std::size_t>(e.current_lane());
+    box[src][static_cast<std::size_t>(dst)].push_back({at, e.alloc_key(), tag});
+  };
+  // Three boundary packets from three shards, all arriving on lane 0 at
+  // t = 15; lane 5 posts a second one from a later event in the same
+  // window (a later per-lane sequence number, so it sorts last).
+  e.schedule_on(1, 5, EventDesc{}, [&] { post(0, 15, 101); });
+  e.schedule_on(3, 5, EventDesc{}, [&] { post(0, 15, 103); });
+  e.schedule_on(5, 5, EventDesc{}, [&] {
+    post(0, 15, 105);
+    e.schedule_at(6, [&] { post(0, 15, 205); });
+  });
+  e.run();
+  return delivered;
+}
+
+TEST(Engine, BoundaryPacketTieOrderMatchesSerialAtEveryWorkerCount) {
+  const std::vector<int> want = run_boundary_tie_order(1);
+  // Keys sort by (origin sequence, origin lane): the same-time ties land
+  // in origin-lane order, with the later post from lane 5 last.
+  EXPECT_EQ(want, (std::vector<int>{101, 103, 105, 205}));
+  for (const int workers : {2, 4, 8}) {
+    EXPECT_EQ(run_boundary_tie_order(workers), want) << "workers=" << workers;
+  }
+}
+
 TEST(Engine, EventsCanScheduleEvents) {
   Engine e;
   int count = 0;
@@ -66,6 +123,9 @@ TEST(Engine, PastSchedulingClampsToNow) {
   });
   e.run();
   EXPECT_EQ(seen, 50);
+  // Clamps are no longer silent: the per-lane counter records each one.
+  EXPECT_EQ(e.clamped_schedules(), 1u);
+  EXPECT_EQ(e.lane_stats(0).clamped, 1u);
 }
 
 TEST(Engine, CountsEvents) {

@@ -45,10 +45,15 @@ namespace {
   std::fprintf(stderr,
                "usage: %s run|verify|bisect [options]\n"
                "  run    --scenario fault|ga [--threads N] [--seed S] [--digest-every NS]\n"
+               "         [--engine-shards K] [--engine-workers W]\n"
                "         [--snapshot-every NS] [--prefix P] [--log FILE]\n"
                "  verify --scenario fault|ga [--threads N] [--seed S] [--digest-every NS]\n"
+               "         [--engine-shards K] [--engine-workers W]\n"
                "         [--snap-at NS] [--prefix P]\n"
-               "  bisect --a LOG --b LOG [--prefix P --snapshot-every NS]\n",
+               "  bisect --a LOG --b LOG [--prefix P --snapshot-every NS]\n"
+               "--engine-shards fixes the event-engine partition count (part of the\n"
+               "trajectory); --engine-workers is pure parallelism and must not change\n"
+               "a single digest.\n",
                argv0);
   std::exit(2);
 }
@@ -76,6 +81,10 @@ Args parse(int argc, char** argv) {
       args.replay.scenario = value(i);
     } else if (opt == "--threads") {
       args.replay.threads = std::atoi(value(i));
+    } else if (opt == "--engine-shards") {
+      args.replay.engine_shards = std::atoi(value(i));
+    } else if (opt == "--engine-workers") {
+      args.replay.engine_workers = std::atoi(value(i));
     } else if (opt == "--seed") {
       args.replay.seed = std::strtoull(value(i), nullptr, 10);
     } else if (opt == "--digest-every") {
@@ -200,9 +209,11 @@ int verify_mode(const Args& args) {
     return 1;
   }
   std::printf(
-      "OK: %s (threads=%d seed=%llu) resumed at t=%lld ns; %zu post-snapshot digests, final "
+      "OK: %s (threads=%d shards=%d workers=%d seed=%llu) resumed at t=%lld ns; "
+      "%zu post-snapshot digests, final "
       "state %016llx and metrics %016llx all bit-identical\n",
-      args.replay.scenario.c_str(), args.replay.threads,
+      args.replay.scenario.c_str(), args.replay.threads, args.replay.engine_shards,
+      args.replay.engine_workers,
       static_cast<unsigned long long>(args.replay.seed), static_cast<long long>(snap_at),
       tail.digests.points.size(), static_cast<unsigned long long>(tail.final_digest),
       static_cast<unsigned long long>(tail.metrics_digest));

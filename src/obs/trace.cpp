@@ -27,6 +27,8 @@ const char* event_name(EventType type) {
     case EventType::kLeaseRefresh: return "lease_refresh";
     case EventType::kGhostExpired: return "ghost_expired";
     case EventType::kStateDigest: return "state_digest";
+    case EventType::kLinkDemote: return "link_demote";
+    case EventType::kFlowAbort: return "flow_abort";
     case EventType::kCount: break;
   }
   return "unknown";
@@ -47,7 +49,10 @@ const char* event_category(EventType type) {
     case EventType::kFaultDetect:
     case EventType::kFaultRebuild:
     case EventType::kFaultReconverge:
+    case EventType::kLinkDemote:
       return "fault";
+    case EventType::kFlowAbort:
+      return "flow";
     case EventType::kPacketDrop:
     case EventType::kPacketCorrupt:
       return "net";

@@ -50,6 +50,8 @@ enum class EventType : std::uint8_t {
   kLeaseRefresh,        // arg0 = flows re-advertised
   kGhostExpired,        // arg0 = entries GC'd
   kStateDigest,         // divergence detector: arg0 = rolling state digest
+  kLinkDemote,          // arg0 = directed link id, arg1 = 1 demote / 0 clear
+  kFlowAbort,           // arg0 = flow id, arg1 = retransmissions spent
   kCount,               // sentinel, keep last
 };
 

@@ -93,6 +93,47 @@ void Router::pick_path_into(RouteAlg alg, NodeId src, NodeId dst, Rng& rng, Path
   throw std::invalid_argument("unknown routing algorithm");
 }
 
+void Router::pick_path_into(RouteAlg alg, NodeId src, NodeId dst, Rng& rng, Path& out,
+                            std::span<const double> link_penalty, FlowId flow) const {
+  if (link_penalty.empty()) {
+    pick_path_into(alg, src, dst, rng, out, flow);
+    return;
+  }
+  out.clear();
+  out.push_back(src);
+  if (src == dst) return;
+  switch (alg) {
+    case RouteAlg::kRps:
+      rps_walk_penalized(out, dst, rng, link_penalty);
+      return;
+    case RouteAlg::kDor:
+      dor_walk(out, dst);
+      return;
+    case RouteAlg::kVlb: {
+      const NodeId mid = static_cast<NodeId>(rng.uniform_int(topo_.num_nodes()));
+      if (mid != src) rps_walk_penalized(out, mid, rng, link_penalty);
+      if (mid != dst) rps_walk_penalized(out, dst, rng, link_penalty);
+      return;
+    }
+    case RouteAlg::kWlb:
+      // WLB's per-dimension direction choice has no per-link alternative to
+      // reweight (each combo is a fixed staircase); non-grid fallback sprays.
+      if (!topo_.grid()) {
+        rps_walk_penalized(out, dst, rng, link_penalty);
+      } else {
+        wlb_walk(out, dst, rng);
+      }
+      return;
+    case RouteAlg::kEcmp: {
+      std::uint64_t seed = ecmp_seed(src, dst, flow);
+      Rng path_rng(splitmix64(seed));
+      rps_walk(out, dst, path_rng);  // path is a pure flow hash; never biased
+      return;
+    }
+  }
+  throw std::invalid_argument("unknown routing algorithm");
+}
+
 const LinkWeights& Router::link_weights(RouteAlg alg, NodeId src, NodeId dst, FlowId flow) const {
   if (alg == RouteAlg::kEcmp) {
     // kEcmp entries are keyed by flow as well, so they are derived per call
@@ -188,6 +229,46 @@ void Router::rps_walk(Path& path, NodeId to, Rng& rng) const {
     topo_.min_next_hops(at, to, t_next);
     assert(!t_next.empty());
     at = t_next[rng.uniform_int(t_next.size())];
+    path.push_back(at);
+  }
+}
+
+void Router::rps_walk_penalized(Path& path, NodeId to, Rng& rng,
+                                std::span<const double> link_penalty) const {
+  thread_local std::vector<double> t_weight;
+  NodeId at = path.back();
+  while (at != to) {
+    topo_.min_next_hops(at, to, t_next);
+    assert(!t_next.empty());
+    t_weight.resize(t_next.size());
+    double total = 0.0;
+    bool penalized = false;
+    for (std::size_t i = 0; i < t_next.size(); ++i) {
+      const LinkId link = topo_.find_link(at, t_next[i]);
+      const double p =
+          (link != kInvalidLink && static_cast<std::size_t>(link) < link_penalty.size())
+              ? link_penalty[link]
+              : 0.0;
+      penalized = penalized || p > 0.0;
+      t_weight[i] = 1.0 / (1.0 + p);
+      total += t_weight[i];
+    }
+    if (!penalized) {
+      // Same draw as the unpenalized walk: demotion-free hops (and whole
+      // runs with no suspects) stay bit-identical to the base data plane.
+      at = t_next[rng.uniform_int(t_next.size())];
+    } else {
+      double u = rng.uniform() * total;
+      std::size_t pick = t_next.size() - 1;
+      for (std::size_t i = 0; i < t_next.size(); ++i) {
+        u -= t_weight[i];
+        if (u < 0.0) {
+          pick = i;
+          break;
+        }
+      }
+      at = t_next[pick];
+    }
     path.push_back(at);
   }
 }

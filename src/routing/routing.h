@@ -90,6 +90,20 @@ class Router {
   void pick_path_into(RouteAlg alg, NodeId src, NodeId dst, Rng& rng, Path& out,
                       FlowId flow = 0) const;
 
+  // Penalty-aware variant: `link_penalty` (indexed by LinkId, values >= 0)
+  // biases the randomized walks away from suspected-gray links. A candidate
+  // next hop over link l is drawn with weight 1 / (1 + penalty[l]) instead
+  // of uniformly — a penalized link still carries traffic (it is demoted,
+  // not dead), just proportionally less. Hops where every candidate has
+  // zero penalty consume exactly the same RNG draw as the unpenalized walk,
+  // so runs with no demotions stay bit-identical to the base data plane.
+  // Deterministic algorithms (kDor, kEcmp) ignore the penalty; kVlb applies
+  // it to both spray phases. The Router never stores the span: the caller
+  // (the simulator's detection layer) owns and mutates the penalties, which
+  // keeps the Router an immutable shared read structure.
+  void pick_path_into(RouteAlg alg, NodeId src, NodeId dst, Rng& rng, Path& out,
+                      std::span<const double> link_penalty, FlowId flow = 0) const;
+
   // Expected fraction of the flow's rate on each directed link it uses.
   // Lock-free: entries are immutable once published (see header comment).
   // For every algorithm except kEcmp the returned reference stays valid for
@@ -117,6 +131,10 @@ class Router {
 
   // Path builders append the walk from the last node already in `path`.
   void rps_walk(Path& path, NodeId to, Rng& rng) const;
+  // Penalized spray: weight 1/(1 + penalty) per candidate link; falls back
+  // to the uniform draw at hops where all candidates are unpenalized.
+  void rps_walk_penalized(Path& path, NodeId to, Rng& rng,
+                          std::span<const double> link_penalty) const;
   void dor_walk(Path& path, NodeId to) const;
   void wlb_walk(Path& path, NodeId to, Rng& rng) const;
 

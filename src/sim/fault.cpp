@@ -10,31 +10,13 @@ namespace r2c2::sim {
 
 namespace {
 
-// Connectivity probe over the undirected live-cable graph: BFS from node 0
-// over links whose cable is not in `down` (a bitmap over directed links;
-// both directions of a cable are always marked together).
-bool still_connected(const Topology& topo, const std::vector<char>& down) {
-  const std::size_t n = topo.num_nodes();
-  if (n <= 1) return true;
-  std::vector<char> seen(n, 0);
-  std::deque<NodeId> queue{0};
-  seen[0] = 1;
-  std::size_t reached = 1;
-  while (!queue.empty()) {
-    const NodeId u = queue.front();
-    queue.pop_front();
-    for (const LinkId id : topo.out_links(u)) {
-      if (down[id]) continue;
-      const NodeId v = topo.link(id).to;
-      if (!seen[v]) {
-        seen[v] = 1;
-        ++reached;
-        queue.push_back(v);
-      }
-    }
-  }
-  return reached == n;
-}
+// Hard-fault ground truth used while *generating* chaos scripts: which
+// directed links are down and which nodes are failed, replayed with the
+// same last-write-wins semantics the injector applies at runtime.
+struct HardState {
+  std::vector<char> down;    // per directed link
+  std::vector<char> failed;  // per node
+};
 
 void mark_cable(const Topology& topo, std::vector<char>& down, LinkId link, bool is_down) {
   const Link& l = topo.link(link);
@@ -43,11 +25,113 @@ void mark_cable(const Topology& topo, std::vector<char>& down, LinkId link, bool
   if (reverse != kInvalidLink) down[reverse] = is_down ? 1 : 0;
 }
 
+void apply_hard(const Topology& topo, HardState& s, const FaultEvent& ev) {
+  switch (ev.kind) {
+    case FaultEvent::Kind::kFailLink:
+      mark_cable(topo, s.down, ev.link, true);
+      break;
+    case FaultEvent::Kind::kRestoreLink:
+      mark_cable(topo, s.down, ev.link, false);
+      break;
+    case FaultEvent::Kind::kFailLinkOneWay:
+      s.down[ev.link] = 1;
+      break;
+    case FaultEvent::Kind::kRestoreLinkOneWay:
+      s.down[ev.link] = 0;
+      break;
+    case FaultEvent::Kind::kFailNode:
+      s.failed[ev.node] = 1;
+      for (const LinkId id : topo.out_links(ev.node)) mark_cable(topo, s.down, id, true);
+      break;
+    case FaultEvent::Kind::kRestoreNode:
+      s.failed[ev.node] = 0;
+      for (const LinkId id : topo.out_links(ev.node)) mark_cable(topo, s.down, id, false);
+      break;
+    default:
+      break;  // gray events never affect connectivity
+  }
+}
+
+// Replays every hard event with at <= t (time order, ties in script order)
+// and returns the cumulative state at t.
+HardState state_at(const Topology& topo, const std::vector<FaultEvent>& events, TimeNs t) {
+  HardState s{std::vector<char>(topo.num_links(), 0), std::vector<char>(topo.num_nodes(), 0)};
+  std::vector<std::size_t> order(events.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::stable_sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return events[a].at < events[b].at;
+  });
+  for (const std::size_t i : order) {
+    if (events[i].at > t) break;
+    apply_hard(topo, s, events[i]);
+  }
+  return s;
+}
+
+// Connectivity probe over the live-cable graph: BFS from the first live
+// (non-failed) node over links not in `down`. Failed nodes have every
+// incident cable down, so the invariant is that every *live* node reaches
+// every other live node.
+bool still_connected(const Topology& topo, const HardState& s) {
+  const std::size_t n = topo.num_nodes();
+  if (n <= 1) return true;
+  std::size_t live = 0;
+  NodeId start = kInvalidNode;
+  for (std::size_t v = 0; v < n; ++v) {
+    if (!s.failed[v]) {
+      ++live;
+      if (start == kInvalidNode) start = static_cast<NodeId>(v);
+    }
+  }
+  if (live <= 1) return live == 1;
+  std::vector<char> seen(n, 0);
+  std::deque<NodeId> queue{start};
+  seen[start] = 1;
+  std::size_t reached = 1;
+  while (!queue.empty()) {
+    const NodeId u = queue.front();
+    queue.pop_front();
+    for (const LinkId id : topo.out_links(u)) {
+      if (s.down[id]) continue;
+      const NodeId v = topo.link(id).to;
+      if (!seen[v]) {
+        seen[v] = 1;
+        if (!s.failed[v]) ++reached;
+        queue.push_back(v);
+      }
+    }
+  }
+  return reached == live;
+}
+
+bool still_connected(const Topology& topo, const std::vector<char>& down) {
+  return still_connected(topo, HardState{down, std::vector<char>(topo.num_nodes(), 0)});
+}
+
+// Checks that admitting the candidate events (a fail at `from`, its restore
+// at `until`) keeps the live rack connected at every instant of the window:
+// the window start plus every already-scripted failure instant inside it,
+// each evaluated against the cumulative failed set at that time.
+bool window_stays_connected(const Topology& topo, std::vector<FaultEvent>& events, TimeNs from,
+                            TimeNs until) {
+  if (!still_connected(topo, state_at(topo, events, from))) return false;
+  for (const FaultEvent& ev : events) {
+    if (ev.is_failure() && ev.at > from && ev.at < until) {
+      if (!still_connected(topo, state_at(topo, events, ev.at))) return false;
+    }
+  }
+  return true;
+}
+
 }  // namespace
 
 FaultScript make_chaos_script(const Topology& topo, Rng& rng, const ChaosConfig& config) {
   if (!topo.finalized()) throw std::logic_error("topology must be finalized");
   FaultScript script;
+
+  // Phase 1: link waves. Chronological generation with a running down-set,
+  // exactly as the original single-phase generator — a seed that produced
+  // a given link-wave script before node/gray waves existed still does.
   std::vector<char> down(topo.num_links(), 0);
   // Restores already scheduled but not yet "applied" while generating: the
   // connectivity check at time t must see exactly the cables down at t.
@@ -87,6 +171,77 @@ FaultScript make_chaos_script(const Topology& topo, Rng& rng, const ChaosConfig&
       }
     }
   }
+
+  // Phase 2: node waves. A candidate's whole down window is validated
+  // against the *cumulative* failed set — the link waves above plus every
+  // node wave admitted so far — by replaying the script at the window
+  // start and at every scripted failure instant inside the window. All
+  // draws come after every link-wave draw, so enabling node waves never
+  // perturbs phase 1.
+  TimeNs tn = config.start;
+  for (int wave = 0; wave < config.node_waves; ++wave) {
+    tn += static_cast<TimeNs>(rng.exponential(static_cast<double>(config.mean_wave_gap)));
+    for (int f = 0; f < config.nodes_per_wave; ++f) {
+      for (int attempt = 0; attempt < 64; ++attempt) {
+        const NodeId cand =
+            static_cast<NodeId>(rng.uniform_int(static_cast<std::uint64_t>(topo.num_nodes())));
+        const HardState before = state_at(topo, script.events, tn);
+        if (before.failed[cand]) continue;
+        const TimeNs up_at =
+            tn +
+            static_cast<TimeNs>(rng.exponential(static_cast<double>(config.mean_down_time)));
+        script.events.push_back(FaultScript::fail_node(tn, cand));
+        script.events.push_back(FaultScript::restore_node(up_at, cand));
+        if (!window_stays_connected(topo, script.events, tn, up_at)) {
+          script.events.pop_back();
+          script.events.pop_back();
+          continue;
+        }
+        break;
+      }
+    }
+  }
+
+  // Phase 3: gray waves. Degradation never takes a link down, so no
+  // connectivity check applies; overlapping episodes on one cable follow
+  // last-write-wins, matching the injector.
+  TimeNs tg = config.start;
+  for (int wave = 0; wave < config.gray_waves; ++wave) {
+    tg += static_cast<TimeNs>(rng.exponential(static_cast<double>(config.mean_wave_gap)));
+    for (int g = 0; g < config.grays_per_wave; ++g) {
+      const LinkId cand = random_link(topo, rng);
+      LinkDegrade gray;
+      if (rng.bernoulli(config.flap_prob)) {
+        gray.flap_period = config.flap_period;
+        gray.flap_down = static_cast<TimeNs>(static_cast<double>(config.flap_period) *
+                                             rng.uniform(0.2, 0.6));
+      } else {
+        gray.loss_prob = rng.uniform(0.02, config.gray_max_loss);
+      }
+      if (rng.bernoulli(0.5)) {
+        gray.corrupt_prob = rng.uniform(0.0, config.gray_max_corrupt);
+      }
+      if (rng.bernoulli(0.5)) {
+        gray.added_latency = static_cast<TimeNs>(
+            rng.uniform_int(static_cast<std::uint64_t>(config.gray_max_latency) + 1));
+      }
+      if (rng.bernoulli(0.5)) {
+        gray.jitter = static_cast<TimeNs>(
+            rng.uniform_int(static_cast<std::uint64_t>(config.gray_max_jitter) + 1));
+      }
+      const bool asym = rng.bernoulli(config.asym_prob);
+      const TimeNs clear_at =
+          tg + static_cast<TimeNs>(rng.exponential(static_cast<double>(config.mean_gray_time)));
+      if (asym) {
+        script.events.push_back(FaultScript::degrade_one_way(tg, cand, gray));
+        script.events.push_back(FaultScript::clear_degrade_one_way(clear_at, cand));
+      } else {
+        script.events.push_back(FaultScript::degrade_link(tg, cand, gray));
+        script.events.push_back(FaultScript::clear_degrade(clear_at, cand));
+      }
+    }
+  }
+
   std::stable_sort(script.events.begin(), script.events.end(),
                    [](const FaultEvent& a, const FaultEvent& b) { return a.at < b.at; });
   return script;
@@ -110,6 +265,8 @@ void FaultInjector::save(snapshot::ArchiveWriter& w) const {
   w.u8(armed_ ? 1 : 0);
   w.u64(failures_injected_);
   w.u64(restores_injected_);
+  w.u64(degrades_injected_);
+  w.u64(degrades_cleared_);
   w.end_section();
 }
 
@@ -118,10 +275,14 @@ void FaultInjector::load(snapshot::ArchiveReader& r) {
   const bool armed = r.u8() != 0;
   const std::uint64_t failures = r.u64();
   const std::uint64_t restores = r.u64();
+  const std::uint64_t degrades = r.u64();
+  const std::uint64_t cleared = r.u64();
   r.close_section();
   armed_ = armed;
   failures_injected_ = failures;
   restores_injected_ = restores;
+  degrades_injected_ = degrades;
+  degrades_cleared_ = cleared;
 }
 
 Engine::Action FaultInjector::rebuild_event(const EventDesc& desc) {
@@ -136,13 +297,14 @@ void FaultInjector::mix_digest(snapshot::Digest& d) const {
   d.mix(armed_ ? 1 : 0);
   d.mix(failures_injected_);
   d.mix(restores_injected_);
+  d.mix(degrades_injected_);
+  d.mix(degrades_cleared_);
 }
 
 void FaultInjector::set_cable(LinkId link, bool up) {
-  const Link& l = topo_.link(link);
-  net_.set_link_up(link, up);
-  const LinkId reverse = topo_.find_link(l.to, l.from);
-  if (reverse != kInvalidLink) net_.set_link_up(reverse, up);
+  set_direction(link, up);
+  const LinkId reverse = reverse_of(link);
+  if (reverse != kInvalidLink) set_direction(reverse, up);
 }
 
 void FaultInjector::apply(const FaultEvent& ev) {
@@ -161,6 +323,36 @@ void FaultInjector::apply(const FaultEvent& ev) {
       break;
     case FaultEvent::Kind::kRestoreNode:
       for (const LinkId id : topo_.out_links(ev.node)) set_cable(id, true);
+      ++restores_injected_;
+      break;
+    case FaultEvent::Kind::kDegradeLink: {
+      net_.set_link_degrade(ev.link, ev.gray);
+      const LinkId reverse = reverse_of(ev.link);
+      if (reverse != kInvalidLink) net_.set_link_degrade(reverse, ev.gray);
+      ++degrades_injected_;
+      break;
+    }
+    case FaultEvent::Kind::kClearDegrade: {
+      net_.clear_link_degrade(ev.link);
+      const LinkId reverse = reverse_of(ev.link);
+      if (reverse != kInvalidLink) net_.clear_link_degrade(reverse);
+      ++degrades_cleared_;
+      break;
+    }
+    case FaultEvent::Kind::kDegradeLinkOneWay:
+      net_.set_link_degrade(ev.link, ev.gray);
+      ++degrades_injected_;
+      break;
+    case FaultEvent::Kind::kClearDegradeOneWay:
+      net_.clear_link_degrade(ev.link);
+      ++degrades_cleared_;
+      break;
+    case FaultEvent::Kind::kFailLinkOneWay:
+      set_direction(ev.link, false);
+      ++failures_injected_;
+      break;
+    case FaultEvent::Kind::kRestoreLinkOneWay:
+      set_direction(ev.link, true);
       ++restores_injected_;
       break;
   }

@@ -24,8 +24,16 @@ struct FlowRecord {
   // Time-weighted average of the control plane's assigned rate over the
   // sending lifetime (R2C2 only; Figs. 15/16 compare it across rho values).
   double avg_assigned_rate_bps = 0.0;
+  // Explicit transport give-up: the reliable sender exhausted its
+  // retransmission budget and the flow was torn down without completing.
+  // Distinct from "unfinished" (the run simply ended first): an aborted
+  // flow is *resolved* — the invariant checkers treat it as accounted for.
+  bool aborted = false;
+  TimeNs aborted_at = -1;
 
   bool finished() const { return completed >= 0; }
+  // Finished or explicitly aborted: the flow's fate is known.
+  bool resolved() const { return finished() || aborted; }
   TimeNs fct() const { return completed - arrival; }
   // Average goodput over the flow's lifetime, in bps.
   double throughput_bps() const {
@@ -77,6 +85,11 @@ struct RunMetrics {
   // View-divergence counters (lease/GC protocol, Section 3.1 hardening).
   std::uint64_t ghost_flows_expired = 0;   // stale entries lease-GC collected
   std::uint64_t lease_refreshes_sent = 0;  // periodic re-advertisements
+  // --- Gray-failure handling (zero unless degradation/adaptive knobs on) ---
+  std::uint64_t gray_drops = 0;       // packets lost to loss-prob/flap degradation
+  std::uint64_t flow_aborts = 0;      // reliable senders that gave up (surfaced)
+  std::uint64_t links_demoted = 0;    // suspicion crossings: link penalized
+  std::uint64_t links_cleared = 0;    // hysteresis clearings: penalty lifted
 
   // Convenience selectors used by the figures: FCTs (us) of flows smaller
   // than `cutoff` and throughputs (Gbps) of flows at least `cutoff` bytes.

@@ -19,9 +19,27 @@ std::uint64_t lane_seed(std::uint64_t base, int lane) {
 }  // namespace
 
 Network::Network(Engine& engine, const Topology& topo, NetworkConfig config)
-    : engine_(engine), topo_(topo), config_(config), ports_(topo.num_links()) {
+    : engine_(engine),
+      topo_(topo),
+      config_(config),
+      ports_(topo.num_links()),
+      degrade_(topo.num_links()) {
   parks_.resize(1);
   corruption_rngs_.emplace_back(config.corruption_seed);
+}
+
+void Network::set_link_degrade(LinkId link, const LinkDegrade& degrade) {
+  LinkDegrade& g = degrade_[link];
+  const bool was_active = g.active();
+  g = degrade;
+  g.flap_anchor = engine_.now();
+  if (g.active() && !was_active) ++degraded_links_;
+  if (!g.active() && was_active) --degraded_links_;
+}
+
+void Network::clear_link_degrade(LinkId link) {
+  if (degrade_[link].active()) --degraded_links_;
+  degrade_[link] = LinkDegrade{};
 }
 
 void Network::set_shard_plan(const ShardPlan& plan) {
@@ -168,28 +186,54 @@ void Network::try_transmit(LinkId link) {
     engine_.schedule_on(link_lane_[link], engine_.now() + tx, EventDesc{kEvLinkFree, link, 0},
                         link_free);
   }
-  // Failure injection: a corrupted packet fails its checksum at the next
+  // Gray degradation: a flap oscillator's dark window or a loss draw loses
+  // the packet on the wire — silently, like a dead cable, so the transport
+  // has to *infer* it; degrade corruption folds into the checksum path
+  // below, and added latency/jitter stretch the delivery time. Every draw
+  // comes from the executing lane's stream in a fixed order, so sharded
+  // runs stay bit-identical at any worker count.
+  TimeNs gray_delay = 0;
+  bool corrupt = false;
+  if (degraded_links_ > 0) {
+    const LinkDegrade& gray = degrade_[link];
+    if (gray.active()) {
+      if (gray.flap_period > 0 && gray.flap_down > 0 &&
+          (engine_.now() - gray.flap_anchor) % gray.flap_period < gray.flap_down) {
+        gray_drops_.fetch_add(1, std::memory_order_relaxed);
+        return;
+      }
+      if (gray.loss_prob > 0.0 && lane_rng().bernoulli(gray.loss_prob)) {
+        gray_drops_.fetch_add(1, std::memory_order_relaxed);
+        return;
+      }
+      if (gray.corrupt_prob > 0.0) corrupt = lane_rng().bernoulli(gray.corrupt_prob);
+      gray_delay = gray.added_latency;
+      if (gray.jitter > 0) {
+        gray_delay += static_cast<TimeNs>(
+            lane_rng().uniform_int(static_cast<std::uint64_t>(gray.jitter)));
+      }
+    }
+  }
+  // Checksum corruption: a corrupted packet fails its checksum at the next
   // hop and is discarded. Corrupted control packets are reported through
   // the drop callback so the transport's Section 3.2 recovery (retransmit
   // the broadcast copy) runs; corrupted data is the reliability layer's
-  // problem (Section 6). The bernoulli draw comes from the executing
-  // lane's stream, so concurrent lanes never contend on one RNG.
-  if (config_.corruption_rate > 0.0) {
-    Rng& rng = corruption_rngs_[shards_ == 1 ? 0
-                                             : static_cast<std::size_t>(engine_.current_lane())];
-    if (rng.bernoulli(config_.corruption_rate)) {
-      if (is_control(pkt)) {
-        corrupted_control_.fetch_add(1, std::memory_order_relaxed);
-        if (corrupted_fn_) corrupted_fn_(l.from, pkt);
-        if (dropped_) dropped_(l.from, pkt);
-      } else {
-        corrupted_data_.fetch_add(1, std::memory_order_relaxed);
-        if (corrupted_fn_) corrupted_fn_(l.from, pkt);
-      }
-      return;
-    }
+  // problem (Section 6).
+  if (!corrupt && config_.corruption_rate > 0.0) {
+    corrupt = lane_rng().bernoulli(config_.corruption_rate);
   }
-  schedule_delivery(l.to, engine_.now() + tx + l.latency + config_.forwarding_delay,
+  if (corrupt) {
+    if (is_control(pkt)) {
+      corrupted_control_.fetch_add(1, std::memory_order_relaxed);
+      if (corrupted_fn_) corrupted_fn_(l.from, pkt);
+      if (dropped_) dropped_(l.from, pkt);
+    } else {
+      corrupted_data_.fetch_add(1, std::memory_order_relaxed);
+      if (corrupted_fn_) corrupted_fn_(l.from, pkt);
+    }
+    return;
+  }
+  schedule_delivery(l.to, engine_.now() + tx + l.latency + config_.forwarding_delay + gray_delay,
                     std::move(pkt));
 }
 
@@ -367,6 +411,26 @@ void Network::save(snapshot::ArchiveWriter& w) const {
   w.u64(corrupted_data_.load(std::memory_order_relaxed));
   w.u64(corrupted_control_.load(std::memory_order_relaxed));
   w.u64(failed_link_drops_.load(std::memory_order_relaxed));
+  w.u64(gray_drops_.load(std::memory_order_relaxed));
+  // Gray degradation table, sparse: only directed links with an active
+  // entry are archived.
+  std::uint64_t active = 0;
+  for (const LinkDegrade& g : degrade_) {
+    if (g.active()) ++active;
+  }
+  w.u64(active);
+  for (std::size_t i = 0; i < degrade_.size(); ++i) {
+    const LinkDegrade& g = degrade_[i];
+    if (!g.active()) continue;
+    w.u32(static_cast<std::uint32_t>(i));
+    w.f64(g.loss_prob);
+    w.f64(g.corrupt_prob);
+    w.i64(g.added_latency);
+    w.i64(g.jitter);
+    w.i64(g.flap_period);
+    w.i64(g.flap_down);
+    w.i64(g.flap_anchor);
+  }
   w.end_section();
 }
 
@@ -420,10 +484,35 @@ void Network::load(snapshot::ArchiveReader& r) {
   const std::uint64_t corrupted_data = r.u64();
   const std::uint64_t corrupted_control = r.u64();
   const std::uint64_t failed_link_drops = r.u64();
+  const std::uint64_t gray_drops = r.u64();
+  const std::uint64_t num_gray = r.u64();
+  std::vector<std::pair<std::uint32_t, LinkDegrade>> grays;
+  grays.reserve(num_gray);
+  for (std::uint64_t i = 0; i < num_gray; ++i) {
+    const std::uint32_t link = r.u32();
+    if (link >= num_ports) {
+      throw snapshot::SnapshotError("degrade table references link out of range");
+    }
+    LinkDegrade g;
+    g.loss_prob = r.f64();
+    g.corrupt_prob = r.f64();
+    g.added_latency = r.i64();
+    g.jitter = r.i64();
+    g.flap_period = r.i64();
+    g.flap_down = r.i64();
+    g.flap_anchor = r.i64();
+    grays.emplace_back(link, g);
+  }
   r.close_section();
 
   ports_ = std::move(ports);
   parks_ = std::move(parks);
+  degrade_.assign(ports_.size(), LinkDegrade{});
+  degraded_links_ = 0;
+  for (const auto& [link, g] : grays) {
+    degrade_[link] = g;
+    if (g.active()) ++degraded_links_;
+  }
   for (std::size_t i = 0; i < corruption_rngs_.size(); ++i) {
     corruption_rngs_[i].set_state(rng_states[i]);
   }
@@ -433,6 +522,7 @@ void Network::load(snapshot::ArchiveReader& r) {
   corrupted_data_.store(corrupted_data, std::memory_order_relaxed);
   corrupted_control_.store(corrupted_control, std::memory_order_relaxed);
   failed_link_drops_.store(failed_link_drops, std::memory_order_relaxed);
+  gray_drops_.store(gray_drops, std::memory_order_relaxed);
 }
 
 void Network::mix_digest(snapshot::Digest& d) const {
@@ -462,6 +552,19 @@ void Network::mix_digest(snapshot::Digest& d) const {
   d.mix(corrupted_data_.load(std::memory_order_relaxed));
   d.mix(corrupted_control_.load(std::memory_order_relaxed));
   d.mix(failed_link_drops_.load(std::memory_order_relaxed));
+  d.mix(gray_drops_.load(std::memory_order_relaxed));
+  for (std::size_t i = 0; i < degrade_.size(); ++i) {
+    const LinkDegrade& g = degrade_[i];
+    if (!g.active()) continue;
+    d.mix(i);
+    d.mix_f64(g.loss_prob);
+    d.mix_f64(g.corrupt_prob);
+    d.mix_i64(g.added_latency);
+    d.mix_i64(g.jitter);
+    d.mix_i64(g.flap_period);
+    d.mix_i64(g.flap_down);
+    d.mix_i64(g.flap_anchor);
+  }
 }
 
 }  // namespace r2c2::sim

@@ -61,6 +61,29 @@ struct SimPacket {
   std::uint64_t sack[4] = {0, 0, 0, 0};
 };
 
+// Gray (partial) degradation of one directed link. A degraded link stays
+// *up* — traffic still flows — but every packet transmitted on it is
+// subject to extra loss, extra corruption, added latency/jitter, and a
+// square-wave flap oscillator that blackholes the direction for
+// `flap_down` out of every `flap_period` nanoseconds (anchored at
+// `flap_anchor`, the time the degradation was applied). Degradation is per
+// direction: asymmetric faults set it on one directed link only.
+struct LinkDegrade {
+  double loss_prob = 0.0;     // per-packet silent loss on the wire
+  double corrupt_prob = 0.0;  // per-packet checksum corruption (additive
+                              // with NetworkConfig::corruption_rate)
+  TimeNs added_latency = 0;   // fixed extra propagation delay
+  TimeNs jitter = 0;          // extra delay uniform in [0, jitter)
+  TimeNs flap_period = 0;     // 0 = no flapping
+  TimeNs flap_down = 0;       // dark span at the start of each period
+  TimeNs flap_anchor = 0;     // set by Network when the degrade is applied
+
+  bool active() const {
+    return loss_prob > 0.0 || corrupt_prob > 0.0 || added_latency > 0 || jitter > 0 ||
+           (flap_period > 0 && flap_down > 0);
+  }
+};
+
 struct NetworkConfig {
   // Per-port buffer for the data class, in bytes; 0 = unbounded. R2C2 runs
   // measure occupancy with effectively unbounded buffers (queues stay tiny);
@@ -131,6 +154,16 @@ class Network {
   void set_link_up(LinkId link, bool up);
   bool link_up(LinkId link) const { return ports_[link].up; }
 
+  // Gray degradation of one *directed* link (see LinkDegrade). The flap
+  // anchor is stamped with the current engine time. Like set_link_up, only
+  // called from fault events (serial engine phases), so the plain fields
+  // are never written concurrently with a parallel window.
+  void set_link_degrade(LinkId link, const LinkDegrade& degrade);
+  void clear_link_degrade(LinkId link);
+  const LinkDegrade& link_degrade(LinkId link) const { return degrade_[link]; }
+  // Directed links currently carrying an active degradation.
+  int degraded_links() const { return degraded_links_; }
+
   // --- Introspection for metrics ---
   std::uint64_t queue_bytes(LinkId link) const { return ports_[link].queued_bytes; }
   std::uint64_t max_queue_bytes(LinkId link) const { return ports_[link].max_queued_bytes; }
@@ -153,6 +186,8 @@ class Network {
   std::uint64_t failed_link_drops() const {
     return failed_link_drops_.load(std::memory_order_relaxed);
   }
+  // Packets lost to gray degradation (loss draws and flap dark windows).
+  std::uint64_t gray_drops() const { return gray_drops_.load(std::memory_order_relaxed); }
   // Max occupancy per port, for the queue-occupancy CDFs (Figs. 7b, 14).
   std::vector<std::uint64_t> max_queue_snapshot() const;
 
@@ -184,9 +219,9 @@ class Network {
   Engine::Action rebuild_event(const EventDesc& desc);
 
   // Ports (queued packets of both classes), the parked-packet store(s),
-  // traffic/drop counters and the corruption RNG stream(s). The engine's
-  // event queue is saved separately by the owning transport. With one
-  // shard the layout is byte-identical to the historical serial format.
+  // traffic/drop counters, the corruption RNG stream(s) and the gray
+  // degradation table (sparse: active entries only). The engine's event
+  // queue is saved separately by the owning transport.
   void save(snapshot::ArchiveWriter& w) const;
   void load(snapshot::ArchiveReader& r);
 
@@ -244,6 +279,12 @@ class Network {
   std::uint64_t park_in(int store, SimPacket&& pkt);
   void schedule_delivery(NodeId to, TimeNs at, SimPacket&& pkt);
   void try_transmit(LinkId link);
+  // The bernoulli/jitter stream of the executing lane (serial mode: the
+  // single stream) — concurrent lanes never contend on one RNG.
+  Rng& lane_rng() {
+    return corruption_rngs_[shards_ == 1 ? 0
+                                         : static_cast<std::size_t>(engine_.current_lane())];
+  }
   static bool is_control(const SimPacket& pkt) {
     return pkt.type != PacketType::kData && pkt.type != PacketType::kAck;
   }
@@ -252,6 +293,10 @@ class Network {
   const Topology& topo_;
   NetworkConfig config_;
   std::vector<Port> ports_;  // one per directed link
+  // Gray degradation, one entry per directed link; degraded_links_ counts
+  // active entries so the clean-path transmit check is one compare.
+  std::vector<LinkDegrade> degrade_;
+  int degraded_links_ = 0;
   DeliverFn deliver_;
   DropFn dropped_;
   DropFn corrupted_fn_;
@@ -271,6 +316,7 @@ class Network {
   std::atomic<std::uint64_t> corrupted_data_{0};
   std::atomic<std::uint64_t> corrupted_control_{0};
   std::atomic<std::uint64_t> failed_link_drops_{0};
+  std::atomic<std::uint64_t> gray_drops_{0};
 };
 
 }  // namespace r2c2::sim

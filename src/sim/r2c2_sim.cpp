@@ -33,12 +33,18 @@ R2c2Sim::R2c2Sim(const Topology& topo, const Router& router, R2c2SimConfig confi
       c_flows_started_(metrics_.counter("r2c2.flows_started")),
       c_flows_finished_(metrics_.counter("r2c2.flows_finished")),
       c_broadcasts_sent_(metrics_.counter("r2c2.broadcasts_sent")),
+      c_flow_aborts_(metrics_.counter("r2c2.flow_aborts")),
+      c_links_demoted_(metrics_.counter("r2c2.links_demoted")),
+      c_links_cleared_(metrics_.counter("r2c2.links_cleared")),
       h_recompute_wall_(metrics_.histogram("r2c2.recompute_wall_ns")),
       h_rebuild_wall_(metrics_.histogram("r2c2.rebuild_wall_ns")),
       next_fseq_(topo.num_nodes(), 0),
       link_denom_(topo.num_links(), 0.0),
       last_heard_(topo.num_links(), 0),
-      cable_down_(topo.num_links(), 0) {
+      cable_down_(topo.num_links(), 0),
+      interarrival_ewma_(topo.num_links(), 0.0),
+      deliv_ewma_(topo.num_links(), 1.0),
+      link_suspect_(topo.num_links(), 0) {
   if (config_.failure_timeout == 0) config_.failure_timeout = 4 * config_.keepalive_interval;
   if (config_.lease_ttl == 0) config_.lease_ttl = 4 * config_.lease_interval;
   sharded_ = config_.engine_shards > 1;
@@ -166,6 +172,10 @@ RunMetrics R2c2Sim::collect_metrics() {
   m.corrupted_data = net_.corrupted_data();
   m.ghost_flows_expired = global_view_.ghosts_expired();
   m.lease_refreshes_sent = c_lease_refreshes_.value();
+  m.gray_drops = net_.gray_drops();
+  m.flow_aborts = c_flow_aborts_.value();
+  m.links_demoted = c_links_demoted_.value();
+  m.links_cleared = c_links_cleared_.value();
   // Mirror the network/engine-owned totals into the registry so one
   // snapshot (table or JSON) covers the whole run.
   metrics_.gauge("net.drops").set(static_cast<double>(m.drops));
@@ -175,6 +185,9 @@ RunMetrics R2c2Sim::collect_metrics() {
   metrics_.gauge("net.data_bytes_on_wire").set(static_cast<double>(m.data_bytes_on_wire));
   metrics_.gauge("net.control_bytes_on_wire").set(static_cast<double>(m.control_bytes_on_wire));
   metrics_.gauge("r2c2.ghost_flows_expired").set(static_cast<double>(m.ghost_flows_expired));
+  metrics_.gauge("net.gray_drops").set(static_cast<double>(m.gray_drops));
+  metrics_.gauge("net.degraded_links").set(static_cast<double>(net_.degraded_links()));
+  metrics_.gauge("detect.suspects").set(static_cast<double>(suspects_));
   metrics_.gauge("sim.events").set(static_cast<double>(m.events));
   metrics_.gauge("sim.end_ns").set(static_cast<double>(m.sim_end));
   if (sharded_) {
@@ -194,6 +207,21 @@ RunMetrics R2c2Sim::collect_metrics() {
         .set(static_cast<double>(engine_.clamped_schedules()));
   }
   return m;
+}
+
+ReliableSender::Config R2c2Sim::rel_config(FlowId id) const {
+  ReliableSender::Config c;
+  c.mtu_payload = config_.mtu_payload;
+  c.rto = config_.rto;
+  c.max_retransmits = config_.max_retransmits;
+  c.adaptive_rto = config_.adaptive_rto;
+  c.min_rto = config_.min_rto;
+  c.max_rto = config_.max_rto;
+  // Per-flow jitter key: pure function of (seed, flow id), so a restored
+  // sender reconstructs the identical jitter schedule.
+  c.jitter_seed =
+      config_.retransmit_jitter ? config_.seed ^ (0x9e3779b97f4a7c15ULL * (id + 1)) : 0;
+  return c;
 }
 
 void R2c2Sim::add_denom(const FlowSpec& spec, double sign) {
@@ -270,8 +298,7 @@ void R2c2Sim::start_flow(const FlowArrival& arrival) {
   active_by_key_[FlowTable::key(arrival.src, fseq)] = id;
   ReceiverFlow recv;
   if (config_.reliable) {
-    flow.rel = std::make_unique<ReliableSender>(
-        rec.bytes, ReliableSender::Config{config_.mtu_payload, config_.rto, 64});
+    flow.rel = std::make_unique<ReliableSender>(rec.bytes, rel_config(id));
     recv.rel = std::make_unique<ReliableReceiver>(rec.bytes);
   }
   receivers_.emplace(id, std::move(recv));
@@ -512,6 +539,13 @@ void R2c2Sim::emit_packet(FlowId id) {
   if (flow.rel) {
     const auto seg = flow.rel->next_segment(engine_.now());
     if (!seg) {
+      if (flow.rel->gave_up()) {
+        // A segment exhausted its retransmission budget: surface the
+        // verdict as an explicit per-flow abort instead of probing a dead
+        // path forever (the old behavior was an uncatchable throw).
+        abort_flow(id);
+        return;
+      }
       // Nothing to send now: either done (ACK handler finishes the flow)
       // or waiting for an RTO — wake up at the earliest deadline.
       const std::optional<TimeNs> deadline = flow.rel->next_deadline();
@@ -554,8 +588,13 @@ void R2c2Sim::emit_packet(FlowId id) {
     }
     pkt.route = flow.cached_route;
   } else {
+    // Randomized protocols honor the gray-detection penalties: suspected
+    // links carry proportionally less traffic without leaving the topology.
+    // active_penalty_ is empty while no link is demoted, in which case the
+    // penalized overload degenerates to the exact unpenalized draws.
     Path& scratch = ctx_scratch();
-    cur_router().pick_path_into(alg, flow.spec.src, flow.spec.dst, ctx_rng(), scratch, id);
+    cur_router().pick_path_into(alg, flow.spec.src, flow.spec.dst, ctx_rng(), scratch,
+                                std::span<const double>(active_penalty_), id);
     pkt.route = encode_path(topo_, scratch);
   }
   flow.sent_bytes = std::max(flow.sent_bytes, offset + payload);
@@ -609,6 +648,53 @@ void R2c2Sim::finish_sending(FlowId id) {
   // receiver state can be reaped here. (Unreliable mode finishes when the
   // last byte is *sent*; the receiver is still draining the pipe.)
   if (flow.rel) receivers_.erase(id);
+  senders_.erase(it);
+  broadcast(msg, msg.src);
+}
+
+void R2c2Sim::abort_flow(FlowId id) {
+  auto it = senders_.find(id);
+  if (it == senders_.end()) return;
+  SenderFlow& flow = it->second;
+  if (flow.finish_announced) return;  // a finish/abort is already in flight
+  flow.finish_announced = true;
+  set_rate(flow, 0.0, engine_.now());
+  R2C2_TRACE_INSTANT(trace_, engine_.now(), flow.spec.src, obs::EventType::kFlowAbort,
+                     static_cast<std::uint64_t>(id),
+                     flow.rel ? flow.rel->retransmissions() : 0);
+  records_[record_index_[id]].avg_assigned_rate_bps =
+      flow.rate_integral /
+      std::max(1e-9, static_cast<double>(engine_.now() - flow.started_at) / 1e9);
+  // Announce the teardown like a finish so remote views retire the flow and
+  // its rate share returns to the pool (the abort is local bookkeeping; on
+  // the wire it is indistinguishable from a finish).
+  BroadcastMsg msg;
+  msg.type = PacketType::kFlowFinish;
+  msg.src = flow.spec.src;
+  msg.dst = flow.spec.dst;
+  msg.fseq = flow.fseq;
+  msg.rp = flow.spec.alg;
+  if (shard_ctx()) {
+    // The record verdict and unfinished_ are rack-global (the receiver's
+    // lane may be completing the same flow this window); defer them.
+    broadcast(msg, msg.src);
+    DeferredOp op;
+    op.at = engine_.now();
+    op.kind = OpKind::kFlowAbort;
+    op.a = id;
+    push_op(std::move(op));
+    return;
+  }
+  FlowRecord& rec = records_[record_index_[id]];
+  if (!rec.finished()) {
+    // Only a flow whose receiver never completed is a true abort; a sender
+    // giving up after the data arrived (lost final ACKs) just tears down.
+    rec.aborted = true;
+    rec.aborted_at = engine_.now();
+    c_flow_aborts_.add(1);
+    --unfinished_;
+  }
+  receivers_.erase(id);
   senders_.erase(it);
   broadcast(msg, msg.src);
 }
@@ -704,7 +790,8 @@ void R2c2Sim::send_ack(FlowId id, ReceiverFlow& recv, NodeId from, NodeId to) {
   ack.sent_at = engine_.now();
   if (recv.ack_route_epoch != router_epoch_) {
     Path& scratch = ctx_scratch();
-    cur_router().pick_path_into(RouteAlg::kRps, from, to, ctx_rng(), scratch, id);
+    cur_router().pick_path_into(RouteAlg::kRps, from, to, ctx_rng(), scratch,
+                                std::span<const double>(active_penalty_), id);
     recv.ack_route = encode_path(topo_, scratch);
     recv.ack_route_epoch = router_epoch_;
   }
@@ -724,7 +811,7 @@ void R2c2Sim::on_ack_at_sender(SimPacket&& pkt) {
       sacks[n_sacks++] = {pkt.sack[2 * i], pkt.sack[2 * i + 1]};
     }
   }
-  flow.rel->on_ack(pkt.ack_cum, std::span<const ByteRange>(sacks, n_sacks));
+  flow.rel->on_ack(pkt.ack_cum, std::span<const ByteRange>(sacks, n_sacks), engine_.now());
   if (flow.rel->fully_acked()) {
     finish_sending(pkt.flow);
   }
@@ -801,6 +888,10 @@ void R2c2Sim::detection_tick() {
     if (cable_down_[id]) continue;
     if (now - last_heard_[id] > config_.failure_timeout) note_detection(id, true, now);
   }
+  // The gray scan runs after the binary one, in the same serial phase:
+  // links the deadline just declared dead are skipped (the rebuild handles
+  // them); everything else accrues or sheds suspicion.
+  if (config_.adaptive_detection) update_suspicion(now);
   detection_tick_scheduled_ = true;
   engine_.schedule_in(config_.keepalive_interval, EventDesc{kEvDetectionTick, 0, 0},
                       [this] { detection_tick(); });
@@ -809,6 +900,20 @@ void R2c2Sim::detection_tick() {
 void R2c2Sim::on_keepalive(SimPacket&& pkt) {
   const LinkId link = topo_.find_link(pkt.src, pkt.dst);
   if (link == kInvalidLink) return;
+  if (config_.adaptive_detection) {
+    // Learned keepalive inter-arrival (the phi-accrual denominator). Single
+    // writer: this runs on the lane owning the link's receiving node, the
+    // same discipline as last_heard_; the suspicion scan reads it only in
+    // serial phases.
+    const auto gap = static_cast<double>(engine_.now() - last_heard_[link]);
+    double& ewma = interarrival_ewma_[link];
+    // Seed at no less than the probe cadence: the first observable gap is
+    // keepalive transit latency (last_heard_ starts at "now"), and letting
+    // the EWMA climb up from that tiny value makes phi = silence / mean_gap
+    // read >threshold on every healthy link until it converges.
+    const auto floor = static_cast<double>(config_.keepalive_interval);
+    ewma = ewma <= 0.0 ? std::max(gap, floor) : (7.0 * ewma + gap) / 8.0;
+  }
   last_heard_[link] = engine_.now();
   if (cable_down_[link]) {
     if (shard_ctx()) {
@@ -840,9 +945,16 @@ void R2c2Sim::note_detection(LinkId directed, bool failure, TimeNs when) {
   } else {
     --cables_down_;
     c_restores_detected_.add(1);
-    // Restart the deadline clock on the revived cable.
+    // Restart the deadline clock on the revived cable, and give the gray
+    // estimators a clean slate so the downtime is not read as loss.
     last_heard_[directed] = when;
-    if (rev != kInvalidLink) last_heard_[rev] = when;
+    interarrival_ewma_[directed] = 0.0;
+    deliv_ewma_[directed] = 1.0;
+    if (rev != kInvalidLink) {
+      last_heard_[rev] = when;
+      interarrival_ewma_[rev] = 0.0;
+      deliv_ewma_[rev] = 1.0;
+    }
   }
   RecoveryRecord rec;
   rec.link = cable;
@@ -855,6 +967,89 @@ void R2c2Sim::note_detection(LinkId directed, bool failure, TimeNs when) {
   R2C2_TRACE_INSTANT(trace_, when, topo_.link(directed).to, obs::EventType::kFaultDetect,
                      static_cast<std::uint64_t>(cable), failure ? 1 : 0);
   schedule_rebuild();
+}
+
+void R2c2Sim::update_suspicion(TimeNs now) {
+  // phi-accrual-flavored gray detection (serial phase only). Two signals
+  // per directed link: the complement of the delivery-indicator EWMA
+  // estimates the loss rate (smoothing loss streaks into a level), and the
+  // phi score measures current silence in units of the learned keepalive
+  // inter-arrival — so a link that darkened *recently* is demoted well
+  // before the binary deadline declares it dead. Hysteresis (distinct
+  // demote/clear thresholds) keeps borderline links from oscillating.
+  bool changed = false;
+  for (LinkId id = 0; id < static_cast<LinkId>(topo_.num_links()); ++id) {
+    if (cable_down_[id]) {
+      // Dead verdict outranks suspicion; the context rebuild owns the link.
+      if (link_suspect_[id]) {
+        link_suspect_[id] = 0;
+        --suspects_;
+        changed = true;
+      }
+      continue;
+    }
+    const TimeNs silence = now - last_heard_[id];
+    // Delivery indicator with a half-interval phase margin: a keepalive
+    // queued behind a data burst arrives late but arrives — only silence
+    // past 1.5 probe intervals reads as a loss. Without the margin every
+    // congestion-delayed probe spikes the loss EWMA and demotes links that
+    // are merely busy, which defeats the demotion's own routing bias.
+    const double heard = silence <= config_.keepalive_interval * 3 / 2 ? 1.0 : 0.0;
+    double& deliv = deliv_ewma_[id];
+    deliv = (1.0 - config_.suspect_ewma_alpha) * deliv + config_.suspect_ewma_alpha * heard;
+    const double loss = 1.0 - deliv;
+    const double mean_gap = interarrival_ewma_[id] > 0.0
+                                ? interarrival_ewma_[id]
+                                : static_cast<double>(config_.keepalive_interval);
+    const double phi = static_cast<double>(silence) / std::max(mean_gap, 1.0);
+    if (!link_suspect_[id]) {
+      if (loss > config_.suspect_loss_threshold || phi > config_.suspect_phi) {
+        link_suspect_[id] = 1;
+        ++suspects_;
+        c_links_demoted_.add(1);
+        changed = true;
+        R2C2_TRACE_INSTANT(trace_, now, topo_.link(id).to, obs::EventType::kLinkDemote,
+                           static_cast<std::uint64_t>(id), 1);
+      }
+    } else if (loss < config_.suspect_clear_threshold && phi < config_.suspect_phi) {
+      link_suspect_[id] = 0;
+      --suspects_;
+      c_links_cleared_.add(1);
+      changed = true;
+      R2C2_TRACE_INSTANT(trace_, now, topo_.link(id).to, obs::EventType::kLinkDemote,
+                         static_cast<std::uint64_t>(id), 0);
+    }
+  }
+  if (changed) {
+    refresh_active_penalty();
+    // Re-draw pinned routes (ACK paths, deterministic-protocol caches)
+    // around — or back onto — the flipped links. Deliberately NOT a
+    // context rebuild: no topology swap, no re-announcements, no
+    // c_context_rebuilds_ bump.
+    ++router_epoch_;
+  }
+}
+
+void R2c2Sim::refresh_active_penalty() {
+  active_penalty_.clear();
+  if (suspects_ == 0) return;
+  const Topology& t = cur_topo();
+  active_penalty_.assign(t.num_links(), 0.0);
+  if (!cur_topo_) {
+    for (LinkId id = 0; id < static_cast<LinkId>(topo_.num_links()); ++id) {
+      if (link_suspect_[id]) active_penalty_[id] = config_.suspect_penalty;
+    }
+    return;
+  }
+  // The degraded topology renumbers links: translate each suspected full-
+  // substrate link into the current decision plane's id space (a link that
+  // the rebuild already removed has no counterpart — nothing to penalize).
+  for (LinkId id = 0; id < static_cast<LinkId>(topo_.num_links()); ++id) {
+    if (!link_suspect_[id]) continue;
+    const Link& l = topo_.link(id);
+    const LinkId cur = t.find_link(l.from, l.to);
+    if (cur != kInvalidLink) active_penalty_[cur] = config_.suspect_penalty;
+  }
 }
 
 void R2c2Sim::schedule_rebuild() {
@@ -904,13 +1099,21 @@ void R2c2Sim::rebuild_context() {
   // comparison makes each flow re-derive lazily on its next packet.
   ++router_epoch_;
   c_context_rebuilds_.add(1);
+  // The decision plane's link-id space changed: re-derive the gray-penalty
+  // table against it (suspected links that survived keep their demotion).
+  refresh_active_penalty();
   // The route universe changed: denominators and the waterfill problem are
   // stale in the old link-id space. Rebuild both against the new router.
   rebuild_link_denom();
   wf_built_version_ = ~0ULL;
 
   const TimeNs now = engine_.now();
-  for (const std::size_t idx : open_recoveries_) recoveries_[idx].recovered_at = now;
+  // Stamp only episodes not yet recovered: an episode stays open until its
+  // re-announcements reconverge, and a later unrelated rebuild must not
+  // overwrite (and inflate) the recovery latency of an earlier detection.
+  for (const std::size_t idx : open_recoveries_) {
+    if (recoveries_[idx].recovered_at < 0) recoveries_[idx].recovered_at = now;
+  }
 
   // Section 3.2: "upon detecting a failure, nodes broadcast information
   // about all their ongoing flows" — re-announce every live flow over the
@@ -1098,6 +1301,22 @@ void R2c2Sim::apply_op(const DeferredOp& op) {
     case OpKind::kDetect:
       note_detection(static_cast<LinkId>(op.a), op.flag, op.at);
       break;
+    case OpKind::kFlowAbort: {
+      const FlowId id = static_cast<FlowId>(op.a);
+      if (senders_.erase(id) == 0) break;  // stale duplicate
+      receivers_.erase(id);
+      FlowRecord& rec = records_[record_index_[id]];
+      // finished() is stable here (all workers parked): if the receiver
+      // completed in this same window, its kUnfinishedDec op carries the
+      // decrement and this teardown is not an abort.
+      if (!rec.finished()) {
+        rec.aborted = true;
+        rec.aborted_at = op.at;
+        c_flow_aborts_.add(1);
+        --unfinished_;
+      }
+      break;
+    }
   }
 }
 
@@ -1231,12 +1450,29 @@ std::uint64_t R2c2Sim::config_fingerprint() const {
   d.mix_i64(config_.rto);
   d.mix(static_cast<std::uint64_t>(config_.ack_every_pkts));
   d.mix(config_.retransmit_dropped_control ? 1 : 0);
+  d.mix(static_cast<std::uint64_t>(config_.max_retransmits));
+  d.mix(config_.adaptive_rto ? 1 : 0);
+  d.mix_i64(config_.min_rto);
+  d.mix_i64(config_.max_rto);
+  d.mix(config_.retransmit_jitter ? 1 : 0);
+  d.mix(config_.adaptive_detection ? 1 : 0);
+  d.mix_f64(config_.suspect_loss_threshold);
+  d.mix_f64(config_.suspect_clear_threshold);
+  d.mix_f64(config_.suspect_phi);
+  d.mix_f64(config_.suspect_ewma_alpha);
+  d.mix_f64(config_.suspect_penalty);
   d.mix(config_.faults.events.size());
   for (const FaultEvent& ev : config_.faults.events) {
     d.mix_i64(ev.at);
     d.mix(static_cast<std::uint64_t>(ev.kind));
     d.mix(ev.link);
     d.mix(ev.node);
+    d.mix_f64(ev.gray.loss_prob);
+    d.mix_f64(ev.gray.corrupt_prob);
+    d.mix_i64(ev.gray.added_latency);
+    d.mix_i64(ev.gray.jitter);
+    d.mix_i64(ev.gray.flap_period);
+    d.mix_i64(ev.gray.flap_down);
   }
   d.mix_i64(config_.keepalive_interval);
   d.mix_i64(config_.failure_timeout);
@@ -1291,6 +1527,10 @@ std::uint64_t R2c2Sim::state_digest() const {
   for (char v : cable_down_) d.mix(static_cast<std::uint64_t>(v));
   d.mix(cur_down_.size());
   for (LinkId v : cur_down_) d.mix(v);
+  d.mix(suspects_);
+  for (double v : interarrival_ewma_) d.mix_f64(v);
+  for (double v : deliv_ewma_) d.mix_f64(v);
+  for (char v : link_suspect_) d.mix(static_cast<std::uint64_t>(v));
 
   d.mix(senders_.size());
   for (const FlowId id : sorted_keys(senders_)) {
@@ -1347,6 +1587,8 @@ std::uint64_t R2c2Sim::state_digest() const {
     d.mix_i64(rec.completed);
     d.mix(rec.max_reorder_pkts);
     d.mix_f64(rec.avg_assigned_rate_bps);
+    d.mix(rec.aborted ? 1 : 0);
+    d.mix_i64(rec.aborted_at);
   }
   d.mix(recoveries_.size());
   for (const RecoveryRecord& rec : recoveries_) {
@@ -1376,6 +1618,9 @@ std::uint64_t R2c2Sim::state_digest() const {
   d.mix(c_flows_started_.value());
   d.mix(c_flows_finished_.value());
   d.mix(c_broadcasts_sent_.value());
+  d.mix(c_flow_aborts_.value());
+  d.mix(c_links_demoted_.value());
+  d.mix(c_links_cleared_.value());
   return d.value();
 }
 
@@ -1408,6 +1653,10 @@ void R2c2Sim::save(snapshot::ArchiveWriter& w) const {
   for (char v : cable_down_) w.u8(static_cast<std::uint8_t>(v));
   w.u64(cur_down_.size());
   for (LinkId v : cur_down_) w.u32(v);
+  w.u64(suspects_);
+  for (double v : interarrival_ewma_) w.f64(v);
+  for (double v : deliv_ewma_) w.f64(v);
+  for (char v : link_suspect_) w.u8(static_cast<std::uint8_t>(v));
   w.end_section();
 
   w.begin_section("sim.counters");
@@ -1421,6 +1670,9 @@ void R2c2Sim::save(snapshot::ArchiveWriter& w) const {
   w.u64(c_flows_started_.value());
   w.u64(c_flows_finished_.value());
   w.u64(c_broadcasts_sent_.value());
+  w.u64(c_flow_aborts_.value());
+  w.u64(c_links_demoted_.value());
+  w.u64(c_links_cleared_.value());
   w.end_section();
 
   w.begin_section("sim.flows");
@@ -1471,6 +1723,8 @@ void R2c2Sim::save(snapshot::ArchiveWriter& w) const {
     w.i64(rec.completed);
     w.u32(rec.max_reorder_pkts);
     w.f64(rec.avg_assigned_rate_bps);
+    w.u8(rec.aborted ? 1 : 0);
+    w.i64(rec.aborted_at);
   }
   w.u64(recoveries_.size());
   for (const RecoveryRecord& rec : recoveries_) {
@@ -1645,10 +1899,17 @@ void R2c2Sim::load(snapshot::ArchiveReader& r) {
     x = r.u32();
     if (x >= topo_.num_links()) throw snapshot::SnapshotError("archived down-link out of range");
   }
+  const std::uint64_t suspects = r.u64();
+  std::vector<double> interarrival_ewma(interarrival_ewma_.size());
+  for (auto& x : interarrival_ewma) x = r.f64();
+  std::vector<double> deliv_ewma(deliv_ewma_.size());
+  for (auto& x : deliv_ewma) x = r.f64();
+  std::vector<char> link_suspect(link_suspect_.size());
+  for (auto& x : link_suspect) x = static_cast<char>(r.u8());
   r.close_section();
 
   r.open_section("sim.counters");
-  std::uint64_t counters[10];
+  std::uint64_t counters[13];
   for (std::uint64_t& c : counters) c = r.u64();
   r.close_section();
 
@@ -1670,8 +1931,7 @@ void R2c2Sim::load(snapshot::ArchiveReader& r) {
     f.rate_integral = r.f64();
     f.started_at = r.i64();
     if (r.u8() != 0) {
-      f.rel = std::make_unique<ReliableSender>(
-          f.total_bytes, ReliableSender::Config{config_.mtu_payload, config_.rto, 64});
+      f.rel = std::make_unique<ReliableSender>(f.total_bytes, rel_config(id));
       f.rel->load(r);
     }
     f.finish_announced = r.u8() != 0;
@@ -1720,6 +1980,8 @@ void R2c2Sim::load(snapshot::ArchiveReader& r) {
     rec.completed = r.i64();
     rec.max_reorder_pkts = r.u32();
     rec.avg_assigned_rate_bps = r.f64();
+    rec.aborted = r.u8() != 0;
+    rec.aborted_at = r.i64();
     records.push_back(rec);
   }
   const std::uint64_t n_recoveries = r.u64();
@@ -1806,6 +2068,10 @@ void R2c2Sim::load(snapshot::ArchiveReader& r) {
   last_heard_ = std::move(last_heard);
   cable_down_ = std::move(cable_down);
   cur_down_ = std::move(cur_down);
+  suspects_ = suspects;
+  interarrival_ewma_ = std::move(interarrival_ewma);
+  deliv_ewma_ = std::move(deliv_ewma);
+  link_suspect_ = std::move(link_suspect);
   senders_ = std::move(senders);
   receivers_ = std::move(receivers);
   active_by_key_ = std::move(active_by_key);
@@ -1820,11 +2086,12 @@ void R2c2Sim::load(snapshot::ArchiveReader& r) {
     shard_bcast_ctr_ = std::move(shard_bcast_ctr);
   }
 
-  obs::Counter* cs[10] = {&c_recomputations_,    &c_retransmissions_,  &c_failures_detected_,
+  obs::Counter* cs[13] = {&c_recomputations_,    &c_retransmissions_,  &c_failures_detected_,
                           &c_restores_detected_, &c_context_rebuilds_, &c_flows_rebroadcast_,
                           &c_lease_refreshes_,   &c_flows_started_,    &c_flows_finished_,
-                          &c_broadcasts_sent_};
-  for (int i = 0; i < 10; ++i) {
+                          &c_broadcasts_sent_,   &c_flow_aborts_,      &c_links_demoted_,
+                          &c_links_cleared_};
+  for (int i = 0; i < 13; ++i) {
     cs[i]->reset();
     cs[i]->add(counters[i]);
   }
@@ -1843,6 +2110,8 @@ void R2c2Sim::load(snapshot::ArchiveReader& r) {
     cur_router_ = std::make_unique<Router>(*cur_topo_);
     cur_trees_ = std::make_unique<BroadcastTrees>(*cur_topo_, config_.broadcast_trees);
   }
+  // active_penalty_ is derived from the restored suspect flags, not archived.
+  refresh_active_penalty();
   // Caches: force a waterfill-problem rebuild on the next recomputation.
   wf_built_version_ = ~0ULL;
 

@@ -74,6 +74,22 @@ struct R2c2SimConfig {
   bool reliable = false;
   TimeNs rto = 500 * kNsPerUs;
   int ack_every_pkts = 4;  // receiver acks every N data packets + at gaps/end
+  // Per-segment retransmission budget. A segment that exhausts it makes the
+  // sender give up; the sim then records an explicit per-flow abort (the
+  // FlowRecord is marked aborted, "r2c2.flow_aborts" counts it) instead of
+  // retrying forever or asserting.
+  int max_retransmits = 64;
+  // RTT-sampled adaptive RTO (RFC 6298-style SRTT/RTTVAR, Karn's rule),
+  // clamped to [min_rto, max_rto]. Off: the fixed `rto` base. Either way
+  // retransmissions of one segment back off exponentially (transport-level
+  // gray-failure hygiene; see ReliableSender::Config).
+  bool adaptive_rto = false;
+  TimeNs min_rto = 50 * kNsPerUs;
+  TimeNs max_rto = 20000 * kNsPerUs;
+  // Deterministic per-flow retransmit jitter (desynchronizes retry storms;
+  // the jitter is a pure hash of (seed, flow, offset, attempt) — no RNG
+  // stream, so sharded runs stay bit-identical at any worker count).
+  bool retransmit_jitter = false;
   // Section 3.2 "inform the sender who can then re-transmit" recovery for
   // dropped/corrupted broadcast copies. Ablatable: with it off, a corrupted
   // control packet is simply lost and only the lease protocol heals the
@@ -94,6 +110,23 @@ struct R2c2SimConfig {
   // Detection -> rebuild debounce, coalescing near-simultaneous detections
   // into one context rebuild.
   TimeNs rebuild_delay = 20 * kNsPerUs;
+  // --- Adaptive (gray-failure) detection, phi-accrual flavored ---
+  // The binary deadline above only sees dead links. With this on, each
+  // directed link also accrues a *suspicion* signal from its keepalive
+  // stream: an EWMA of the delivery indicator per detection tick (its
+  // complement estimates the loss rate, smoothing loss streaks) plus a
+  // phi-style score — silence measured in units of the learned keepalive
+  // inter-arrival EWMA. A link crossing either threshold is demoted: it
+  // stays in the topology (no context rebuild, no re-announcements) but
+  // randomized routing walks are biased away from it via a per-link
+  // penalty, and hysteresis clears the demotion once the link behaves
+  // again. Dead declaration is unchanged (silence > failure_timeout).
+  bool adaptive_detection = false;
+  double suspect_loss_threshold = 0.02;   // demote when est. loss exceeds this
+  double suspect_clear_threshold = 0.005; // hysteresis: clear only below this
+  double suspect_phi = 2.5;               // demote when silence > phi * mean gap
+  double suspect_ewma_alpha = 0.1;        // delivery-indicator EWMA step
+  double suspect_penalty = 8.0;           // routing weight divisor for suspects
   // Lease refresh period: every sender re-advertises its live flows this
   // often (demand-update broadcasts doubling as lease refreshes). 0
   // disables the lease protocol.
@@ -175,6 +208,11 @@ class R2c2Sim {
   // ground-truth + detected state of a directed link.
   std::uint64_t context_rebuilds() const { return c_context_rebuilds_.value(); }
   bool link_detected_down(LinkId link) const { return cable_down_[link] != 0; }
+  // Gray-failure introspection: suspicion verdicts and surfaced give-ups.
+  bool link_suspected(LinkId link) const { return link_suspect_[link] != 0; }
+  std::size_t suspects() const { return suspects_; }
+  std::uint64_t links_demoted() const { return c_links_demoted_.value(); }
+  std::uint64_t flow_aborts() const { return c_flow_aborts_.value(); }
   const FlowTable& global_view() const { return global_view_; }
   // The registry backing the sim's counters (the external one when
   // config.metrics was set, else the private default).
@@ -236,6 +274,7 @@ class R2c2Sim {
     kReceiverDone,   // unreliable receiver got the last byte
     kUnfinishedDec,  // reliable receiver complete; state lingers for acks
     kDetect,         // keepalive-driven restore detection
+    kFlowAbort,      // reliable sender gave up; reap + account the abort
   };
   struct DeferredOp {
     TimeNs at = 0;
@@ -251,6 +290,8 @@ class R2c2Sim {
   void recompute_tick();
   Engine::Action rebuild_event(const EventDesc& desc);
   void finish_sending(FlowId id);
+  void abort_flow(FlowId id);
+  ReliableSender::Config rel_config(FlowId id) const;
   void on_data_at_receiver(SimPacket&& pkt);
   void on_ack_at_sender(SimPacket&& pkt);
   void send_ack(FlowId id, ReceiverFlow& recv, NodeId from, NodeId to);
@@ -284,6 +325,10 @@ class R2c2Sim {
   void gc_tick();
   void on_keepalive(SimPacket&& pkt);
   void note_detection(LinkId directed, bool failure, TimeNs when);
+  // Adaptive gray detection: per-tick suspicion update (serial phase only)
+  // and the derived routing-penalty table over the current decision plane.
+  void update_suspicion(TimeNs now);
+  void refresh_active_penalty();
   void schedule_rebuild();
   void rebuild_context();
   void rebuild_link_denom();
@@ -345,6 +390,9 @@ class R2c2Sim {
   obs::Counter& c_flows_started_;
   obs::Counter& c_flows_finished_;
   obs::Counter& c_broadcasts_sent_;
+  obs::Counter& c_flow_aborts_;
+  obs::Counter& c_links_demoted_;
+  obs::Counter& c_links_cleared_;
   obs::Histogram& h_recompute_wall_;
   obs::Histogram& h_rebuild_wall_;
 
@@ -409,6 +457,19 @@ class R2c2Sim {
   std::vector<TimeNs> last_heard_;
   std::vector<char> cable_down_;  // detection verdict; both directions move together
   std::size_t cables_down_ = 0;
+  // Adaptive gray-detection state, per directed link. The EWMAs follow the
+  // last_heard_ write discipline: inter-arrival updates happen on the lane
+  // owning the link's receiving node (single writer); the suspicion scan
+  // and verdict flips run only in serial phases.
+  std::vector<double> interarrival_ewma_;  // keepalive gap EWMA (ns); 0 = unset
+  std::vector<double> deliv_ewma_;         // delivery-indicator EWMA per tick
+  std::vector<char> link_suspect_;         // demotion verdict (per direction)
+  std::size_t suspects_ = 0;
+  // Derived routing-penalty table indexed by *current decision plane* link
+  // ids (the degraded topology renumbers links); empty when no suspects.
+  // Rebuilt on every suspicion flip and context swap, read by shard lanes
+  // between barriers (same publication discipline as cur_router_).
+  std::vector<double> active_penalty_;
   bool keepalive_tick_scheduled_ = false;
   bool detection_tick_scheduled_ = false;
   bool lease_tick_scheduled_ = false;

@@ -35,6 +35,8 @@ std::uint64_t metrics_digest(const sim::RunMetrics& m) {
     d.mix_i64(f.completed);
     d.mix(f.max_reorder_pkts);
     d.mix_f64(f.avg_assigned_rate_bps);
+    d.mix(f.aborted ? 1 : 0);
+    d.mix_i64(f.aborted_at);
   }
   d.mix(m.max_queue_bytes.size());
   for (std::uint64_t q : m.max_queue_bytes) d.mix(q);
@@ -63,6 +65,10 @@ std::uint64_t metrics_digest(const sim::RunMetrics& m) {
   d.mix(m.corrupted_data);
   d.mix(m.ghost_flows_expired);
   d.mix(m.lease_refreshes_sent);
+  d.mix(m.gray_drops);
+  d.mix(m.flow_aborts);
+  d.mix(m.links_demoted);
+  d.mix(m.links_cleared);
   return d.value();
 }
 

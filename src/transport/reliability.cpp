@@ -60,15 +60,57 @@ ReliableSender::ReliableSender(std::uint64_t total_bytes, Config config)
   if (config.mtu_payload == 0) throw std::invalid_argument("mtu_payload must be positive");
 }
 
+TimeNs ReliableSender::current_rto() const {
+  if (!config_.adaptive_rto || !have_rtt_) return config_.rto;
+  const TimeNs rto = srtt_ + std::max<TimeNs>(4 * rttvar_, 1);
+  return std::clamp(rto, config_.min_rto, config_.max_rto);
+}
+
+TimeNs ReliableSender::backoff_rto(std::uint64_t offset, int attempts) const {
+  // The first retransmission (attempts == 2) waits 2x the base, then 4x,
+  // ... — the "cap on concurrent retransmissions of one segment": over any
+  // interval a dead path sees O(log) copies of a segment, not a full-rate
+  // retry wall.
+  const int doublings = std::min(attempts - 1, 20);
+  TimeNs rto = std::min(current_rto() << doublings, config_.max_rto);
+  if (config_.jitter_seed != 0) {
+    std::uint64_t h = config_.jitter_seed ^ (offset * 0x9e3779b97f4a7c15ULL) ^
+                      (static_cast<std::uint64_t>(attempts) << 32);
+    rto += static_cast<TimeNs>(splitmix64(h) % (static_cast<std::uint64_t>(rto / 8) + 1));
+  }
+  return rto;
+}
+
+void ReliableSender::sample_rtt(TimeNs sample) {
+  if (sample < 0) return;
+  if (!have_rtt_) {
+    srtt_ = sample;
+    rttvar_ = sample / 2;
+    have_rtt_ = true;
+  } else {
+    // RFC 6298 in integer nanoseconds: rttvar = 3/4 rttvar + 1/4 |srtt-r|,
+    // srtt = 7/8 srtt + 1/8 r.
+    const TimeNs err = srtt_ > sample ? srtt_ - sample : sample - srtt_;
+    rttvar_ = (3 * rttvar_ + err) / 4;
+    srtt_ = (7 * srtt_ + sample) / 8;
+  }
+  ++rtt_samples_;
+}
+
 std::optional<ReliableSender::Segment> ReliableSender::next_segment(TimeNs now) {
+  if (gave_up_) return std::nullopt;
   // Expired in-flight segment first (selective repeat).
   for (auto& [offset, seg] : in_flight_) {
     if (seg.expires <= now) {
       if (seg.attempts > config_.max_retransmits) {
-        throw std::runtime_error("reliability: segment exceeded retransmit budget");
+        // Surfaced give-up verdict: freeze instead of throwing; the host
+        // reads gave_up() and aborts the flow explicitly.
+        gave_up_ = true;
+        gave_up_at_ = now;
+        return std::nullopt;
       }
       ++seg.attempts;
-      seg.expires = now + config_.rto;
+      seg.expires = now + backoff_rto(offset, seg.attempts);
       ++retransmissions_;
       return Segment{offset, seg.length, true};
     }
@@ -79,13 +121,14 @@ std::optional<ReliableSender::Segment> ReliableSender::next_segment(TimeNs now) 
         std::min<std::uint64_t>(config_.mtu_payload, total_ - next_new_));
     const std::uint64_t offset = next_new_;
     next_new_ += length;
-    in_flight_[offset] = InFlight{length, now + config_.rto, 1};
+    in_flight_[offset] = InFlight{length, now + backoff_rto(offset, 1), 1, now};
     return Segment{offset, length, false};
   }
   return std::nullopt;
 }
 
-void ReliableSender::on_ack(std::uint64_t cumulative, std::span<const ByteRange> sacks) {
+void ReliableSender::on_ack(std::uint64_t cumulative, std::span<const ByteRange> sacks,
+                            TimeNs now) {
   acked_cumulative_ = std::max(acked_cumulative_, cumulative);
   // Retire fully-acked in-flight segments.
   for (auto it = in_flight_.begin(); it != in_flight_.end();) {
@@ -95,7 +138,16 @@ void ReliableSender::on_ack(std::uint64_t cumulative, std::span<const ByteRange>
     for (const ByteRange& sack : sacks) {
       covered = covered || (sack.begin <= begin && end <= sack.end);
     }
-    it = covered ? in_flight_.erase(it) : std::next(it);
+    if (covered) {
+      // Karn's rule: only segments acked without ever being retransmitted
+      // contribute RTT samples (a retransmitted segment's ACK is ambiguous).
+      if (now >= 0 && config_.adaptive_rto && it->second.attempts == 1) {
+        sample_rtt(now - it->second.sent_at);
+      }
+      it = in_flight_.erase(it);
+    } else {
+      ++it;
+    }
   }
 }
 

@@ -19,6 +19,7 @@
 #include <span>
 #include <vector>
 
+#include "common/rng.h"
 #include "common/types.h"
 #include "snapshot/archive.h"
 #include "snapshot/digest.h"
@@ -100,8 +101,22 @@ class ReliableSender {
  public:
   struct Config {
     std::uint32_t mtu_payload = 1465;
-    TimeNs rto = 500 * kNsPerUs;  // retransmit timeout; no fast retransmit
-    int max_retransmits = 64;     // give-up bound (asserts liveness bugs)
+    TimeNs rto = 500 * kNsPerUs;  // base retransmit timeout; no fast retransmit
+    int max_retransmits = 64;     // give-up bound (surfaced via gave_up())
+    // Adaptive RTO: Jacobson-style SRTT/RTTVAR from ACK-sampled RTTs
+    // (Karn's rule: only never-retransmitted segments are sampled), the
+    // result clamped to [min_rto, max_rto]. Off: the fixed `rto` base.
+    // Either way every retransmission of a segment backs off
+    // exponentially (capped at max_rto), so a dead path decays to a slow
+    // probe instead of a full-rate retry wall.
+    bool adaptive_rto = false;
+    TimeNs min_rto = 50 * kNsPerUs;
+    TimeNs max_rto = 20000 * kNsPerUs;  // also the backoff ceiling
+    // Non-zero: retransmit expiries get a deterministic hash-derived extra
+    // delay in [0, backoff/8], keyed by (jitter_seed, offset, attempts) —
+    // desynchronizes retransmit storms across flows without any shared RNG
+    // stream (and with no generator state to snapshot).
+    std::uint64_t jitter_seed = 0;
   };
 
   struct Segment {
@@ -114,19 +129,33 @@ class ReliableSender {
 
   // The next segment to put on the wire at `now`, if any: an expired
   // unacked segment first, else the next new segment. Marks it in flight.
+  // Returns nullopt once the sender has given up (see gave_up()).
   std::optional<Segment> next_segment(TimeNs now);
   // True if some segment is (or will be) pending: not everything is acked.
   bool fully_acked() const { return acked_cumulative_ >= total_ && in_flight_.empty(); }
   // All bytes have been transmitted at least once.
   bool all_sent() const { return next_new_ >= total_; }
 
-  // Processes an ACK: cumulative point + SACK ranges.
-  void on_ack(std::uint64_t cumulative, std::span<const ByteRange> sacks);
+  // Processes an ACK: cumulative point + SACK ranges. Pass the receive
+  // time to feed the adaptive-RTO estimator; now < 0 skips RTT sampling.
+  void on_ack(std::uint64_t cumulative, std::span<const ByteRange> sacks, TimeNs now = -1);
 
   // Earliest retransmission deadline among in-flight segments, or nullopt
   // when nothing is in flight. (Formerly a -1 sentinel, which silently
   // turned into a huge timestamp when mixed into unsigned arithmetic.)
   std::optional<TimeNs> next_deadline() const;
+
+  // Give-up verdict: a segment exhausted max_retransmits. The sender
+  // freezes (next_segment returns nullopt forever); the host decides what
+  // to do with the flow — the simulator records an explicit per-flow abort
+  // and counts it, instead of the old throw.
+  bool gave_up() const { return gave_up_; }
+  TimeNs gave_up_at() const { return gave_up_at_; }
+
+  // Current un-backed-off RTO (the estimator output, or the fixed base).
+  TimeNs current_rto() const;
+  TimeNs srtt() const { return srtt_; }
+  std::uint64_t rtt_samples() const { return rtt_samples_; }
 
   std::uint64_t total_bytes() const { return total_; }
   std::uint64_t retransmissions() const { return retransmissions_; }
@@ -144,7 +173,14 @@ class ReliableSender {
       w.u32(seg.length);
       w.i64(seg.expires);
       w.u32(static_cast<std::uint32_t>(seg.attempts));
+      w.i64(seg.sent_at);
     }
+    w.u8(have_rtt_ ? 1 : 0);
+    w.i64(srtt_);
+    w.i64(rttvar_);
+    w.u64(rtt_samples_);
+    w.u8(gave_up_ ? 1 : 0);
+    w.i64(gave_up_at_);
   }
   void load(snapshot::ArchiveReader& r) {
     const std::uint64_t total = r.u64();
@@ -159,13 +195,26 @@ class ReliableSender {
       seg.length = r.u32();
       seg.expires = r.i64();
       seg.attempts = static_cast<int>(r.u32());
+      seg.sent_at = r.i64();
       in_flight[offset] = seg;
     }
+    const bool have_rtt = r.u8() != 0;
+    const TimeNs srtt = r.i64();
+    const TimeNs rttvar = r.i64();
+    const std::uint64_t rtt_samples = r.u64();
+    const bool gave_up = r.u8() != 0;
+    const TimeNs gave_up_at = r.i64();
     total_ = total;
     next_new_ = next_new;
     acked_cumulative_ = acked;
     retransmissions_ = retx;
     in_flight_ = std::move(in_flight);
+    have_rtt_ = have_rtt;
+    srtt_ = srtt;
+    rttvar_ = rttvar;
+    rtt_samples_ = rtt_samples;
+    gave_up_ = gave_up;
+    gave_up_at_ = gave_up_at;
   }
   void mix_digest(snapshot::Digest& d) const {
     d.mix(total_);
@@ -178,7 +227,14 @@ class ReliableSender {
       d.mix(seg.length);
       d.mix_i64(seg.expires);
       d.mix(static_cast<std::uint64_t>(seg.attempts));
+      d.mix_i64(seg.sent_at);
     }
+    d.mix(have_rtt_ ? 1 : 0);
+    d.mix_i64(srtt_);
+    d.mix_i64(rttvar_);
+    d.mix(rtt_samples_);
+    d.mix(gave_up_ ? 1 : 0);
+    d.mix_i64(gave_up_at_);
   }
 
  private:
@@ -186,7 +242,15 @@ class ReliableSender {
     std::uint32_t length = 0;
     TimeNs expires = 0;
     int attempts = 1;
+    TimeNs sent_at = 0;  // first transmission time (Karn: only attempts==1
+                         // segments yield RTT samples)
   };
+
+  // Effective expiry delay for attempt number `attempts` of the segment at
+  // `offset`: current_rto() doubled per prior attempt, capped at max_rto,
+  // plus the deterministic jitter when configured.
+  TimeNs backoff_rto(std::uint64_t offset, int attempts) const;
+  void sample_rtt(TimeNs sample);
 
   std::uint64_t total_;
   Config config_;
@@ -194,6 +258,12 @@ class ReliableSender {
   std::uint64_t acked_cumulative_ = 0;
   std::map<std::uint64_t, InFlight> in_flight_;  // keyed by offset
   std::uint64_t retransmissions_ = 0;
+  bool have_rtt_ = false;
+  TimeNs srtt_ = 0;
+  TimeNs rttvar_ = 0;
+  std::uint64_t rtt_samples_ = 0;
+  bool gave_up_ = false;
+  TimeNs gave_up_at_ = -1;
 };
 
 }  // namespace r2c2

@@ -154,19 +154,28 @@ TEST(ReliableSender, GivesUpAfterBudget) {
   TimeNs t = 0;
   s.next_segment(t);
   for (int i = 0; i < 3; ++i) {
-    t += 2;
+    const auto d = s.next_deadline();
+    ASSERT_TRUE(d.has_value());
+    t = *d;
     ASSERT_TRUE(s.next_segment(t).has_value());
   }
-  t += 2;
-  EXPECT_THROW(s.next_segment(t), std::runtime_error);
+  const auto d = s.next_deadline();
+  ASSERT_TRUE(d.has_value());
+  EXPECT_FALSE(s.gave_up());
+  // Budget exhausted: the verdict is surfaced, not thrown, and it sticks.
+  EXPECT_EQ(s.next_segment(*d), std::nullopt);
+  EXPECT_TRUE(s.gave_up());
+  EXPECT_EQ(s.gave_up_at(), *d);
+  EXPECT_EQ(s.next_segment(*d + 1000), std::nullopt);  // frozen for good
+  EXPECT_FALSE(s.fully_acked());
 }
 
 TEST(ReliableSender, GiveUpFiresOnExactBudgetBoundary) {
   // max_retransmits bounds the number of *re*transmissions: the original
-  // send plus max_retransmits expiries succeed, the next one throws. The
-  // deadline stays visible right up to the throw, so a driver sleeping on
-  // next_deadline() is guaranteed to wake up and surface the failure
-  // instead of spinning silently.
+  // send plus max_retransmits expiries succeed, the next expiry flips the
+  // give-up verdict. The deadline stays visible right up to that point, so
+  // a driver sleeping on next_deadline() is guaranteed to wake up and
+  // surface the failure instead of spinning silently.
   ReliableSender s(1000, {.mtu_payload = 1000, .rto = 10, .max_retransmits = 1});
   ASSERT_TRUE(s.next_segment(0).has_value());
   const auto d = s.next_deadline();
@@ -175,7 +184,71 @@ TEST(ReliableSender, GiveUpFiresOnExactBudgetBoundary) {
   EXPECT_EQ(s.retransmissions(), 1u);
   const auto d2 = s.next_deadline();
   ASSERT_TRUE(d2.has_value());  // still armed: exhaustion must surface
-  EXPECT_THROW(s.next_segment(*d2), std::runtime_error);
+  EXPECT_EQ(s.next_segment(*d2), std::nullopt);
+  EXPECT_TRUE(s.gave_up());
+}
+
+TEST(ReliableSender, RetransmitBackoffDoublesAndCaps) {
+  // Each retransmission of one segment doubles its timer (capped at
+  // max_rto): the fix for full-rate retransmission into a dead path.
+  ReliableSender s(1000, {.mtu_payload = 1000,
+                          .rto = 100,
+                          .max_retransmits = 64,
+                          .max_rto = 1000});
+  ASSERT_TRUE(s.next_segment(0).has_value());
+  EXPECT_EQ(*s.next_deadline(), 100);  // initial arm: base RTO
+  TimeNs t = *s.next_deadline();
+  ASSERT_TRUE(s.next_segment(t).has_value());
+  EXPECT_EQ(*s.next_deadline() - t, 200);  // 1st retransmit: 2x
+  t = *s.next_deadline();
+  ASSERT_TRUE(s.next_segment(t).has_value());
+  EXPECT_EQ(*s.next_deadline() - t, 400);  // 2nd: 4x
+  t = *s.next_deadline();
+  ASSERT_TRUE(s.next_segment(t).has_value());
+  EXPECT_EQ(*s.next_deadline() - t, 800);  // 3rd: 8x
+  t = *s.next_deadline();
+  ASSERT_TRUE(s.next_segment(t).has_value());
+  EXPECT_EQ(*s.next_deadline() - t, 1000);  // capped at max_rto
+}
+
+TEST(ReliableSender, AdaptiveRtoTracksSampledRtt) {
+  ReliableSender s(30000, {.mtu_payload = 1000,
+                           .rto = 500,
+                           .max_retransmits = 64,
+                           .adaptive_rto = true,
+                           .min_rto = 10,
+                           .max_rto = 100000});
+  EXPECT_EQ(s.current_rto(), 500);  // no samples yet: the configured base
+  ASSERT_TRUE(s.next_segment(0).has_value());
+  s.on_ack(1000, {}, 40);  // RTT sample = 40
+  EXPECT_EQ(s.rtt_samples(), 1u);
+  // First sample: srtt = 40, rttvar = 20, rto = srtt + 4*rttvar = 120.
+  EXPECT_EQ(s.srtt(), 40);
+  EXPECT_EQ(s.current_rto(), 120);
+  // Steady samples at the same RTT shrink rttvar toward 0.
+  TimeNs t = 100;
+  for (int i = 0; i < 20; ++i) {
+    ASSERT_TRUE(s.next_segment(t).has_value());
+    const ByteRange sack{1000 * static_cast<std::uint64_t>(i + 1),
+                         1000 * static_cast<std::uint64_t>(i + 2)};
+    s.on_ack(0, std::span<const ByteRange>(&sack, 1), t + 40);
+    t += 1000;
+  }
+  EXPECT_EQ(s.srtt(), 40);
+  EXPECT_LT(s.current_rto(), 120);
+  EXPECT_GE(s.current_rto(), 10);
+}
+
+TEST(ReliableSender, KarnRuleSkipsRetransmittedSegments) {
+  ReliableSender s(1000, {.mtu_payload = 1000,
+                          .rto = 100,
+                          .max_retransmits = 64,
+                          .adaptive_rto = true});
+  ASSERT_TRUE(s.next_segment(0).has_value());
+  ASSERT_TRUE(s.next_segment(100).has_value());  // retransmitted once
+  s.on_ack(1000, {}, 150);
+  EXPECT_EQ(s.rtt_samples(), 0u);  // ambiguous ACK: no sample taken
+  EXPECT_EQ(s.current_rto(), 100);
 }
 
 // --- End-to-end: R2C2 with corruption + reliability ---

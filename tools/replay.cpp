@@ -23,12 +23,28 @@
 //       snapshot cadence it also names the latest snapshot at or before
 //       the divergence — restore that file under a debugger and
 //       single-step the window [snapshot, divergence].
+//
+//   replay campaign [--scenarios N] [--seed S] [--engine-shards K]
+//                   [--engine-workers W] [--alt-workers W2] [--flows N]
+//                   [--digest-every NS] [--artifact-dir DIR] [--no-resume]
+//       Runs the gray-chaos campaign (src/chaos/): N seeded scenarios with
+//       hard + gray fault waves, each checked against the machine-readable
+//       invariants (flow resolution, byte conservation, recovery bound,
+//       resume-digest and cross-worker digest identity). On a violation
+//       the fault script is ddmin-shrunk and the minimal repro written to
+//       --artifact-dir. Exits 1 if any scenario fails.
+//
+//   replay repro FILE
+//       Re-runs a repro file written by a failed campaign and exits 1 when
+//       the archived invariant violation re-triggers (0 = did not
+//       reproduce — e.g. after a fix).
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <string>
 #include <vector>
 
+#include "chaos/campaign.h"
 #include "snapshot/archive.h"
 #include "snapshot/digest.h"
 #include "snapshot/replay.h"
@@ -43,14 +59,18 @@ namespace {
 
 [[noreturn]] void usage(const char* argv0) {
   std::fprintf(stderr,
-               "usage: %s run|verify|bisect [options]\n"
-               "  run    --scenario fault|ga [--threads N] [--seed S] [--digest-every NS]\n"
-               "         [--engine-shards K] [--engine-workers W]\n"
-               "         [--snapshot-every NS] [--prefix P] [--log FILE]\n"
-               "  verify --scenario fault|ga [--threads N] [--seed S] [--digest-every NS]\n"
-               "         [--engine-shards K] [--engine-workers W]\n"
-               "         [--snap-at NS] [--prefix P]\n"
-               "  bisect --a LOG --b LOG [--prefix P --snapshot-every NS]\n"
+               "usage: %s run|verify|bisect|campaign|repro [options]\n"
+               "  run      --scenario fault|ga [--threads N] [--seed S] [--digest-every NS]\n"
+               "           [--engine-shards K] [--engine-workers W]\n"
+               "           [--snapshot-every NS] [--prefix P] [--log FILE]\n"
+               "  verify   --scenario fault|ga [--threads N] [--seed S] [--digest-every NS]\n"
+               "           [--engine-shards K] [--engine-workers W]\n"
+               "           [--snap-at NS] [--prefix P]\n"
+               "  bisect   --a LOG --b LOG [--prefix P --snapshot-every NS]\n"
+               "  campaign [--scenarios N] [--seed S] [--engine-shards K]\n"
+               "           [--engine-workers W] [--alt-workers W2] [--flows N]\n"
+               "           [--digest-every NS] [--artifact-dir DIR] [--no-resume]\n"
+               "  repro    FILE\n"
                "--engine-shards fixes the event-engine partition count (part of the\n"
                "trajectory); --engine-workers is pure parallelism and must not change\n"
                "a single digest.\n",
@@ -61,9 +81,11 @@ namespace {
 struct Args {
   std::string mode;
   ReplayConfig replay;
+  chaos::CampaignConfig campaign;
   TimeNs snap_at = 0;  // verify: 0 = midpoint of the straight-through run
   std::string log_path;
   std::string log_a, log_b;
+  std::string repro_path;
 };
 
 Args parse(int argc, char** argv) {
@@ -71,6 +93,11 @@ Args parse(int argc, char** argv) {
   Args args;
   args.mode = argv[1];
   args.replay.snapshot_prefix = "r2c2-replay-";
+  if (args.mode == "repro") {
+    if (argc != 3) usage(argv[0]);
+    args.repro_path = argv[2];
+    return args;
+  }
   auto value = [&](int& i) -> const char* {
     if (i + 1 >= argc) usage(argv[0]);
     return argv[++i];
@@ -81,14 +108,28 @@ Args parse(int argc, char** argv) {
       args.replay.scenario = value(i);
     } else if (opt == "--threads") {
       args.replay.threads = std::atoi(value(i));
+    } else if (opt == "--scenarios") {
+      args.campaign.scenarios = std::atoi(value(i));
     } else if (opt == "--engine-shards") {
       args.replay.engine_shards = std::atoi(value(i));
+      args.campaign.engine_shards = args.replay.engine_shards;
     } else if (opt == "--engine-workers") {
       args.replay.engine_workers = std::atoi(value(i));
+      args.campaign.base_workers = args.replay.engine_workers;
+    } else if (opt == "--alt-workers") {
+      args.campaign.alt_workers = std::atoi(value(i));
+    } else if (opt == "--flows") {
+      args.campaign.flows = std::atoi(value(i));
+    } else if (opt == "--artifact-dir") {
+      args.campaign.artifact_dir = value(i);
+    } else if (opt == "--no-resume") {
+      args.campaign.check_resume = false;
     } else if (opt == "--seed") {
       args.replay.seed = std::strtoull(value(i), nullptr, 10);
+      args.campaign.seed = args.replay.seed;
     } else if (opt == "--digest-every") {
       args.replay.digest_every = std::strtoll(value(i), nullptr, 10);
+      args.campaign.digest_every = args.replay.digest_every;
     } else if (opt == "--snapshot-every") {
       args.replay.snapshot_every = std::strtoll(value(i), nullptr, 10);
     } else if (opt == "--prefix") {
@@ -252,6 +293,49 @@ int bisect_mode(const Args& args) {
   return 1;
 }
 
+int campaign_mode(const Args& args) {
+  const chaos::CampaignResult result = chaos::run_campaign(args.campaign);
+  for (const chaos::ScenarioOutcome& sc : result.scenarios) {
+    std::printf("scenario %2d seed %llu: %s  (events=%zu gray_drops=%llu aborts=%llu "
+                "demoted=%llu state %016llx metrics %016llx)\n",
+                sc.index, static_cast<unsigned long long>(sc.scenario_seed),
+                sc.passed ? "PASS" : "FAIL", sc.fault_events,
+                static_cast<unsigned long long>(sc.gray_drops),
+                static_cast<unsigned long long>(sc.flow_aborts),
+                static_cast<unsigned long long>(sc.links_demoted),
+                static_cast<unsigned long long>(sc.final_digest),
+                static_cast<unsigned long long>(sc.metrics_digest));
+    for (const chaos::Violation& v : sc.violations) {
+      std::printf("  VIOLATION %s: %s\n", v.invariant.c_str(), v.detail.c_str());
+    }
+    if (!sc.repro_path.empty()) {
+      std::printf("  repro: %s (re-run with: replay repro %s)\n", sc.repro_path.c_str(),
+                  sc.repro_path.c_str());
+    }
+  }
+  std::printf("campaign: %d/%zu scenarios passed (seed=%llu shards=%d workers=%d/%d)\n",
+              static_cast<int>(result.scenarios.size()) - result.failed,
+              result.scenarios.size(), static_cast<unsigned long long>(args.campaign.seed),
+              args.campaign.engine_shards, args.campaign.base_workers,
+              args.campaign.alt_workers);
+  return result.passed() ? 0 : 1;
+}
+
+int repro_mode(const Args& args) {
+  const chaos::Repro repro = chaos::load_repro(args.repro_path);
+  std::printf("repro: seed=%llu scenario=%d invariant=%s events=%zu\n",
+              static_cast<unsigned long long>(repro.config.seed), repro.index,
+              repro.invariant.c_str(), repro.script.events.size());
+  if (!repro.detail.empty()) std::printf("  recorded detail: %s\n", repro.detail.c_str());
+  if (chaos::repro_triggers(repro)) {
+    std::printf("REPRODUCED: invariant %s still violated\n", repro.invariant.c_str());
+    return 1;
+  }
+  std::printf("did not reproduce: invariant %s holds with this script\n",
+              repro.invariant.c_str());
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -260,8 +344,13 @@ int main(int argc, char** argv) {
     if (args.mode == "run") return run_mode(args);
     if (args.mode == "verify") return verify_mode(args);
     if (args.mode == "bisect") return bisect_mode(args);
+    if (args.mode == "campaign") return campaign_mode(args);
+    if (args.mode == "repro") return repro_mode(args);
   } catch (const snapshot::SnapshotError& e) {
     std::fprintf(stderr, "snapshot error: %s\n", e.what());
+    return 2;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
     return 2;
   }
   usage(argv[0]);

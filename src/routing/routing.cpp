@@ -37,9 +37,29 @@ std::uint64_t ecmp_seed(NodeId src, NodeId dst, FlowId flow) {
   return (static_cast<std::uint64_t>(flow) << 32) | (static_cast<std::uint64_t>(src) << 16) | dst;
 }
 
+// True for the algorithms served by the tile cache instead of a dense table.
+bool is_tiled(RouteAlg alg) { return alg == RouteAlg::kVlb || alg == RouteAlg::kWlb; }
+
 }  // namespace
 
-Router::Router(const Topology& topo) : topo_(topo) {
+// A fixed-shape block of the (src, dst) weight matrix for one tiled
+// algorithm. Slots are CAS-published exactly like the dense tables; the
+// tile's byte account (slot array + published entries) is maintained under
+// the Router's tile mutex so the global LRU budget stays exact.
+struct Router::Tile {
+  explicit Tile(std::size_t slots_) : slots(slots_) {}
+  ~Tile() {
+    for (auto& slot : slots) delete slot.load(std::memory_order_relaxed);
+  }
+  std::vector<std::atomic<const LinkWeights*>> slots;
+  std::uint64_t bytes = 0;  // guarded by Router::tile_mu_
+  std::list<std::uint64_t>::iterator lru_it;
+};
+
+Router::Router(const Topology& topo) : Router(topo, TileConfig{}) {}
+
+Router::Router(const Topology& topo, TileConfig tiles) : topo_(topo), tile_config_(tiles) {
+  if (tile_config_.tile_shape == 0) tile_config_.tile_shape = 1;
   const std::size_t slots = topo.num_nodes() * topo.num_nodes();
   for (auto& table : table_) {
     table = std::vector<std::atomic<const LinkWeights*>>(slots);
@@ -95,7 +115,14 @@ void Router::pick_path_into(RouteAlg alg, NodeId src, NodeId dst, Rng& rng, Path
 
 void Router::pick_path_into(RouteAlg alg, NodeId src, NodeId dst, Rng& rng, Path& out,
                             std::span<const double> link_penalty, FlowId flow) const {
-  if (link_penalty.empty()) {
+  SprayBias bias;
+  bias.penalty = link_penalty;
+  pick_path_into(alg, src, dst, rng, out, bias, flow);
+}
+
+void Router::pick_path_into(RouteAlg alg, NodeId src, NodeId dst, Rng& rng, Path& out,
+                            const SprayBias& bias, FlowId flow) const {
+  if (bias.empty()) {
     pick_path_into(alg, src, dst, rng, out, flow);
     return;
   }
@@ -104,22 +131,22 @@ void Router::pick_path_into(RouteAlg alg, NodeId src, NodeId dst, Rng& rng, Path
   if (src == dst) return;
   switch (alg) {
     case RouteAlg::kRps:
-      rps_walk_penalized(out, dst, rng, link_penalty);
+      rps_walk_biased(out, dst, rng, bias);
       return;
     case RouteAlg::kDor:
       dor_walk(out, dst);
       return;
     case RouteAlg::kVlb: {
       const NodeId mid = static_cast<NodeId>(rng.uniform_int(topo_.num_nodes()));
-      if (mid != src) rps_walk_penalized(out, mid, rng, link_penalty);
-      if (mid != dst) rps_walk_penalized(out, dst, rng, link_penalty);
+      if (mid != src) rps_walk_biased(out, mid, rng, bias);
+      if (mid != dst) rps_walk_biased(out, dst, rng, bias);
       return;
     }
     case RouteAlg::kWlb:
       // WLB's per-dimension direction choice has no per-link alternative to
       // reweight (each combo is a fixed staircase); non-grid fallback sprays.
       if (!topo_.grid()) {
-        rps_walk_penalized(out, dst, rng, link_penalty);
+        rps_walk_biased(out, dst, rng, bias);
       } else {
         wlb_walk(out, dst, rng);
       }
@@ -159,6 +186,7 @@ const LinkWeights& Router::link_weights(RouteAlg alg, NodeId src, NodeId dst, Fl
   }
   const auto a = static_cast<std::size_t>(alg);
   if (a >= kTabledAlgs) throw std::invalid_argument("unknown routing algorithm");
+  if (is_tiled(alg)) return tiled_weights(alg, src, dst);
   std::atomic<const LinkWeights*>& slot =
       table_[a][static_cast<std::size_t>(src) * topo_.num_nodes() + dst];
   if (const LinkWeights* w = slot.load(std::memory_order_acquire)) return *w;
@@ -175,6 +203,117 @@ const LinkWeights& Router::link_weights(RouteAlg alg, NodeId src, NodeId dst, Fl
   return *expected;
 }
 
+// --- Tiled kVlb/kWlb cache ---
+
+namespace {
+
+// Tile directory key: algorithm in the top bits, then the tile's row and
+// column in the (src, dst) grid (24 bits each bound n <= 16M nodes).
+std::uint64_t tile_key(RouteAlg alg, std::uint64_t row, std::uint64_t col) {
+  return (static_cast<std::uint64_t>(alg) << 48) | (row << 24) | col;
+}
+
+std::uint64_t entry_bytes_of(const LinkWeights& w) {
+  return sizeof(LinkWeights) + w.capacity() * sizeof(LinkFraction);
+}
+
+}  // namespace
+
+std::shared_ptr<Router::Tile> Router::acquire_tile(std::uint64_t key) const {
+  const std::size_t shape = tile_config_.tile_shape;
+  std::lock_guard<std::mutex> lock(tile_mu_);
+  auto it = tiles_.find(key);
+  if (it != tiles_.end()) {
+    tile_lru_.splice(tile_lru_.begin(), tile_lru_, it->second->lru_it);
+    return it->second;
+  }
+  auto tile = std::make_shared<Tile>(shape * shape);
+  tile->bytes = shape * shape * sizeof(std::atomic<const LinkWeights*>);
+  tile_lru_.push_front(key);
+  tile->lru_it = tile_lru_.begin();
+  tiles_.emplace(key, tile);
+  tile_bytes_ += tile->bytes;
+  evict_over_budget_locked(key);
+  return tile;
+}
+
+// Drops least-recently-used tiles until the byte budget holds, never the
+// tile `keep_key` that triggered the call (the budget floor is one tile).
+// Readers that pinned a dropped tile finish safely on their shared
+// ownership; the tile's entries die with the last reference.
+void Router::evict_over_budget_locked(std::uint64_t keep_key) const {
+  while (tile_bytes_ > tile_config_.max_resident_bytes && tile_lru_.size() > 1) {
+    const std::uint64_t victim = tile_lru_.back();
+    if (victim == keep_key) break;  // only the protected tile is left
+    auto it = tiles_.find(victim);
+    assert(it != tiles_.end());
+    tile_bytes_ -= it->second->bytes;
+    tiles_.erase(it);
+    tile_lru_.pop_back();
+    ++tile_evictions_;
+  }
+}
+
+const LinkWeights& Router::tiled_weights(RouteAlg alg, NodeId src, NodeId dst) const {
+  // Tiles are evictable, so references into them cannot outlive the read:
+  // hand back a thread-local copy (the kEcmp contract — valid until this
+  // thread's next tiled query).
+  static thread_local LinkWeights tl_tiled;
+  const std::size_t shape = tile_config_.tile_shape;
+  const std::uint64_t row = static_cast<std::uint64_t>(src) / shape;
+  const std::uint64_t col = static_cast<std::uint64_t>(dst) / shape;
+  const std::uint64_t key = tile_key(alg, row, col);
+  std::shared_ptr<Tile> tile = acquire_tile(key);
+  auto& slot = tile->slots[(static_cast<std::size_t>(src) % shape) * shape +
+                           static_cast<std::size_t>(dst) % shape];
+  if (const LinkWeights* w = slot.load(std::memory_order_acquire)) {
+    tile_hits_.fetch_add(1, std::memory_order_relaxed);
+    tl_tiled = *w;
+    return tl_tiled;
+  }
+  tile_misses_.fetch_add(1, std::memory_order_relaxed);
+  // First touch: derive outside the lock (recurses into the dense RPS
+  // base) and CAS-publish into the pinned tile, same as the dense tables.
+  auto* fresh = new LinkWeights(compute_weights(alg, src, dst, 0));
+  const LinkWeights* expected = nullptr;
+  if (slot.compare_exchange_strong(expected, fresh, std::memory_order_release,
+                                   std::memory_order_acquire)) {
+    tl_tiled = *fresh;
+    std::lock_guard<std::mutex> lock(tile_mu_);
+    // Account the entry only while its tile is still resident — if the LRU
+    // dropped the tile during the derivation, the entry dies with our pin
+    // and must not leak into the global byte count.
+    auto it = tiles_.find(key);
+    if (it != tiles_.end() && it->second == tile) {
+      tile->bytes += entry_bytes_of(*fresh);
+      tile_bytes_ += entry_bytes_of(*fresh);
+      evict_over_budget_locked(key);
+    }
+  } else {
+    delete fresh;
+    tl_tiled = *expected;
+  }
+  return tl_tiled;
+}
+
+Router::TileStats Router::tile_stats() const {
+  TileStats s;
+  {
+    std::lock_guard<std::mutex> lock(tile_mu_);
+    s.resident_bytes = tile_bytes_;
+    s.resident_tiles = tiles_.size();
+    s.evictions = tile_evictions_;
+  }
+  s.hits = tile_hits_.load(std::memory_order_relaxed);
+  s.misses = tile_misses_.load(std::memory_order_relaxed);
+  return s;
+}
+
+void Router::warm_tiles(RouteAlg alg, std::span<const std::pair<NodeId, NodeId>> pairs) const {
+  if (!is_tiled(alg)) return;
+  for (const auto& [src, dst] : pairs) link_weights(alg, src, dst);
+}
+
 double Router::expected_hops(RouteAlg alg, NodeId src, NodeId dst, FlowId flow) const {
   double hops = 0.0;
   for (const LinkFraction& lf : link_weights(alg, src, dst, flow)) hops += lf.fraction;
@@ -183,10 +322,33 @@ double Router::expected_hops(RouteAlg alg, NodeId src, NodeId dst, FlowId flow) 
 
 void Router::precompute(RouteAlg alg, ThreadPool* pool) const {
   if (alg == RouteAlg::kEcmp) return;  // flow-keyed; always derived per call
-  // VLB entries recurse into RPS entries: fill the RPS table first so
-  // parallel VLB rows read it instead of racing on recursive first-touches.
-  if (alg == RouteAlg::kVlb) precompute(RouteAlg::kRps, pool);
   const std::size_t n = topo_.num_nodes();
+  if (is_tiled(alg)) {
+    // Tile-major warm: fill each tile completely before touching the next,
+    // so a warm larger than the LRU budget streams through the cache
+    // instead of thrashing partially-filled tiles. The needed RPS base
+    // entries are derived on demand through the recursive first-touch CAS
+    // — no eager full-table RPS warm (racing derivations of the same base
+    // entry are pure; exactly one wins).
+    const std::size_t shape = tile_config_.tile_shape;
+    const std::size_t tiles_per_side = (n + shape - 1) / shape;
+    const auto fill_tile = [&](std::size_t tile_idx) {
+      const std::size_t row = (tile_idx / tiles_per_side) * shape;
+      const std::size_t col = (tile_idx % tiles_per_side) * shape;
+      for (std::size_t src = row; src < std::min(row + shape, n); ++src) {
+        for (std::size_t dst = col; dst < std::min(col + shape, n); ++dst) {
+          link_weights(alg, static_cast<NodeId>(src), static_cast<NodeId>(dst));
+        }
+      }
+    };
+    const std::size_t total = tiles_per_side * tiles_per_side;
+    if (pool != nullptr && pool->workers() > 0) {
+      pool->parallel_for(total, [&](std::size_t t, int) { fill_tile(t); });
+    } else {
+      for (std::size_t t = 0; t < total; ++t) fill_tile(t);
+    }
+    return;
+  }
   const auto fill_row = [&](std::size_t src) {
     for (std::size_t dst = 0; dst < n; ++dst) {
       link_weights(alg, static_cast<NodeId>(src), static_cast<NodeId>(dst));
@@ -233,8 +395,7 @@ void Router::rps_walk(Path& path, NodeId to, Rng& rng) const {
   }
 }
 
-void Router::rps_walk_penalized(Path& path, NodeId to, Rng& rng,
-                                std::span<const double> link_penalty) const {
+void Router::rps_walk_biased(Path& path, NodeId to, Rng& rng, const SprayBias& bias) const {
   thread_local std::vector<double> t_weight;
   NodeId at = path.back();
   while (at != to) {
@@ -242,20 +403,31 @@ void Router::rps_walk_penalized(Path& path, NodeId to, Rng& rng,
     assert(!t_next.empty());
     t_weight.resize(t_next.size());
     double total = 0.0;
-    bool penalized = false;
+    bool biased = false;
     for (std::size_t i = 0; i < t_next.size(); ++i) {
       const LinkId link = topo_.find_link(at, t_next[i]);
-      const double p =
-          (link != kInvalidLink && static_cast<std::size_t>(link) < link_penalty.size())
-              ? link_penalty[link]
-              : 0.0;
-      penalized = penalized || p > 0.0;
-      t_weight[i] = 1.0 / (1.0 + p);
+      double b = 0.0;
+      if (link != kInvalidLink) {
+        if (static_cast<std::size_t>(link) < bias.penalty.size()) b += bias.penalty[link];
+        if (bias.congestion_gain > 0.0 && !bias.congestion.empty()) {
+          // Map the decision-plane id into the substrate congestion span.
+          const LinkId sub =
+              (static_cast<std::size_t>(link) < bias.plane_to_substrate.size())
+                  ? bias.plane_to_substrate[link]
+                  : link;
+          if (sub != kInvalidLink && static_cast<std::size_t>(sub) < bias.congestion.size()) {
+            b += bias.congestion_gain * bias.congestion[sub];
+          }
+        }
+      }
+      biased = biased || b > 0.0;
+      t_weight[i] = 1.0 / (1.0 + b);
       total += t_weight[i];
     }
-    if (!penalized) {
-      // Same draw as the unpenalized walk: demotion-free hops (and whole
-      // runs with no suspects) stay bit-identical to the base data plane.
+    if (!biased) {
+      // Same draw as the unbiased walk: bias-free hops (and whole runs
+      // with no suspects and no congestion) stay bit-identical to the base
+      // data plane.
       at = t_next[rng.uniform_int(t_next.size())];
     } else {
       double u = rng.uniform() * total;

@@ -25,6 +25,7 @@ enum EventKind : std::uint32_t {
   kEvRebuildContext = 10, // debounced decision-plane rebuild
   kEvFaultApply = 11,     // a = index into the armed FaultScript
   kEvCtrlRetransmit = 12, // a = parked-packet slot, b = directed link
+  kEvCongestionTick = 13, // periodic ECN-style congestion sampling (adaptive routing)
 };
 
 }  // namespace r2c2::sim

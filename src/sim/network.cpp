@@ -16,6 +16,11 @@ namespace {
 std::uint64_t lane_seed(std::uint64_t base, int lane) {
   return base ^ (0x9e3779b97f4a7c15ULL * static_cast<std::uint64_t>(lane + 1));
 }
+
+// EWMA values below this snap to exact 0.0, so a drained link's mark stops
+// biasing spray draws entirely instead of decaying forever (the zero-bias
+// fast path is what keeps congestion-free runs bit-identical).
+constexpr double kCongestionFloor = 1e-9;
 }  // namespace
 
 Network::Network(Engine& engine, const Topology& topo, NetworkConfig config)
@@ -23,6 +28,7 @@ Network::Network(Engine& engine, const Topology& topo, NetworkConfig config)
       topo_(topo),
       config_(config),
       ports_(topo.num_links()),
+      congestion_(topo.num_links(), 0.0),
       degrade_(topo.num_links()) {
   parks_.resize(1);
   corruption_rngs_.emplace_back(config.corruption_seed);
@@ -93,6 +99,7 @@ void Network::send_on_link(LinkId link, SimPacket&& pkt) {
   }
   port.queued_bytes += pkt.wire_bytes;
   port.max_queued_bytes = std::max(port.max_queued_bytes, port.queued_bytes);
+  port.epoch_max_queued = std::max(port.epoch_max_queued, port.queued_bytes);
   if (ctrl && config_.control_priority) {
     port.ctrl_q.push_back(std::move(pkt));
   } else {
@@ -248,6 +255,22 @@ void Network::forward(NodeId at, SimPacket&& pkt) {
   send_on_link(link, std::move(pkt));
 }
 
+void Network::sample_congestion(double alpha, std::uint64_t threshold_bytes) {
+  assert(!engine_.in_window() && "congestion sampling is a serial-phase operation");
+  for (std::size_t l = 0; l < ports_.size(); ++l) {
+    Port& p = ports_[l];
+    const std::uint64_t peak = std::max(p.epoch_max_queued, p.queued_bytes);
+    p.epoch_max_queued = p.queued_bytes;  // next window's peak starts at current depth
+    double mark = 0.0;
+    if (threshold_bytes > 0 && peak >= threshold_bytes) {
+      mark = static_cast<double>(peak) / static_cast<double>(threshold_bytes);
+    }
+    double& c = congestion_[l];
+    c = (1.0 - alpha) * c + alpha * mark;
+    if (c < kCongestionFloor) c = 0.0;
+  }
+}
+
 std::vector<std::uint64_t> Network::max_queue_snapshot() const {
   std::vector<std::uint64_t> snapshot;
   snapshot.reserve(ports_.size());
@@ -381,6 +404,7 @@ void Network::save(snapshot::ArchiveWriter& w) const {
     w.u8(p.busy ? 1 : 0);
     w.u64(p.queued_bytes);
     w.u64(p.max_queued_bytes);
+    w.u64(p.epoch_max_queued);
     w.u64(p.ctrl_q.size());
     for (const SimPacket& pkt : p.ctrl_q) write_packet(w, pkt);
     w.u64(p.data_q.size());
@@ -431,6 +455,18 @@ void Network::save(snapshot::ArchiveWriter& w) const {
     w.i64(g.flap_down);
     w.i64(g.flap_anchor);
   }
+  // Congestion EWMA, sparse: only links with a nonzero mark (the floor
+  // snaps drained links back to exact 0, so a calm network archives none).
+  std::uint64_t marked = 0;
+  for (double c : congestion_) {
+    if (c != 0.0) ++marked;
+  }
+  w.u64(marked);
+  for (std::size_t i = 0; i < congestion_.size(); ++i) {
+    if (congestion_[i] == 0.0) continue;
+    w.u32(static_cast<std::uint32_t>(i));
+    w.f64(congestion_[i]);
+  }
   w.end_section();
 }
 
@@ -450,6 +486,7 @@ void Network::load(snapshot::ArchiveReader& r) {
     p.busy = r.u8() != 0;
     p.queued_bytes = r.u64();
     p.max_queued_bytes = r.u64();
+    p.epoch_max_queued = r.u64();
     const std::uint64_t nctrl = r.u64();
     for (std::uint64_t i = 0; i < nctrl; ++i) p.ctrl_q.push_back(read_packet(r));
     const std::uint64_t ndata = r.u64();
@@ -503,10 +540,22 @@ void Network::load(snapshot::ArchiveReader& r) {
     g.flap_anchor = r.i64();
     grays.emplace_back(link, g);
   }
+  const std::uint64_t marked = r.u64();
+  std::vector<std::pair<std::uint32_t, double>> marks;
+  marks.reserve(marked);
+  for (std::uint64_t i = 0; i < marked; ++i) {
+    const std::uint32_t link = r.u32();
+    if (link >= num_ports) {
+      throw snapshot::SnapshotError("congestion table references link out of range");
+    }
+    marks.emplace_back(link, r.f64());
+  }
   r.close_section();
 
   ports_ = std::move(ports);
   parks_ = std::move(parks);
+  congestion_.assign(ports_.size(), 0.0);
+  for (const auto& [link, mark] : marks) congestion_[link] = mark;
   degrade_.assign(ports_.size(), LinkDegrade{});
   degraded_links_ = 0;
   for (const auto& [link, g] : grays) {
@@ -531,6 +580,7 @@ void Network::mix_digest(snapshot::Digest& d) const {
     d.mix(p.up ? 1 : 0);
     d.mix(p.busy ? 1 : 0);
     d.mix(p.queued_bytes);
+    d.mix(p.epoch_max_queued);
     d.mix(p.ctrl_q.size());
     for (const SimPacket& pkt : p.ctrl_q) mix_packet(d, pkt);
     d.mix(p.data_q.size());
@@ -564,6 +614,11 @@ void Network::mix_digest(snapshot::Digest& d) const {
     d.mix_i64(g.flap_period);
     d.mix_i64(g.flap_down);
     d.mix_i64(g.flap_anchor);
+  }
+  for (std::size_t i = 0; i < congestion_.size(); ++i) {
+    if (congestion_[i] == 0.0) continue;
+    d.mix(i);
+    d.mix_f64(congestion_[i]);
   }
 }
 

@@ -191,6 +191,24 @@ class Network {
   // Max occupancy per port, for the queue-occupancy CDFs (Figs. 7b, 14).
   std::vector<std::uint64_t> max_queue_snapshot() const;
 
+  // --- Congestion signal (adaptive routing) ---
+  // Folds each port's peak queue depth since the previous sample into an
+  // EWMA-smoothed ECN-style mark per directed link. A port whose peak
+  // stayed below `threshold_bytes` contributes a mark of exactly 0; above
+  // it the mark grades with the overshoot (peak / threshold), so heavier
+  // congestion biases spraying away harder. The EWMA snaps to exact 0.0
+  // below a tiny floor, so links that drain stop contributing bias and a
+  // run that never congests keeps an all-zero signal (bit-identical RNG
+  // draws to the congestion-blind data plane). Must be called from a
+  // serial engine phase (the simulator's congestion tick lives on the
+  // global lane): it reads port state owned by every lane, which is only
+  // race-free with the worker gang parked — that is also what makes the
+  // signal identical at any worker count.
+  void sample_congestion(double alpha, std::uint64_t threshold_bytes);
+  // Current EWMA mark per directed (substrate) link. Zero everywhere until
+  // sample_congestion observes a peak above threshold.
+  std::span<const double> congestion() const { return congestion_; }
+
   // Mailbox traffic stats (sharded mode; obs gauges). Counters exist only
   // for shard lanes; any other lane (the global lane in particular) posts
   // no mailbox traffic and reads 0.
@@ -239,6 +257,10 @@ class Network {
     std::deque<SimPacket> ctrl_q;
     std::uint64_t queued_bytes = 0;  // both classes
     std::uint64_t max_queued_bytes = 0;
+    // Peak occupancy since the last congestion sample (reset per sample
+    // window, unlike the run-lifetime max above). Mutated only by the
+    // port-owning lane; read/reset only in serial phases.
+    std::uint64_t epoch_max_queued = 0;
     bool busy = false;
     bool up = true;
   };
@@ -293,6 +315,9 @@ class Network {
   const Topology& topo_;
   NetworkConfig config_;
   std::vector<Port> ports_;  // one per directed link
+  // EWMA congestion mark per directed link (see sample_congestion).
+  // Written only in serial phases; read by the spray bias between samples.
+  std::vector<double> congestion_;
   // Gray degradation, one entry per directed link; degraded_links_ counts
   // active entries so the clean-path transmit check is one compare.
   std::vector<LinkDegrade> degrade_;

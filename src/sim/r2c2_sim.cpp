@@ -67,9 +67,14 @@ R2c2Sim::R2c2Sim(const Topology& topo, const Router& router, R2c2SimConfig confi
     shard_scratch_.resize(k);
     shard_bcast_ctr_.assign(k, 1);
     ops_.resize(k + 1);
-    // The flight recorder is not thread-safe; shard-lane events record
-    // concurrently once more than one worker drives them.
-    if (engine_.workers() > 1) trace_ = nullptr;
+    // The flight recorder is not thread-safe, so sharded runs give every
+    // engine lane (shards + global) a private ring of the same capacity;
+    // merge_lane_traces folds them (ts, lane, position)-ordered into the
+    // user's recorder at metrics collection. Workers > 1 keeps full traces.
+    if (trace_ != nullptr) {
+      lane_traces_.reserve(k + 1);
+      for (std::size_t i = 0; i < k + 1; ++i) lane_traces_.emplace_back(trace_->capacity());
+    }
   }
   net_.set_deliver([this](NodeId at, SimPacket&& pkt) { deliver(at, std::move(pkt)); });
   // Control packets use an unbounded priority queue by default, so they are
@@ -79,7 +84,7 @@ R2c2Sim::R2c2Sim(const Topology& topo, const Router& router, R2c2SimConfig confi
   // the sender who can then re-transmit" recovery, collapsed to its effect.
   // Keepalives are periodic probes; a lost one is simply superseded.
   net_.set_drop([this](NodeId at, const SimPacket& pkt) {
-    R2C2_TRACE_INSTANT(trace_, engine_.now(), at, obs::EventType::kPacketDrop,
+    R2C2_TRACE_INSTANT(ctx_trace(), engine_.now(), at, obs::EventType::kPacketDrop,
                        static_cast<std::uint64_t>(pkt.type), pkt.wire_bytes);
     if (pkt.type == PacketType::kData || pkt.type == PacketType::kAck ||
         pkt.type == PacketType::kKeepalive) {
@@ -97,8 +102,8 @@ R2c2Sim::R2c2Sim(const Topology& topo, const Router& router, R2c2SimConfig confi
 #if R2C2_TRACING_ENABLED
   if (trace_ != nullptr) {
     net_.set_corrupt([this](NodeId at, const SimPacket& pkt) {
-      trace_->record(engine_.now(), at, obs::EventType::kPacketCorrupt, obs::EventPhase::kInstant,
-                     static_cast<std::uint64_t>(pkt.type), pkt.wire_bytes);
+      R2C2_TRACE_INSTANT(ctx_trace(), engine_.now(), at, obs::EventType::kPacketCorrupt,
+                         static_cast<std::uint64_t>(pkt.type), pkt.wire_bytes);
     });
   }
 #endif
@@ -126,7 +131,7 @@ R2c2Sim::R2c2Sim(const Topology& topo, const Router& router, R2c2SimConfig confi
       } else if (ev.node != kInvalidNode) {
         for (const LinkId id : topo_.out_links(ev.node)) note(id);
       }
-      R2C2_TRACE_INSTANT(trace_, now,
+      R2C2_TRACE_INSTANT(ctx_trace(), now,
                          ev.node != kInvalidNode ? ev.node : topo_.link(ev.link).from,
                          obs::EventType::kFaultInject, static_cast<std::uint64_t>(ev.link),
                          ev.is_failure() ? 1 : 0);
@@ -149,7 +154,41 @@ RunMetrics R2c2Sim::run(TimeNs until) {
   return collect_metrics();
 }
 
+void R2c2Sim::merge_lane_traces() {
+  if (trace_ == nullptr || lane_traces_.empty()) return;
+  // Fold every lane's private ring into the user-facing recorder, ordered
+  // by (timestamp, lane, position-in-lane). Each lane's ring is a pure
+  // function of that lane's event trajectory — never of worker
+  // interleaving — so the merged sequence is identical at any worker
+  // count. Per-ring overflow still drops oldest-first per lane, exactly as
+  // a single shared ring would drop its oldest events.
+  struct Tagged {
+    obs::TraceEvent ev;
+    std::size_t lane;
+    std::size_t pos;
+  };
+  std::vector<Tagged> all;
+  std::size_t total = 0;
+  for (const obs::FlightRecorder& rec : lane_traces_) total += rec.size();
+  all.reserve(total);
+  for (std::size_t lane = 0; lane < lane_traces_.size(); ++lane) {
+    std::size_t pos = 0;
+    lane_traces_[lane].for_each(
+        [&all, lane, &pos](const obs::TraceEvent& ev) { all.push_back({ev, lane, pos++}); });
+    lane_traces_[lane].clear();
+  }
+  std::sort(all.begin(), all.end(), [](const Tagged& a, const Tagged& b) {
+    if (a.ev.ts != b.ev.ts) return a.ev.ts < b.ev.ts;
+    if (a.lane != b.lane) return a.lane < b.lane;
+    return a.pos < b.pos;
+  });
+  for (const Tagged& t : all) {
+    trace_->record(t.ev.ts, t.ev.node, t.ev.type, t.ev.phase, t.ev.arg0, t.ev.arg1);
+  }
+}
+
 RunMetrics R2c2Sim::collect_metrics() {
+  merge_lane_traces();
   RunMetrics m;
   m.flows = records_;
   m.max_queue_bytes = net_.max_queue_snapshot();
@@ -285,7 +324,7 @@ void R2c2Sim::start_flow(const FlowArrival& arrival) {
   records_.push_back(rec);
   ++unfinished_;
   c_flows_started_.add(1);
-  R2C2_TRACE_INSTANT(trace_, engine_.now(), arrival.src, obs::EventType::kFlowStart,
+  R2C2_TRACE_INSTANT(ctx_trace(), engine_.now(), arrival.src, obs::EventType::kFlowStart,
                      static_cast<std::uint64_t>(id), rec.bytes);
 
   SenderFlow flow;
@@ -350,7 +389,7 @@ void R2c2Sim::broadcast(const BroadcastMsg& base, NodeId origin, bool recovery) 
       trees.trees_per_source())));  // load-balance across trees (Section 3.2)
   const std::uint64_t bcast_id = alloc_bcast_id();
   c_broadcasts_sent_.add(1);
-  R2C2_TRACE_INSTANT(trace_, engine_.now(), origin, obs::EventType::kBroadcastSend, bcast_id,
+  R2C2_TRACE_INSTANT(ctx_trace(), engine_.now(), origin, obs::EventType::kBroadcastSend, bcast_id,
                      static_cast<std::uint64_t>(msg.type));
   if (shard_ctx()) {
     // A shard-launched broadcast (a finish announcement) registers its
@@ -418,7 +457,7 @@ void R2c2Sim::on_broadcast_copy(NodeId at, SimPacket&& pkt) {
     const BroadcastMsg msg = it->second.msg;
     const bool recovery = it->second.recovery;
     pending_.erase(it);
-    R2C2_TRACE_INSTANT(trace_, engine_.now(), at, obs::EventType::kBroadcastDeliver, pkt.bcast_id,
+    R2C2_TRACE_INSTANT(ctx_trace(), engine_.now(), at, obs::EventType::kBroadcastDeliver, pkt.bcast_id,
                        static_cast<std::uint64_t>(msg.type));
     apply_global(msg);
     if (recovery && rebroadcast_outstanding_ > 0 && --rebroadcast_outstanding_ == 0) {
@@ -427,7 +466,7 @@ void R2c2Sim::on_broadcast_copy(NodeId at, SimPacket&& pkt) {
       const TimeNs now = engine_.now();
       for (const std::size_t idx : open_recoveries_) recoveries_[idx].reconverged_at = now;
       open_recoveries_.clear();
-      R2C2_TRACE_INSTANT(trace_, now, at, obs::EventType::kFaultReconverge, 0, 0);
+      R2C2_TRACE_INSTANT(ctx_trace(), now, at, obs::EventType::kFaultReconverge, 0, 0);
     }
   }
 }
@@ -478,7 +517,7 @@ void R2c2Sim::recompute_tick() {
 void R2c2Sim::recompute_rates() {
   c_recomputations_.add(1);
   if (global_view_.empty()) return;
-  R2C2_SCOPED_SPAN(span, &h_recompute_wall_, trace_, engine_.now(), 0,
+  R2C2_SCOPED_SPAN(span, &h_recompute_wall_, ctx_trace(), engine_.now(), 0,
                    obs::EventType::kRateRecompute,
                    static_cast<std::uint64_t>(global_view_.size()));
   // Rebuild the CSR problem only when a broadcast changed the view; the
@@ -588,13 +627,15 @@ void R2c2Sim::emit_packet(FlowId id) {
     }
     pkt.route = flow.cached_route;
   } else {
-    // Randomized protocols honor the gray-detection penalties: suspected
+    // Randomized protocols honor the gray-detection penalties and, in
+    // adaptive mode, the live per-link congestion marks: suspect or hot
     // links carry proportionally less traffic without leaving the topology.
-    // active_penalty_ is empty while no link is demoted, in which case the
-    // penalized overload degenerates to the exact unpenalized draws.
+    // The bias is empty while no link is demoted and no mark is set, in
+    // which case the biased overload degenerates to the exact unbiased
+    // draws (bit-identical rng stream).
     Path& scratch = ctx_scratch();
     cur_router().pick_path_into(alg, flow.spec.src, flow.spec.dst, ctx_rng(), scratch,
-                                std::span<const double>(active_penalty_), id);
+                                spray_bias(), id);
     pkt.route = encode_path(topo_, scratch);
   }
   flow.sent_bytes = std::max(flow.sent_bytes, offset + payload);
@@ -659,7 +700,7 @@ void R2c2Sim::abort_flow(FlowId id) {
   if (flow.finish_announced) return;  // a finish/abort is already in flight
   flow.finish_announced = true;
   set_rate(flow, 0.0, engine_.now());
-  R2C2_TRACE_INSTANT(trace_, engine_.now(), flow.spec.src, obs::EventType::kFlowAbort,
+  R2C2_TRACE_INSTANT(ctx_trace(), engine_.now(), flow.spec.src, obs::EventType::kFlowAbort,
                      static_cast<std::uint64_t>(id),
                      flow.rel ? flow.rel->retransmissions() : 0);
   records_[record_index_[id]].avg_assigned_rate_bps =
@@ -750,7 +791,7 @@ void R2c2Sim::on_data_at_receiver(SimPacket&& pkt) {
     rec.completed = engine_.now();
     rec.max_reorder_pkts = recv.reorder.max_depth();
     c_flows_finished_.add(1);
-    R2C2_TRACE_INSTANT(trace_, engine_.now(), pkt.dst, obs::EventType::kFlowFinish,
+    R2C2_TRACE_INSTANT(ctx_trace(), engine_.now(), pkt.dst, obs::EventType::kFlowFinish,
                        static_cast<std::uint64_t>(pkt.flow), static_cast<std::uint64_t>(rec.fct()));
     if (shard_ctx()) {
       // unfinished_ and receiver-map membership are rack-global; defer.
@@ -790,8 +831,7 @@ void R2c2Sim::send_ack(FlowId id, ReceiverFlow& recv, NodeId from, NodeId to) {
   ack.sent_at = engine_.now();
   if (recv.ack_route_epoch != router_epoch_) {
     Path& scratch = ctx_scratch();
-    cur_router().pick_path_into(RouteAlg::kRps, from, to, ctx_rng(), scratch,
-                                std::span<const double>(active_penalty_), id);
+    cur_router().pick_path_into(RouteAlg::kRps, from, to, ctx_rng(), scratch, spray_bias(), id);
     recv.ack_route = encode_path(topo_, scratch);
     recv.ack_route_epoch = router_epoch_;
   }
@@ -856,6 +896,12 @@ void R2c2Sim::start_fault_ticks() {
       engine_.schedule_in(config_.lease_ttl, EventDesc{kEvGcTick, 0, 0}, [this] { gc_tick(); });
     }
   }
+  if (config_.congestion_aware && config_.congestion_interval > 0 &&
+      !congestion_tick_scheduled_) {
+    congestion_tick_scheduled_ = true;
+    engine_.schedule_in(config_.congestion_interval, EventDesc{kEvCongestionTick, 0, 0},
+                        [this] { congestion_tick(); });
+  }
 }
 
 void R2c2Sim::keepalive_tick() {
@@ -895,6 +941,27 @@ void R2c2Sim::detection_tick() {
   detection_tick_scheduled_ = true;
   engine_.schedule_in(config_.keepalive_interval, EventDesc{kEvDetectionTick, 0, 0},
                       [this] { detection_tick(); });
+}
+
+void R2c2Sim::congestion_tick() {
+  congestion_tick_scheduled_ = false;
+  // Runs on the global lane (scheduled from serial phases only), so the
+  // whole-rack port scan inside sample_congestion never races a window.
+  net_.sample_congestion(config_.congestion_ewma_alpha, config_.ecn_threshold_bytes);
+  // Keep sampling while there is traffic to steer or residual marks are
+  // still decaying toward the exact-zero floor; a fully quiet rack stops
+  // ticking so runs terminate.
+  bool residual = false;
+  for (const double c : net_.congestion()) {
+    if (c != 0.0) {
+      residual = true;
+      break;
+    }
+  }
+  if (!fault_ticks_needed() && !residual) return;
+  congestion_tick_scheduled_ = true;
+  engine_.schedule_in(config_.congestion_interval, EventDesc{kEvCongestionTick, 0, 0},
+                      [this] { congestion_tick(); });
 }
 
 void R2c2Sim::on_keepalive(SimPacket&& pkt) {
@@ -964,7 +1031,7 @@ void R2c2Sim::note_detection(LinkId directed, bool failure, TimeNs when) {
   rec.detected_at = when;
   open_recoveries_.push_back(recoveries_.size());
   recoveries_.push_back(rec);
-  R2C2_TRACE_INSTANT(trace_, when, topo_.link(directed).to, obs::EventType::kFaultDetect,
+  R2C2_TRACE_INSTANT(ctx_trace(), when, topo_.link(directed).to, obs::EventType::kFaultDetect,
                      static_cast<std::uint64_t>(cable), failure ? 1 : 0);
   schedule_rebuild();
 }
@@ -1008,7 +1075,7 @@ void R2c2Sim::update_suspicion(TimeNs now) {
         ++suspects_;
         c_links_demoted_.add(1);
         changed = true;
-        R2C2_TRACE_INSTANT(trace_, now, topo_.link(id).to, obs::EventType::kLinkDemote,
+        R2C2_TRACE_INSTANT(ctx_trace(), now, topo_.link(id).to, obs::EventType::kLinkDemote,
                            static_cast<std::uint64_t>(id), 1);
       }
     } else if (loss < config_.suspect_clear_threshold && phi < config_.suspect_phi) {
@@ -1016,7 +1083,7 @@ void R2c2Sim::update_suspicion(TimeNs now) {
       --suspects_;
       c_links_cleared_.add(1);
       changed = true;
-      R2C2_TRACE_INSTANT(trace_, now, topo_.link(id).to, obs::EventType::kLinkDemote,
+      R2C2_TRACE_INSTANT(ctx_trace(), now, topo_.link(id).to, obs::EventType::kLinkDemote,
                          static_cast<std::uint64_t>(id), 0);
     }
   }
@@ -1032,6 +1099,20 @@ void R2c2Sim::update_suspicion(TimeNs now) {
 
 void R2c2Sim::refresh_active_penalty() {
   active_penalty_.clear();
+  plane_link_map_.clear();
+  if (cur_topo_) {
+    // The degraded decision plane renumbers links, but congestion marks are
+    // indexed by full-substrate link id: keep a plane -> substrate map in
+    // lockstep with the plane itself (empty while pristine = identity).
+    // Every decision-plane link exists verbatim in the substrate, so the
+    // lookup cannot miss; kInvalidLink is tolerated downstream regardless.
+    const Topology& plane = *cur_topo_;
+    plane_link_map_.resize(plane.num_links());
+    for (LinkId id = 0; id < static_cast<LinkId>(plane.num_links()); ++id) {
+      const Link& l = plane.link(id);
+      plane_link_map_[id] = topo_.find_link(l.from, l.to);
+    }
+  }
   if (suspects_ == 0) return;
   const Topology& t = cur_topo();
   active_penalty_.assign(t.num_links(), 0.0);
@@ -1061,7 +1142,7 @@ void R2c2Sim::schedule_rebuild() {
 
 void R2c2Sim::rebuild_context() {
   rebuild_scheduled_ = false;
-  R2C2_SCOPED_SPAN(span, &h_rebuild_wall_, trace_, engine_.now(), 0,
+  R2C2_SCOPED_SPAN(span, &h_rebuild_wall_, ctx_trace(), engine_.now(), 0,
                    obs::EventType::kFaultRebuild, cables_down_);
   // Canonical cable set currently believed down (one direction per cable).
   std::vector<LinkId> down;
@@ -1178,7 +1259,7 @@ void R2c2Sim::lease_tick() {
     c_lease_refreshes_.add(1);
   }
   if (!senders_.empty()) {
-    R2C2_TRACE_INSTANT(trace_, engine_.now(), 0, obs::EventType::kLeaseRefresh, senders_.size(),
+    R2C2_TRACE_INSTANT(ctx_trace(), engine_.now(), 0, obs::EventType::kLeaseRefresh, senders_.size(),
                        0);
   }
   lease_tick_scheduled_ = true;
@@ -1211,7 +1292,7 @@ void R2c2Sim::gc_tick() {
     }
   }
   if (!gc_scratch_.empty()) {
-    R2C2_TRACE_INSTANT(trace_, engine_.now(), 0, obs::EventType::kGhostExpired,
+    R2C2_TRACE_INSTANT(ctx_trace(), engine_.now(), 0, obs::EventType::kGhostExpired,
                        gc_scratch_.size(), 0);
   }
   if (!gc_scratch_.empty() && config_.recompute_interval == 0) recompute_rates();
@@ -1270,7 +1351,7 @@ void R2c2Sim::apply_op(const DeferredOp& op) {
         const BroadcastMsg msg = it->second.msg;
         const bool recovery = it->second.recovery;
         pending_.erase(it);
-        R2C2_TRACE_INSTANT(trace_, op.at, op.node, obs::EventType::kBroadcastDeliver, op.a,
+        R2C2_TRACE_INSTANT(ctx_trace(), op.at, op.node, obs::EventType::kBroadcastDeliver, op.a,
                            static_cast<std::uint64_t>(msg.type));
         apply_global(msg);
         if (recovery && rebroadcast_outstanding_ > 0 && --rebroadcast_outstanding_ == 0) {
@@ -1278,7 +1359,7 @@ void R2c2Sim::apply_op(const DeferredOp& op) {
             recoveries_[idx].reconverged_at = op.at;
           }
           open_recoveries_.clear();
-          R2C2_TRACE_INSTANT(trace_, op.at, op.node, obs::EventType::kFaultReconverge, 0, 0);
+          R2C2_TRACE_INSTANT(ctx_trace(), op.at, op.node, obs::EventType::kFaultReconverge, 0, 0);
         }
       }
       break;
@@ -1461,6 +1542,11 @@ std::uint64_t R2c2Sim::config_fingerprint() const {
   d.mix_f64(config_.suspect_phi);
   d.mix_f64(config_.suspect_ewma_alpha);
   d.mix_f64(config_.suspect_penalty);
+  d.mix(config_.congestion_aware ? 1 : 0);
+  d.mix_i64(config_.congestion_interval);
+  d.mix_f64(config_.congestion_ewma_alpha);
+  d.mix(config_.ecn_threshold_bytes);
+  d.mix_f64(config_.congestion_gain);
   d.mix(config_.faults.events.size());
   for (const FaultEvent& ev : config_.faults.events) {
     d.mix_i64(ev.at);
@@ -1518,7 +1604,8 @@ std::uint64_t R2c2Sim::state_digest() const {
   d.mix_i64(fault_horizon_);
   d.mix((tick_scheduled_ ? 1 : 0) | (keepalive_tick_scheduled_ ? 2 : 0) |
         (detection_tick_scheduled_ ? 4 : 0) | (lease_tick_scheduled_ ? 8 : 0) |
-        (gc_tick_scheduled_ ? 16 : 0) | (rebuild_scheduled_ ? 32 : 0));
+        (gc_tick_scheduled_ ? 16 : 0) | (rebuild_scheduled_ ? 32 : 0) |
+        (congestion_tick_scheduled_ ? 64 : 0));
   d.mix(rebroadcast_outstanding_);
   d.mix(cables_down_);
   for (std::uint16_t v : next_fseq_) d.mix(v);
@@ -1641,6 +1728,7 @@ void R2c2Sim::save(snapshot::ArchiveWriter& w) const {
   w.u8(lease_tick_scheduled_ ? 1 : 0);
   w.u8(gc_tick_scheduled_ ? 1 : 0);
   w.u8(rebuild_scheduled_ ? 1 : 0);
+  w.u8(congestion_tick_scheduled_ ? 1 : 0);
   w.u32(rebroadcast_outstanding_);
   w.u64(cables_down_);
   w.u64(next_fseq_.size());
@@ -1807,6 +1895,8 @@ Engine::Action R2c2Sim::rebuild_event(const EventDesc& desc) {
       return [this] { gc_tick(); };
     case kEvRebuildContext:
       return [this] { rebuild_context(); };
+    case kEvCongestionTick:
+      return [this] { congestion_tick(); };
     case kEvFaultApply:
       if (!injector_) {
         throw snapshot::SnapshotError("fault event archived but no fault script configured");
@@ -1865,6 +1955,7 @@ void R2c2Sim::load(snapshot::ArchiveReader& r) {
   const bool lease_tick_scheduled = r.u8() != 0;
   const bool gc_tick_scheduled = r.u8() != 0;
   const bool rebuild_scheduled = r.u8() != 0;
+  const bool congestion_tick_scheduled = r.u8() != 0;
   const std::uint32_t rebroadcast_outstanding = r.u32();
   const std::uint64_t cables_down = r.u64();
   auto read_u16s = [&r](std::size_t expect) {
@@ -2061,6 +2152,7 @@ void R2c2Sim::load(snapshot::ArchiveReader& r) {
   lease_tick_scheduled_ = lease_tick_scheduled;
   gc_tick_scheduled_ = gc_tick_scheduled;
   rebuild_scheduled_ = rebuild_scheduled;
+  congestion_tick_scheduled_ = congestion_tick_scheduled;
   rebroadcast_outstanding_ = rebroadcast_outstanding;
   cables_down_ = cables_down;
   next_fseq_ = std::move(next_fseq);

@@ -127,6 +127,22 @@ struct R2c2SimConfig {
   double suspect_phi = 2.5;               // demote when silence > phi * mean gap
   double suspect_ewma_alpha = 0.1;        // delivery-indicator EWMA step
   double suspect_penalty = 8.0;           // routing weight divisor for suspects
+  // --- Congestion-aware adaptive spraying ---
+  // With this on, the sim periodically samples every port's peak queue
+  // depth into an ECN-style EWMA mark per directed link (see
+  // Network::sample_congestion) and folds the marks into each randomized
+  // route draw: packet sprays bend away from hot links *per packet*, with
+  // no context rebuild and no flow re-announcements — the adaptive
+  // counterpart to the GA's static per-flow assignment. The sampling tick
+  // runs on the global lane (serial phase), so the signal — and with it
+  // the whole trajectory — is bit-identical at any worker count; while no
+  // port ever crosses the ECN threshold the mark vector stays exactly
+  // zero and every draw matches the congestion-blind run.
+  bool congestion_aware = false;
+  TimeNs congestion_interval = 20 * kNsPerUs;    // sampling period
+  double congestion_ewma_alpha = 0.3;            // mark EWMA step
+  std::uint64_t ecn_threshold_bytes = 16 * 1024; // queue depth that marks
+  double congestion_gain = 4.0;                  // bias weight of a full mark
   // Lease refresh period: every sender re-advertises its live flows this
   // often (demand-update broadcasts doubling as lease refreshes). 0
   // disables the lease protocol.
@@ -321,6 +337,7 @@ class R2c2Sim {
   void start_fault_ticks();
   void keepalive_tick();
   void detection_tick();
+  void congestion_tick();
   void lease_tick();
   void gc_tick();
   void on_keepalive(SimPacket&& pkt);
@@ -329,6 +346,19 @@ class R2c2Sim {
   // and the derived routing-penalty table over the current decision plane.
   void update_suspicion(TimeNs now);
   void refresh_active_penalty();
+  // The combined fault + congestion bias for randomized route draws.
+  // Spans point at active_penalty_ / the network's congestion vector /
+  // plane_link_map_, all of which are stable between serial phases.
+  SprayBias spray_bias() const {
+    SprayBias bias;
+    bias.penalty = std::span<const double>(active_penalty_);
+    if (config_.congestion_aware) {
+      bias.congestion = net_.congestion();
+      bias.plane_to_substrate = std::span<const LinkId>(plane_link_map_);
+      bias.congestion_gain = config_.congestion_gain;
+    }
+    return bias;
+  }
   void schedule_rebuild();
   void rebuild_context();
   void rebuild_link_denom();
@@ -360,6 +390,15 @@ class R2c2Sim {
   // sharded runs tag the id with the allocating context (global = 0,
   // shard i = i + 1) in the low bits.
   std::uint64_t alloc_bcast_id();
+  // The executing context's trace ring: the user's recorder in serial
+  // mode, the current lane's private ring when sharded (merged into the
+  // user's recorder by merge_lane_traces). Null when untraced.
+  obs::FlightRecorder* ctx_trace() {
+    if (trace_ == nullptr) return nullptr;
+    if (!sharded_) return trace_;
+    return &lane_traces_[static_cast<std::size_t>(engine_.current_lane())];
+  }
+  void merge_lane_traces();
   void push_op(DeferredOp&& op) {
     ops_[static_cast<std::size_t>(engine_.current_lane())].push_back(std::move(op));
   }
@@ -380,6 +419,11 @@ class R2c2Sim {
   obs::MetricsRegistry own_metrics_;
   obs::MetricsRegistry& metrics_;
   obs::FlightRecorder* trace_ = nullptr;
+  // Sharded runs keep one ring per engine lane so window-parallel events
+  // never contend on the user's recorder; the rings are merged
+  // (ts, lane, ring-position)-ordered into trace_ at metrics collection.
+  // Empty when serial or untraced.
+  std::vector<obs::FlightRecorder> lane_traces_;
   obs::Counter& c_recomputations_;
   obs::Counter& c_retransmissions_;
   obs::Counter& c_failures_detected_;
@@ -470,10 +514,16 @@ class R2c2Sim {
   // Rebuilt on every suspicion flip and context swap, read by shard lanes
   // between barriers (same publication discipline as cur_router_).
   std::vector<double> active_penalty_;
+  // Decision-plane link id -> substrate link id, for looking congestion
+  // marks (substrate-indexed) up from degraded-plane route draws. Empty
+  // while the pristine plane is in force (ids coincide); rebuilt alongside
+  // the decision plane, same publication discipline as active_penalty_.
+  std::vector<LinkId> plane_link_map_;
   bool keepalive_tick_scheduled_ = false;
   bool detection_tick_scheduled_ = false;
   bool lease_tick_scheduled_ = false;
   bool gc_tick_scheduled_ = false;
+  bool congestion_tick_scheduled_ = false;
   bool rebuild_scheduled_ = false;
   // Ground-truth injection times per cable, for recovery latency metrics.
   std::unordered_map<LinkId, TimeNs> injected_fail_at_;

@@ -11,9 +11,12 @@ namespace r2c2::snapshot {
 
 namespace {
 
-std::vector<FlowArrival> mesh_workload(const Topology& topo, int flows, std::uint64_t seed) {
+// Poisson workload over nodes [0, num_nodes) — pass the server count (not
+// topo.num_nodes()) on switched topologies so leaves/spines never source
+// traffic.
+std::vector<FlowArrival> mesh_workload(int num_nodes, int flows, std::uint64_t seed) {
   WorkloadConfig wl;
-  wl.num_nodes = topo.num_nodes();
+  wl.num_nodes = num_nodes;
   wl.num_flows = flows;
   wl.mean_interarrival = 5 * kNsPerUs;
   wl.max_bytes = 96 * 1024;
@@ -73,7 +76,19 @@ std::uint64_t metrics_digest(const sim::RunMetrics& m) {
 }
 
 Scenario::Scenario(ReplayConfig config) : config_(std::move(config)) {
-  topo_ = std::make_unique<Topology>(make_torus({4, 4}, 10 * kGbps, 100));
+  if (config_.scenario == "adaptive") {
+    // Folded Clos so the spray has genuine path diversity to steer: 16
+    // servers (nodes 0-15) under 4 leaves (16-19) and 2 spines (20-21).
+    ClosSpec spec;
+    spec.servers_per_leaf = 4;
+    spec.num_leaves = 4;
+    spec.num_spines = 2;
+    spec.bandwidth = 10 * kGbps;
+    spec.latency = 100;
+    topo_ = std::make_unique<Topology>(make_folded_clos(spec));
+  } else {
+    topo_ = std::make_unique<Topology>(make_torus({4, 4}, 10 * kGbps, 100));
+  }
   router_ = std::make_unique<Router>(*topo_);
 
   if (config_.scenario == "fault") {
@@ -91,7 +106,7 @@ Scenario::Scenario(ReplayConfig config) : config_(std::move(config)) {
     cc.waves = 5;
     cc.start = 40 * kNsPerUs;
     sim_config_.faults = sim::make_chaos_script(*topo_, chaos_rng, cc);
-    arrivals_ = mesh_workload(*topo_, 60, config_.seed);
+    arrivals_ = mesh_workload(topo_->num_nodes(), 60, config_.seed);
   } else if (config_.scenario == "ga") {
     // Genetic-algorithm route selection picks a per-flow RPS/VLB mix up
     // front (with the configured fitness-evaluation thread count — the
@@ -101,7 +116,7 @@ Scenario::Scenario(ReplayConfig config) : config_(std::move(config)) {
     sim_config_.lease_interval = 100 * kNsPerUs;
     sim_config_.rto = 200 * kNsPerUs;
     sim_config_.seed = config_.seed;
-    arrivals_ = mesh_workload(*topo_, 50, config_.seed);
+    arrivals_ = mesh_workload(topo_->num_nodes(), 50, config_.seed);
     std::vector<FlowSpec> flows;
     flows.reserve(arrivals_.size());
     FlowId id = 1;
@@ -119,8 +134,41 @@ Scenario::Scenario(ReplayConfig config) : config_(std::move(config)) {
     for (std::size_t i = 0; i < arrivals_.size(); ++i) {
       arrivals_[i].alg = static_cast<std::int8_t>(chosen.assignment[i]);
     }
+  } else if (config_.scenario == "adaptive") {
+    // Asymmetric gray fault on one leaf->spine uplink while ECN-style marks
+    // steer the spray: congestion state (EWMA marks, tick arming, epoch
+    // peaks) is all live, so digest trails and snapshot round trips cover
+    // the adaptive data plane end to end.
+    sim_config_.reliable = true;
+    sim_config_.keepalive_interval = 10 * kNsPerUs;
+    sim_config_.rebuild_delay = 20 * kNsPerUs;
+    sim_config_.lease_interval = 100 * kNsPerUs;
+    sim_config_.rto = 200 * kNsPerUs;
+    sim_config_.adaptive_rto = true;
+    sim_config_.adaptive_detection = true;
+    sim_config_.congestion_aware = true;
+    sim_config_.congestion_interval = 20 * kNsPerUs;
+    sim_config_.ecn_threshold_bytes = 4 * 1024;
+    sim_config_.seed = config_.seed;
+    sim::LinkDegrade gray;
+    gray.loss_prob = 0.25;
+    gray.added_latency = 2 * kNsPerUs;
+    const LinkId uplink = topo_->find_link(16, 20);  // leaf0 -> spine0
+    sim_config_.faults.events.push_back(
+        sim::FaultScript::degrade_link(40 * kNsPerUs, uplink, gray));
+    // Servers only: leaves/spines are transit.
+    arrivals_ = mesh_workload(16, 60, config_.seed);
   } else {
-    throw SnapshotError("unknown scenario '" + config_.scenario + "' (want fault|ga)");
+    throw SnapshotError("unknown scenario '" + config_.scenario +
+                        "' (want fault|ga|adaptive)");
+  }
+  if (config_.routing == "static") {
+    sim_config_.congestion_aware = false;
+  } else if (config_.routing == "adaptive") {
+    sim_config_.congestion_aware = true;
+  } else if (!config_.routing.empty()) {
+    throw SnapshotError("unknown routing mode '" + config_.routing +
+                        "' (want static|adaptive)");
   }
   sim_config_.trace = config_.trace;
   sim_config_.engine_shards = config_.engine_shards;

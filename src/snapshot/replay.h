@@ -13,6 +13,16 @@
 //            fitness-evaluation thread count — and the sim runs the mixed
 //            workload. Exercises the claim that GA parallelism is
 //            bit-identical across thread counts end to end.
+//   "adaptive" a folded-Clos rack under an asymmetric gray fault (one
+//            leaf->spine uplink degraded) with congestion-aware spraying
+//            on: ECN-style marks steer the spray per packet. Exercises the
+//            claim that the adaptive data plane keeps digest/snapshot
+//            bit-identity at any worker count.
+//
+// config.routing overrides the scenario's routing mode: "static" forces
+// congestion-aware spraying off, "adaptive" forces it on (with the
+// scenario-independent default signal parameters), "" keeps the
+// scenario's own default.
 //
 // run() drives the sim in fixed digest intervals, recording the rolling
 // state digest at every boundary (and into the flight recorder as
@@ -40,7 +50,8 @@
 namespace r2c2::snapshot {
 
 struct ReplayConfig {
-  std::string scenario = "fault";  // "fault" | "ga"
+  std::string scenario = "fault";  // "fault" | "ga" | "adaptive"
+  std::string routing;             // "" = scenario default | "static" | "adaptive"
   int threads = 1;                 // GA fitness-evaluation threads ("ga" only)
   // Sharded event engine: shard count changes the trajectory (it is part
   // of the config fingerprint); worker count is pure parallelism and must

@@ -1,0 +1,345 @@
+// Congestion-aware spraying and the tiled kVlb/kWlb weight cache.
+//
+// Covers the two router-level contracts the adaptive data plane rests on:
+//  - SprayBias semantics on the folded-Clos path: an empty (or all-zero)
+//    bias reproduces the unbiased rng stream draw for draw; a fault
+//    penalty or congestion mark on one uplink sheds spray from exactly
+//    that directed link, proportionally, without removing it.
+//  - The tiled VLB/WLB table: resident bytes stay within the configured
+//    budget under LRU eviction, evicted entries re-derive to identical
+//    weights, warming touches only the requested tiles, and steady-state
+//    reads on a warm working set perform zero heap allocations (counted
+//    by a global operator-new hook).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <cstdlib>
+#include <new>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "common/rng.h"
+#include "routing/routing.h"
+#include "topology/topology.h"
+
+// --- Counting allocator hook ------------------------------------------------
+// Counts every global allocation while g_counting is set. Deallocation is
+// never counted: the contract under test is "no steady-state allocation",
+// and frees of previously counted blocks are fine.
+namespace {
+std::atomic<std::uint64_t> g_alloc_count{0};
+std::atomic<bool> g_counting{false};
+}  // namespace
+
+// GCC's new/delete pairing heuristic misfires on these hooks: every path
+// ends in malloc/aligned_alloc, both of which std::free releases.
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wmismatched-new-delete"
+#endif
+
+void* operator new(std::size_t size) {
+  if (g_counting.load(std::memory_order_relaxed)) {
+    g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+  }
+  if (void* p = std::malloc(size ? size : 1)) return p;
+  throw std::bad_alloc();
+}
+void* operator new[](std::size_t size) { return ::operator new(size); }
+void* operator new(std::size_t size, std::align_val_t align) {
+  if (g_counting.load(std::memory_order_relaxed)) {
+    g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+  }
+  if (void* p = std::aligned_alloc(static_cast<std::size_t>(align),
+                                   (size + static_cast<std::size_t>(align) - 1) &
+                                       ~(static_cast<std::size_t>(align) - 1))) {
+    return p;
+  }
+  throw std::bad_alloc();
+}
+void* operator new[](std::size_t size, std::align_val_t align) {
+  return ::operator new(size, align);
+}
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t, std::align_val_t) noexcept { std::free(p); }
+
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic pop
+#endif
+
+namespace r2c2 {
+namespace {
+
+// servers 0..7 (two per leaf), leaves 8..11, spines 12..13.
+Topology small_clos() {
+  return make_folded_clos({.servers_per_leaf = 2,
+                           .num_leaves = 4,
+                           .num_spines = 2,
+                           .bandwidth = kGbps,
+                           .latency = 100});
+}
+
+// Fraction of kTrials sprays from src to dst whose path crosses the
+// directed edge (from, to).
+double edge_share(const Router& router, RouteAlg alg, NodeId src, NodeId dst, NodeId from,
+                  NodeId to, const SprayBias& bias, int trials, std::uint64_t seed) {
+  Rng rng(seed);
+  Path path;
+  int through = 0;
+  for (int i = 0; i < trials; ++i) {
+    router.pick_path_into(alg, src, dst, rng, path, bias);
+    for (std::size_t h = 0; h + 1 < path.size(); ++h) {
+      if (path[h] == from && path[h + 1] == to) {
+        ++through;
+        break;
+      }
+    }
+  }
+  return static_cast<double>(through) / trials;
+}
+
+// --- SprayBias on the folded-Clos path --------------------------------------
+
+TEST(ClosSprayBias, EmptyAndAllZeroBiasMatchBaseDrawForDraw) {
+  const Topology topo = small_clos();
+  const Router router(topo);
+  const std::vector<double> zero_penalty(topo.num_links(), 0.0);
+  const std::vector<double> zero_congestion(topo.num_links(), 0.0);
+
+  for (const RouteAlg alg : {RouteAlg::kRps, RouteAlg::kVlb}) {
+    Rng base_rng(7), empty_rng(7), zero_rng(7);
+    Path base, via_empty, via_zero;
+    SprayBias empty_bias;
+    SprayBias zero_bias;
+    zero_bias.penalty = std::span<const double>(zero_penalty);
+    zero_bias.congestion = std::span<const double>(zero_congestion);
+    zero_bias.congestion_gain = 4.0;  // armed, but every mark is exactly 0
+    for (int i = 0; i < 300; ++i) {
+      const NodeId src = static_cast<NodeId>(i % 8);
+      const NodeId dst = static_cast<NodeId>((i * 5 + 2) % 8);
+      if (src == dst) continue;
+      router.pick_path_into(alg, src, dst, base_rng, base);
+      router.pick_path_into(alg, src, dst, empty_rng, via_empty, empty_bias);
+      router.pick_path_into(alg, src, dst, zero_rng, via_zero, zero_bias);
+      // Bit-identical rng consumption: zero-suspect / zero-congestion runs
+      // keep the exact trajectory of the unbiased data plane.
+      EXPECT_EQ(base, via_empty) << to_string(alg) << " " << i;
+      EXPECT_EQ(base, via_zero) << to_string(alg) << " " << i;
+    }
+  }
+}
+
+TEST(ClosSprayBias, DegradedUplinkShedsSprayAsymmetrically) {
+  // The PR 7 gray scenario on the Clos path: one leaf->spine uplink is
+  // suspected and demoted. Spray through that directed edge must drop to
+  // roughly weight/(weight + 1) of the pair, the sibling spine picks up the
+  // slack, and the *reverse* direction (spine->leaf, a different directed
+  // link) stays untouched — the penalty is asymmetric by construction.
+  const Topology topo = small_clos();
+  const Router router(topo);
+  const NodeId leaf0 = 8, leaf1 = 9, spine0 = 12, spine1 = 13;
+
+  std::vector<double> penalty(topo.num_links(), 0.0);
+  penalty[topo.find_link(leaf0, spine0)] = 8.0;  // weight 1/9 vs 1
+  SprayBias bias;
+  bias.penalty = std::span<const double>(penalty);
+
+  const int kTrials = 4000;
+  // 0 lives under leaf0, 2 under leaf1: every path is 0,leaf0,spine,leaf1,2.
+  const double up_bad = edge_share(router, RouteAlg::kRps, 0, 2, leaf0, spine0, bias, kTrials, 3);
+  const double up_good = edge_share(router, RouteAlg::kRps, 0, 2, leaf0, spine1, bias, kTrials, 3);
+  EXPECT_LT(up_bad, 0.20);  // fair share 0.5 -> ~0.1
+  EXPECT_GT(up_bad, 0.0);   // demoted, not removed
+  EXPECT_GT(up_good, 0.80);
+
+  // Reverse flow 2 -> 0 climbs leaf1->spine and descends spine->leaf0; the
+  // penalized directed link (leaf0->spine0) is never on those paths, so the
+  // spine choice stays an unbiased coin flip.
+  const double rev_via_spine0 =
+      edge_share(router, RouteAlg::kRps, 2, 0, leaf1, spine0, bias, kTrials, 5);
+  EXPECT_NEAR(rev_via_spine0, 0.5, 0.05);
+}
+
+TEST(ClosSprayBias, CongestionMarkSteersSprayOffHotUplink) {
+  const Topology topo = small_clos();
+  const Router router(topo);
+  const NodeId leaf0 = 8, spine0 = 12, spine1 = 13;
+
+  std::vector<double> congestion(topo.num_links(), 0.0);
+  congestion[topo.find_link(leaf0, spine0)] = 1.0;  // saturated EWMA mark
+  SprayBias bias;
+  bias.congestion = std::span<const double>(congestion);
+  bias.congestion_gain = 4.0;  // candidate weight 1/(1+4) vs 1
+
+  const int kTrials = 4000;
+  const double hot = edge_share(router, RouteAlg::kRps, 0, 2, leaf0, spine0, bias, kTrials, 9);
+  const double cold = edge_share(router, RouteAlg::kRps, 0, 2, leaf0, spine1, bias, kTrials, 9);
+  // Expected share 1/6 against the clean sibling's 5/6.
+  EXPECT_LT(hot, 0.25);
+  EXPECT_GT(hot, 0.05);
+  EXPECT_GT(cold, 0.75);
+}
+
+TEST(ClosSprayBias, PenaltyAndCongestionCompose) {
+  // Penalty on one uplink, congestion on the other: both demoted, so the
+  // spray splits per the combined weights 1/(1+p) vs 1/(1+g*c) — with
+  // p = 8 and g*c = 8, back to an even (but doubly damped) coin flip.
+  const Topology topo = small_clos();
+  const Router router(topo);
+  const NodeId leaf0 = 8, spine0 = 12, spine1 = 13;
+
+  std::vector<double> penalty(topo.num_links(), 0.0);
+  std::vector<double> congestion(topo.num_links(), 0.0);
+  penalty[topo.find_link(leaf0, spine0)] = 8.0;
+  congestion[topo.find_link(leaf0, spine1)] = 2.0;
+  SprayBias bias;
+  bias.penalty = std::span<const double>(penalty);
+  bias.congestion = std::span<const double>(congestion);
+  bias.congestion_gain = 4.0;
+
+  const double via0 = edge_share(router, RouteAlg::kRps, 0, 2, leaf0, spine0, bias, 4000, 13);
+  EXPECT_NEAR(via0, 0.5, 0.05);
+}
+
+TEST(ClosSprayBias, PlaneToSubstrateMapRedirectsCongestionLookup) {
+  // Simulates the degraded decision plane: the router's link ids differ
+  // from the substrate ids the congestion span is indexed by. Remap the
+  // leaf0->spine0 uplink to an arbitrary substrate slot and mark only that
+  // slot hot — the walk must still avoid leaf0->spine0.
+  const Topology topo = small_clos();
+  const Router router(topo);
+  const NodeId leaf0 = 8, spine0 = 12;
+  const LinkId uplink = topo.find_link(leaf0, spine0);
+
+  const LinkId fake_substrate_slot = 0;  // any slot != uplink
+  ASSERT_NE(uplink, fake_substrate_slot);
+  std::vector<LinkId> map(topo.num_links());
+  for (LinkId l = 0; l < static_cast<LinkId>(topo.num_links()); ++l) map[l] = l;
+  map[uplink] = fake_substrate_slot;
+
+  std::vector<double> congestion(topo.num_links(), 0.0);
+  congestion[fake_substrate_slot] = 1.0;
+  SprayBias bias;
+  bias.congestion = std::span<const double>(congestion);
+  bias.plane_to_substrate = std::span<const LinkId>(map);
+  bias.congestion_gain = 8.0;
+
+  const double hot = edge_share(router, RouteAlg::kRps, 0, 2, leaf0, spine0, bias, 4000, 17);
+  EXPECT_LT(hot, 0.20);  // weight 1/9 via the remapped mark
+  EXPECT_GT(hot, 0.0);
+}
+
+// --- Tiled kVlb/kWlb weight cache -------------------------------------------
+
+TEST(TiledWeightTable, ResidentBytesStayWithinBudgetAndEvictedEntriesRederive) {
+  const Topology topo = make_torus({8, 8}, kGbps, 100);
+  // A budget far below the dense table: with 8x8 tiles over 64 nodes the
+  // full kVlb table spans 64 tiles; 96 KiB holds only a handful.
+  const std::uint64_t kBudget = 96 * 1024;
+  const Router tiny(topo, Router::TileConfig{.tile_shape = 8, .max_resident_bytes = kBudget});
+  const Router reference(topo);
+
+  for (NodeId src = 0; src < topo.num_nodes(); ++src) {
+    for (NodeId dst = 0; dst < topo.num_nodes(); ++dst) {
+      if (src == dst) continue;
+      const LinkWeights got = tiny.link_weights(RouteAlg::kVlb, src, dst);
+      const LinkWeights& want = reference.link_weights(RouteAlg::kVlb, src, dst);
+      ASSERT_EQ(got.size(), want.size()) << src << "->" << dst;
+      for (std::size_t i = 0; i < got.size(); ++i) {
+        EXPECT_EQ(got[i].link, want[i].link);
+        EXPECT_DOUBLE_EQ(got[i].fraction, want[i].fraction);
+      }
+      // The budget is an invariant, not an end-of-run property (one-tile
+      // floor: the most recently touched tile is never evicted).
+      const Router::TileStats st = tiny.tile_stats();
+      EXPECT_LE(st.resident_bytes, kBudget) << src << "->" << dst;
+    }
+  }
+  const Router::TileStats st = tiny.tile_stats();
+  EXPECT_GT(st.evictions, 0u);
+  EXPECT_GT(st.resident_tiles, 0u);
+}
+
+TEST(TiledWeightTable, WarmTilesTouchesOnlyRequestedTiles) {
+  // Regression: precompute(kVlb) used to eagerly warm the *entire* dense
+  // RPS table as a prerequisite. With tiling, warming a one-tile working
+  // set must leave exactly one resident tile.
+  const Topology topo = make_torus({8, 8}, kGbps, 100);
+  const Router router(topo, Router::TileConfig{.tile_shape = 8});
+
+  std::vector<std::pair<NodeId, NodeId>> working_set;
+  for (NodeId src = 0; src < 8; ++src) {
+    for (NodeId dst = 8; dst < 16; ++dst) working_set.push_back({src, dst});
+  }
+  router.warm_tiles(RouteAlg::kVlb, working_set);
+
+  const Router::TileStats st = router.tile_stats();
+  EXPECT_EQ(st.resident_tiles, 1u);
+  EXPECT_GT(st.resident_bytes, 0u);
+}
+
+TEST(TiledWeightTable, SteadyStateReadsOnWarmWorkingSetDoNotAllocate) {
+  const Topology topo = make_torus({8, 8}, kGbps, 100);
+  const Router router(topo, Router::TileConfig{.tile_shape = 8});
+
+  std::vector<std::pair<NodeId, NodeId>> working_set;
+  for (NodeId src = 0; src < 8; ++src) {
+    for (NodeId dst = 8; dst < 16; ++dst) {
+      if (src != dst) working_set.push_back({src, dst});
+    }
+  }
+  router.warm_tiles(RouteAlg::kVlb, working_set);
+  // One read per pair settles the thread-local copy's capacity at the
+  // largest entry in the set.
+  double sink = 0.0;
+  for (const auto& [src, dst] : working_set) {
+    for (const LinkFraction& lf : router.link_weights(RouteAlg::kVlb, src, dst)) {
+      sink += lf.fraction;
+    }
+  }
+  const Router::TileStats before = router.tile_stats();
+
+  g_alloc_count.store(0);
+  g_counting.store(true);
+  for (int round = 0; round < 10; ++round) {
+    for (const auto& [src, dst] : working_set) {
+      for (const LinkFraction& lf : router.link_weights(RouteAlg::kVlb, src, dst)) {
+        sink += lf.fraction;
+      }
+    }
+  }
+  g_counting.store(false);
+
+  EXPECT_EQ(g_alloc_count.load(), 0u) << "tiled reads allocated in steady state";
+  EXPECT_GT(sink, 0.0);
+  const Router::TileStats after = router.tile_stats();
+  EXPECT_EQ(after.misses, before.misses) << "warm working set should only hit";
+  EXPECT_GT(after.hits, before.hits);
+}
+
+TEST(TiledWeightTable, StatsCountHitsAndMisses) {
+  const Topology topo = make_torus({4, 4}, kGbps, 100);
+  const Router router(topo, Router::TileConfig{.tile_shape = 4});
+  EXPECT_EQ(router.tile_stats().resident_tiles, 0u);
+
+  router.link_weights(RouteAlg::kVlb, 0, 5);
+  Router::TileStats st = router.tile_stats();
+  EXPECT_EQ(st.misses, 1u);
+  EXPECT_EQ(st.hits, 0u);
+
+  router.link_weights(RouteAlg::kVlb, 0, 5);
+  st = router.tile_stats();
+  EXPECT_EQ(st.misses, 1u);
+  EXPECT_EQ(st.hits, 1u);
+}
+
+}  // namespace
+}  // namespace r2c2

@@ -565,5 +565,123 @@ TEST(GraySnapshot, MidWaveSnapshotResumesBitIdentically) {
   }
 }
 
+// --- Congestion-aware (adaptive) routing ------------------------------------
+
+R2c2SimConfig congestion_aware_config() {
+  R2c2SimConfig cfg = adaptive_config();
+  cfg.congestion_aware = true;
+  cfg.congestion_interval = 20 * kNsPerUs;
+  cfg.ecn_threshold_bytes = 4 * 1024;  // low enough that real queues mark
+  return cfg;
+}
+
+TEST(AdaptiveRouting, UnmarkedRunKeepsStaticRoutingTrajectory) {
+  // congestion_aware=on with a threshold no queue ever reaches must leave
+  // every routing draw bit-identical to congestion_aware=off: the sampling
+  // ticks run (extra events, different event totals) but every mark stays
+  // exactly 0.0, so the biased walk degenerates to the uniform one and the
+  // flows land on the same links at the same times.
+  const Topology topo = make_torus({4, 4}, 10 * kGbps, 100);
+  const Router router(topo);
+  R2c2SimConfig off = adaptive_config();
+  R2c2SimConfig on = congestion_aware_config();
+  on.ecn_threshold_bytes = std::uint64_t{1} << 40;  // unreachable
+  R2c2Sim a(topo, router, off);
+  R2c2Sim b(topo, router, on);
+  a.add_flows(mesh_workload(topo, 40, 37));
+  b.add_flows(mesh_workload(topo, 40, 37));
+  const RunMetrics ma = a.run();
+  const RunMetrics mb = b.run();
+  ASSERT_EQ(ma.flows.size(), mb.flows.size());
+  for (std::size_t i = 0; i < ma.flows.size(); ++i) {
+    EXPECT_EQ(ma.flows[i].completed, mb.flows[i].completed);
+  }
+  EXPECT_EQ(ma.data_bytes_on_wire, mb.data_bytes_on_wire);
+  EXPECT_EQ(ma.drops, mb.drops);
+}
+
+TEST(AdaptiveRouting, WorkerCountInvariantDigestsUnderGrayFault) {
+  // The acceptance bar for the adaptive mode: with live congestion marks
+  // steering the spray AND a gray fault demoting a link, the sharded run's
+  // final state digest must not depend on the worker count.
+  const Topology topo = make_torus({4, 4}, 10 * kGbps, 100);
+  auto run_digest = [&](int workers, RunMetrics& out) {
+    const Router router(topo);
+    R2c2SimConfig cfg = congestion_aware_config();
+    cfg.engine_shards = 4;
+    cfg.engine_workers = workers;
+    LinkDegrade gray;
+    gray.loss_prob = 0.05;
+    cfg.faults.events.push_back(
+        FaultScript::degrade_link(40 * kNsPerUs, topo.find_link(0, 1), gray));
+    R2c2Sim simulator(topo, router, cfg);
+    simulator.add_flows(mesh_workload(topo, 60, 41));
+    simulator.run_until(kNsPerSec);
+    out = simulator.collect_metrics();
+    return simulator.state_digest();
+  };
+  RunMetrics m1;
+  RunMetrics m4;
+  const std::uint64_t d1 = run_digest(1, m1);
+  const std::uint64_t d4 = run_digest(4, m4);
+  EXPECT_EQ(d1, d4);
+  ASSERT_EQ(m1.flows.size(), m4.flows.size());
+  for (std::size_t i = 0; i < m1.flows.size(); ++i) {
+    EXPECT_EQ(m1.flows[i].completed, m4.flows[i].completed);
+  }
+}
+
+TEST(AdaptiveRouting, SnapshotRoundTripRestoresCongestionState) {
+  // Save mid-run while EWMA marks are live and the sampling tick is armed;
+  // the resumed run must walk the exact digest trajectory of the straight
+  // run (marks, epoch peaks and the tick flag all cross the archive).
+  const Topology topo = make_torus({4, 4}, 10 * kGbps, 100);
+  const Router router(topo);
+  R2c2SimConfig cfg = congestion_aware_config();
+  LinkDegrade gray;
+  gray.loss_prob = 0.05;
+  cfg.faults.events.push_back(
+      FaultScript::degrade_link(40 * kNsPerUs, topo.find_link(0, 1), gray));
+  const std::vector<FlowArrival> arrivals = mesh_workload(topo, 50, 43);
+
+  R2c2Sim straight(topo, router, cfg);
+  straight.add_flows(arrivals);
+  const TimeNs step = 50 * kNsPerUs;
+  std::vector<std::pair<TimeNs, std::uint64_t>> trail;
+  TimeNs t = 0;
+  while (!straight.idle()) {
+    t += step;
+    straight.run_until(t);
+    trail.emplace_back(t, straight.state_digest());
+  }
+  ASSERT_GT(trail.size(), 4u);
+
+  const TimeNs snap_at = trail[trail.size() / 2].first;
+  R2c2Sim head(topo, router, cfg);
+  head.add_flows(arrivals);
+  head.run_until(snap_at);
+  snapshot::ArchiveWriter w;
+  head.save(w);
+
+  R2c2Sim resumed(topo, router, cfg);
+  resumed.add_flows(arrivals);
+  snapshot::ArchiveReader r{w.finish()};
+  resumed.load(r);
+  EXPECT_EQ(resumed.now(), snap_at);
+  EXPECT_EQ(resumed.state_digest(), trail[trail.size() / 2].second);
+
+  t = snap_at;
+  std::size_t idx = trail.size() / 2 + 1;
+  while (!resumed.idle()) {
+    t += step;
+    resumed.run_until(t);
+    ASSERT_LT(idx, trail.size());
+    EXPECT_EQ(resumed.state_digest(), trail[idx].second) << "at t=" << t;
+    ++idx;
+  }
+  EXPECT_EQ(idx, trail.size());
+  EXPECT_EQ(resumed.state_digest(), straight.state_digest());
+}
+
 }  // namespace
 }  // namespace r2c2

@@ -2,14 +2,16 @@
 //
 // Modes:
 //
-//   replay run    --scenario fault|ga [--threads N] [--seed S]
+//   replay run    --scenario fault|ga|adaptive [--routing static|adaptive]
+//                 [--threads N] [--seed S]
 //                 [--digest-every NS] [--snapshot-every NS] [--prefix P]
 //                 [--log FILE]
 //       Runs the scenario straight through, printing (and optionally
 //       writing) the per-tick digest log and snapshot files. Run it on two
 //       builds (same flags), then feed both logs to `bisect`.
 //
-//   replay verify --scenario fault|ga [--threads N] [--seed S]
+//   replay verify --scenario fault|ga|adaptive [--routing static|adaptive]
+//                 [--threads N] [--seed S]
 //                 [--digest-every NS] [--snap-at NS] [--prefix P]
 //       The resume-from-snapshot determinism check: runs straight through,
 //       snapshots at a mid-run digest boundary, resumes that snapshot in a
@@ -60,10 +62,12 @@ namespace {
 [[noreturn]] void usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s run|verify|bisect|campaign|repro [options]\n"
-               "  run      --scenario fault|ga [--threads N] [--seed S] [--digest-every NS]\n"
+               "  run      --scenario fault|ga|adaptive [--routing static|adaptive]\n"
+               "           [--threads N] [--seed S] [--digest-every NS]\n"
                "           [--engine-shards K] [--engine-workers W]\n"
                "           [--snapshot-every NS] [--prefix P] [--log FILE]\n"
-               "  verify   --scenario fault|ga [--threads N] [--seed S] [--digest-every NS]\n"
+               "  verify   --scenario fault|ga|adaptive [--routing static|adaptive]\n"
+               "           [--threads N] [--seed S] [--digest-every NS]\n"
                "           [--engine-shards K] [--engine-workers W]\n"
                "           [--snap-at NS] [--prefix P]\n"
                "  bisect   --a LOG --b LOG [--prefix P --snapshot-every NS]\n"
@@ -73,7 +77,8 @@ namespace {
                "  repro    FILE\n"
                "--engine-shards fixes the event-engine partition count (part of the\n"
                "trajectory); --engine-workers is pure parallelism and must not change\n"
-               "a single digest.\n",
+               "a single digest. --routing overrides the scenario's routing mode:\n"
+               "static forces congestion-aware spraying off, adaptive forces it on.\n",
                argv0);
   std::exit(2);
 }
@@ -106,6 +111,8 @@ Args parse(int argc, char** argv) {
     const std::string opt = argv[i];
     if (opt == "--scenario") {
       args.replay.scenario = value(i);
+    } else if (opt == "--routing") {
+      args.replay.routing = value(i);
     } else if (opt == "--threads") {
       args.replay.threads = std::atoi(value(i));
     } else if (opt == "--scenarios") {

@@ -71,6 +71,23 @@ class ThreadPool {
   void submit(std::function<void()> fn);
   void wait();
 
+  // Enqueues one lane-aware task on a specific lane's queue. Placement is a
+  // locality hint, not a pin: an idle lane may still steal the task, so the
+  // `lane` argument passed to `fn` at execution time is the *executing*
+  // lane, which can differ from the queue it was placed on. Callers that
+  // want per-task state (e.g. the GA's per-lane waterfill clones) capture
+  // the state's index in the closure instead of trusting the executing
+  // lane — then a steal only changes which OS thread runs the task, never
+  // which state it touches.
+  void submit_on(int lane, std::function<void(int)> fn);
+
+  // Pops and runs one queued task on the calling thread (as lane 0), if
+  // any; returns false when every queue is empty. Lets the pool's owner
+  // make incremental progress on queued work while it is blocked on an
+  // out-of-band condition (e.g. a speculative-execution dependency) rather
+  // than committing to a full wait(). Owner thread only, like submit().
+  bool try_help();
+
   struct Stats {
     std::uint64_t executed = 0;  // tasks run to completion, by any lane
     std::uint64_t stolen = 0;    // tasks popped from another lane's queue

@@ -98,6 +98,30 @@ class WaterfillProblem {
     selected_[flow] = static_cast<std::uint32_t>(flow * n_choices_ + choice);
   }
 
+  // Choice currently selected for `flow` (inverse of set_choice).
+  std::size_t selected_choice(std::size_t flow) const {
+    return selected_[flow] - flow * n_choices_;
+  }
+
+  // Moves the row selection from the choice vector `prev` to `next` by
+  // flipping only the genes that differ (the Hamming delta) — the GA's
+  // per-lane incremental evaluation path: a lane that just scored `prev`
+  // reaches `next` in O(distance) instead of O(flows). Both spans must be
+  // flow-count sized and `prev` must describe the current selection (as
+  // left by a prior apply/set_choice sequence). Returns the number of
+  // genes flipped.
+  std::size_t apply_choice_delta(std::span<const std::uint8_t> prev,
+                                 std::span<const std::uint8_t> next) {
+    std::size_t changed = 0;
+    for (std::size_t i = 0; i < next.size(); ++i) {
+      if (prev[i] != next[i]) {
+        set_choice(i, next[i]);
+        ++changed;
+      }
+    }
+    return changed;
+  }
+
   std::size_t num_flows() const { return n_flows_; }
   std::size_t num_choices() const { return n_choices_; }
   std::size_t num_links() const { return cap_.size(); }

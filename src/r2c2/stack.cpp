@@ -295,7 +295,12 @@ int R2c2Stack::run_route_selection(const SelectionConfig& config) {
   if (flows.empty()) return 0;
   R2C2_SCOPED_SPAN(span, h_ga_, trace_, now_, self_, obs::EventType::kGaEpoch,
                    static_cast<std::uint64_t>(flows.size()));
-  const SelectionResult result = select_routes_ga(*ctx_.router, flows, config);
+  // Route the stack's registry into the selector so its memo/evaluator
+  // counters ("ga.memo.*", "ga.eval.*") land next to the stack metrics;
+  // an explicitly configured sink wins.
+  SelectionConfig cfg = config;
+  if (cfg.metrics == nullptr) cfg.metrics = ctx_.metrics;
+  const SelectionResult result = select_routes_ga(*ctx_.router, flows, cfg);
 
   RouteUpdatePacket pkt;
   pkt.origin = self_;

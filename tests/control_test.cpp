@@ -329,6 +329,97 @@ TEST_F(RouteSelectionTest, MinThroughputUtility) {
   EXPECT_GE(ga.utility, rps.utility * 0.999);
 }
 
+TEST_F(RouteSelectionTest, AnnealFindsExhaustiveOptimumOnTinyInstance) {
+  const auto flows = permutation_flows(0.25, 5);  // 4 flows -> 16 assignments
+  ASSERT_LE(flows.size(), 6u);
+  SelectionConfig cfg;
+  cfg.eval_budget = 200;
+  const auto best = select_routes_exhaustive(router_, flows, cfg);
+  const auto sa = select_routes_anneal(router_, flows, cfg);
+  EXPECT_NEAR(sa.utility, best.utility, best.utility * 1e-9);
+  EXPECT_LE(sa.evaluations, cfg.eval_budget);
+}
+
+TEST_F(RouteSelectionTest, AnnealNeverWorseThanSingleProtocols) {
+  // The walk starts from the best of the current and the uniform
+  // single-protocol assignments, so this holds by construction.
+  const auto flows = permutation_flows(0.75, 11);
+  SelectionConfig cfg;
+  cfg.eval_budget = 300;
+  const auto sa = select_routes_anneal(router_, flows, cfg);
+  const auto rps = uniform_assignment(router_, flows, RouteAlg::kRps, cfg);
+  const auto vlb = uniform_assignment(router_, flows, RouteAlg::kVlb, cfg);
+  EXPECT_GE(sa.utility, rps.utility * 0.999999);
+  EXPECT_GE(sa.utility, vlb.utility * 0.999999);
+}
+
+TEST_F(RouteSelectionTest, HybridFindsExhaustiveOptimumOnTinyInstance) {
+  const auto flows = permutation_flows(0.25, 5);
+  ASSERT_LE(flows.size(), 6u);
+  SelectionConfig cfg;
+  cfg.population = 20;
+  cfg.max_generations = 10;
+  cfg.eval_budget = 400;
+  const auto best = select_routes_exhaustive(router_, flows, cfg);
+  const auto hybrid = select_routes_hybrid(router_, flows, cfg);
+  EXPECT_NEAR(hybrid.utility, best.utility, best.utility * 1e-9);
+}
+
+TEST_F(RouteSelectionTest, HybridNeverWorseThanStartingAssignment) {
+  const auto flows = permutation_flows(0.5, 13);
+  SelectionConfig cfg;
+  cfg.population = 20;
+  cfg.max_generations = 8;
+  cfg.eval_budget = 500;
+  std::vector<RouteAlg> current(flows.size(), RouteAlg::kRps);
+  const double base = route_assignment_utility(router_, flows, current, cfg.utility, cfg.alloc);
+  const auto hybrid = select_routes_hybrid(router_, flows, cfg);
+  EXPECT_GE(hybrid.utility, base - 1.0);
+}
+
+TEST_F(RouteSelectionTest, BlendedWeightEndpointsMatchSingleObjectives) {
+  const auto flows = permutation_flows(0.5, 19);
+  std::vector<RouteAlg> assign(flows.size(), RouteAlg::kRps);
+  assign[0] = RouteAlg::kVlb;
+  const double agg = route_assignment_utility(router_, flows, assign,
+                                              UtilityKind::kAggregateThroughput);
+  const double mn =
+      route_assignment_utility(router_, flows, assign, UtilityKind::kMinThroughput);
+  // w = 0: pure aggregate; w = 1: n * min (both bitwise, not approximate).
+  EXPECT_EQ(route_assignment_utility(router_, flows, assign, UtilityKind::kBlended, {}, 0.0),
+            agg);
+  EXPECT_EQ(route_assignment_utility(router_, flows, assign, UtilityKind::kBlended, {}, 1.0),
+            static_cast<double>(flows.size()) * mn);
+}
+
+TEST_F(RouteSelectionTest, BlendedSearchLiftsMinThroughput) {
+  // The point of the scalarization: versus a pure-aggregate search, the
+  // blended optimum's worst flow does at least as well. Exhaustive optima
+  // on a tiny instance make this exact (no search noise).
+  const auto flows = permutation_flows(0.3, 7);
+  ASSERT_GE(flows.size(), 3u);
+  ASSERT_LE(flows.size(), 8u);
+  SelectionConfig cfg;
+  cfg.utility = UtilityKind::kAggregateThroughput;
+  const auto agg_opt = select_routes_exhaustive(router_, flows, cfg);
+  cfg.utility = UtilityKind::kBlended;
+  cfg.blend_min_weight = 0.9;
+  const auto blend_opt = select_routes_exhaustive(router_, flows, cfg);
+
+  const double min_agg = route_assignment_utility(router_, flows, agg_opt.assignment,
+                                                  UtilityKind::kMinThroughput);
+  const double min_blend = route_assignment_utility(router_, flows, blend_opt.assignment,
+                                                    UtilityKind::kMinThroughput);
+  EXPECT_GE(min_blend, min_agg * (1.0 - 1e-9));
+}
+
+TEST_F(RouteSelectionTest, InvalidBlendWeightRejected) {
+  SelectionConfig cfg;
+  cfg.utility = UtilityKind::kBlended;
+  cfg.blend_min_weight = 1.5;
+  EXPECT_THROW(select_routes_ga(router_, {}, cfg), std::invalid_argument);
+}
+
 TEST_F(RouteSelectionTest, EmptyChoicesRejected) {
   SelectionConfig cfg;
   cfg.choices.clear();

@@ -198,6 +198,48 @@ TEST(WaterfillDiff, ChoiceVariantsMatchPerFlowRebuild) {
   }
 }
 
+TEST(WaterfillDiff, ChoiceDeltaMatchesFullSelection) {
+  // apply_choice_delta (the GA lanes' Hamming-delta move) must land the
+  // problem in exactly the state a full per-flow set_choice pass reaches:
+  // bit-identical rates, and only the differing genes flipped.
+  const Topology topo = make_torus({4, 4}, 10 * kGbps, 100);
+  const Router router(topo);
+  Rng rng(77);
+  const auto flows = random_flows(topo, rng, 50);
+  const RouteAlg choices[] = {RouteAlg::kRps, RouteAlg::kVlb, RouteAlg::kDor};
+
+  WaterfillProblem delta_problem, full_problem;
+  delta_problem.build_with_choices(router, flows, choices, {});
+  full_problem.build_with_choices(router, flows, choices, {});
+  WaterfillScratch s1, s2;
+  RateAllocation via_delta, via_full;
+
+  std::vector<std::uint8_t> prev(flows.size(), 0);  // build selects choice 0
+  for (int round = 0; round < 8; ++round) {
+    std::vector<std::uint8_t> next = prev;
+    // Mutate a handful of genes (round 0: none — the zero-delta case).
+    for (int m = 0; m < round; ++m) {
+      next[rng.uniform_int(next.size())] = static_cast<std::uint8_t>(rng.uniform_int(3));
+    }
+    std::size_t expected_changed = 0;
+    for (std::size_t i = 0; i < next.size(); ++i) {
+      if (prev[i] != next[i]) ++expected_changed;
+    }
+    EXPECT_EQ(delta_problem.apply_choice_delta(prev, next), expected_changed);
+    for (std::size_t i = 0; i < next.size(); ++i) {
+      full_problem.set_choice(i, next[i]);
+      EXPECT_EQ(delta_problem.selected_choice(i), next[i]);
+    }
+    waterfill(delta_problem, s1, via_delta);
+    waterfill(full_problem, s2, via_full);
+    ASSERT_EQ(via_delta.rate.size(), via_full.rate.size());
+    for (std::size_t j = 0; j < via_delta.rate.size(); ++j) {
+      EXPECT_EQ(via_delta.rate[j], via_full.rate[j]) << "round " << round << ", flow " << j;
+    }
+    prev = std::move(next);
+  }
+}
+
 TEST(WaterfillDiff, ScratchReuseIsDeterministic) {
   // Re-solving the same problem with the same (dirty) scratch must be
   // bit-identical, and a fresh scratch must agree too: the scratch carries

@@ -42,6 +42,12 @@ inline constexpr Bps kGbps = 1e9;
 inline constexpr Bps kMbps = 1e6;
 inline constexpr Bps kKbps = 1e3;
 
+// The short-flow boundary used throughout the stack: the paper's workload
+// puts ~95% of flows under 100 KB (Section 5), and FCT statistics are
+// split at the same point (RunMetrics::short_flow_fct_us, the workload
+// generator's commentary). One definition so the two never drift.
+inline constexpr std::uint64_t kShortFlowCutoffBytes = 100 * 1024;
+
 // Serialization time of `bytes` on a link of rate `rate_bps`, in ns
 // (rounded up so a packet never finishes transmitting early).
 constexpr TimeNs transmission_time_ns(std::uint64_t bytes, Bps rate_bps) {

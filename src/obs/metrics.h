@@ -21,6 +21,9 @@
 #include <string>
 #include <string_view>
 
+#include "snapshot/archive.h"
+#include "snapshot/digest.h"
+
 namespace r2c2::obs {
 
 // Counters take relaxed atomic increments: shard-lane simulation code
@@ -69,6 +72,14 @@ class Histogram {
   std::uint64_t bucket_count(int bucket) const { return buckets_[static_cast<std::size_t>(bucket)]; }
 
   void reset();
+
+  // Snapshot seam (src/snapshot): buckets, count, sum and extremes archive
+  // verbatim, so a restored histogram reports identical quantiles. Used by
+  // state that must survive snapshot/resume (the service layer's per-tenant
+  // latency histograms); registry-owned histograms stay unarchived.
+  void save(snapshot::ArchiveWriter& w) const;
+  void load(snapshot::ArchiveReader& r);
+  void mix_digest(snapshot::Digest& d) const;
 
  private:
   std::array<std::uint64_t, kBuckets> buckets_{};

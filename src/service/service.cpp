@@ -1,0 +1,562 @@
+#include "service/service.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "sim/event_kind.h"
+#include "snapshot/archive.h"
+#include "snapshot/digest.h"
+
+namespace r2c2::service {
+
+namespace {
+
+template <typename Map>
+std::vector<typename Map::key_type> sorted_keys(const Map& map) {
+  std::vector<typename Map::key_type> keys;
+  keys.reserve(map.size());
+  for (const auto& [k, v] : map) keys.push_back(k);
+  std::sort(keys.begin(), keys.end());
+  return keys;
+}
+
+}  // namespace
+
+// --- Zipfian sampler -----------------------------------------------------
+
+void ServiceLayer::Zipf::init(std::uint64_t n_, double theta_) {
+  n = std::max<std::uint64_t>(n_, 1);
+  theta = theta_;
+  zetan = 0.0;
+  for (std::uint64_t i = 1; i <= n; ++i) zetan += 1.0 / std::pow(static_cast<double>(i), theta);
+  zeta2 = n >= 2 ? 1.0 + std::pow(0.5, theta) : zetan;
+  alpha = 1.0 / (1.0 - theta);
+  eta = n >= 2 ? (1.0 - std::pow(2.0 / static_cast<double>(n), 1.0 - theta)) /
+                     (1.0 - zeta2 / zetan)
+               : 1.0;
+}
+
+std::uint64_t ServiceLayer::Zipf::draw(Rng& rng) const {
+  const double u = rng.uniform();
+  const double uz = u * zetan;
+  if (uz < 1.0 || n < 2) return 0;
+  if (uz < zeta2) return 1;
+  const auto k =
+      static_cast<std::uint64_t>(static_cast<double>(n) * std::pow(eta * u - eta + 1.0, alpha));
+  return std::min(k, n - 1);
+}
+
+// --- Construction & arrival processes ------------------------------------
+
+ServiceLayer::ServiceLayer(sim::R2c2Sim& sim, ServiceConfig config)
+    : sim_(sim), config_(std::move(config)) {
+  if (config_.tenants.empty()) throw std::invalid_argument("service config has no tenants");
+  state_.resize(config_.tenants.size());
+  for (std::size_t i = 0; i < config_.tenants.size(); ++i) {
+    const TenantConfig& cfg = config_.tenants[i];
+    if (cfg.clients.empty() || cfg.servers.empty()) {
+      throw std::invalid_argument("tenant '" + cfg.name + "' needs clients and servers");
+    }
+    if (cfg.archetype == Archetype::kStorage &&
+        (cfg.zipf_theta < 0.0 || cfg.zipf_theta >= 1.0 || cfg.shifted_zipf_theta < 0.0 ||
+         cfg.shifted_zipf_theta >= 1.0)) {
+      throw std::invalid_argument("tenant '" + cfg.name + "' zipf_theta must be in [0, 1)");
+    }
+    if (cfg.mode == ArrivalMode::kClosedLoop && cfg.outstanding < 1) {
+      throw std::invalid_argument("tenant '" + cfg.name + "' needs outstanding >= 1");
+    }
+    if (cfg.mode == ArrivalMode::kOpenLoop && cfg.mean_interarrival <= 0) {
+      throw std::invalid_argument("tenant '" + cfg.name + "' needs mean_interarrival > 0");
+    }
+    // Same stream-derivation idiom as the sim's shard RNGs: the trajectory
+    // is a function of (seed, tenant index) alone.
+    state_[i].rng.reseed(config_.seed ^ (0x9e3779b97f4a7c15ULL * (i + 1)));
+    init_zipf(i);
+  }
+  sim_.attach_service(this);
+}
+
+void ServiceLayer::init_zipf(std::size_t tenant) {
+  const TenantConfig& cfg = config_.tenants[tenant];
+  if (cfg.archetype != Archetype::kStorage) return;
+  state_[tenant].zipf.init(cfg.num_keys,
+                           state_[tenant].shifted ? cfg.shifted_zipf_theta : cfg.zipf_theta);
+}
+
+int ServiceLayer::effective_fanout(const TenantConfig& cfg) const {
+  const int pool = static_cast<int>(cfg.servers.size());
+  return std::clamp(cfg.fanout, 1, std::min(pool, 255));
+}
+
+void ServiceLayer::start() {
+  if (started_) throw std::logic_error("ServiceLayer::start called twice");
+  started_ = true;
+  for (std::size_t i = 0; i < config_.tenants.size(); ++i) {
+    const TenantConfig& cfg = config_.tenants[i];
+    if (cfg.mode == ArrivalMode::kClosedLoop) {
+      const std::uint64_t window =
+          std::min<std::uint64_t>(static_cast<std::uint64_t>(cfg.outstanding), cfg.max_requests);
+      for (std::uint64_t k = 0; k < window; ++k) sim_.schedule_service(0, kOpIssue, i);
+    } else {
+      sim_.schedule_service(0, kOpOpenTick, i);
+    }
+    if (cfg.archetype == Archetype::kStorage && cfg.shift_at > 0) {
+      sim_.schedule_service(cfg.shift_at, kOpShift, i);
+    }
+  }
+}
+
+// --- Request lifecycle ----------------------------------------------------
+
+FlowId ServiceLayer::start_flow(const TenantConfig& cfg, NodeId src, NodeId dst,
+                                std::uint64_t bytes) {
+  return sim_.start_service_flow(src, dst, bytes, cfg.weight, cfg.priority, cfg.alg);
+}
+
+void ServiceLayer::issue_request(std::uint32_t tenant, TimeNs now) {
+  const TenantConfig& cfg = config_.tenants[tenant];
+  TenantState& t = state_[tenant];
+  if (t.issued >= cfg.max_requests) return;
+  const std::uint64_t seq = t.issued++;
+  ++t.outstanding;
+  const std::uint64_t req_id = next_req_id_++;
+
+  Request req;
+  req.tenant = tenant;
+  req.client = cfg.clients[seq % cfg.clients.size()];
+  req.issued = now;
+  req.seq = seq;
+
+  switch (cfg.archetype) {
+    case Archetype::kRpc: {
+      req.server = cfg.servers[t.rng.uniform_int(static_cast<std::uint64_t>(cfg.servers.size()))];
+      req.response_bytes = cfg.response_bytes;
+      req.total_bytes = cfg.request_bytes + cfg.response_bytes;
+      req.remaining = 1;
+      const FlowId f = start_flow(cfg, req.client, req.server, cfg.request_bytes);
+      flow_to_req_[f] = FlowRef{req_id, 0, 0};
+      break;
+    }
+    case Archetype::kIncast: {
+      const int k = effective_fanout(cfg);
+      req.remaining = static_cast<std::uint32_t>(k);
+      req.total_bytes =
+          static_cast<std::uint64_t>(k) * (cfg.query_bytes + cfg.leaf_response_bytes);
+      for (int j = 0; j < k; ++j) {
+        // Leaf rotation by request seq instead of an RNG draw: every leaf
+        // set is derivable from (seq, j), so timed-out requests need no
+        // archived member list.
+        const NodeId leaf =
+            cfg.servers[(req.seq + static_cast<std::uint64_t>(j)) % cfg.servers.size()];
+        const FlowId f = start_flow(cfg, req.client, leaf, cfg.query_bytes);
+        flow_to_req_[f] = FlowRef{req_id, 0, static_cast<std::uint8_t>(j)};
+      }
+      if (cfg.straggler_timeout > 0) {
+        sim_.schedule_service(now + cfg.straggler_timeout, kOpTimeout, req_id);
+      }
+      break;
+    }
+    case Archetype::kStorage: {
+      const std::uint64_t key = t.zipf.draw(t.rng);
+      req.server = cfg.servers[key % cfg.servers.size()];
+      const double write_frac = t.shifted ? cfg.shifted_write_fraction : cfg.write_fraction;
+      const bool is_write = t.rng.bernoulli(write_frac);
+      const std::uint64_t up = is_write ? cfg.write_value_bytes : cfg.request_key_bytes;
+      req.response_bytes = is_write ? cfg.request_key_bytes : cfg.read_value_bytes;
+      req.total_bytes = up + req.response_bytes;
+      req.remaining = 1;
+      const FlowId f = start_flow(cfg, req.client, req.server, up);
+      flow_to_req_[f] = FlowRef{req_id, 0, 0};
+      break;
+    }
+  }
+  requests_.emplace(req_id, req);
+}
+
+void ServiceLayer::complete_request(std::uint64_t req_id, TimeNs at, Outcome outcome) {
+  auto it = requests_.find(req_id);
+  if (it == requests_.end()) return;
+  const Request req = it->second;
+  requests_.erase(it);
+  const TenantConfig& cfg = config_.tenants[req.tenant];
+  TenantState& t = state_[req.tenant];
+  --t.outstanding;
+  switch (outcome) {
+    case Outcome::kCompleted: {
+      const TimeNs latency = at - req.issued;
+      t.latency_ns.observe(static_cast<double>(latency));
+      if (latency > cfg.slo_latency) ++t.slo_violations;
+      t.bytes_delivered += req.total_bytes;
+      ++t.completed;
+      break;
+    }
+    case Outcome::kTimedOut:
+      // A straggler-timed-out request missed its SLO by definition; its
+      // partial bytes do not count as goodput.
+      ++t.timed_out;
+      ++t.slo_violations;
+      break;
+    case Outcome::kAborted:
+      ++t.aborted;
+      break;
+  }
+  if (cfg.mode == ArrivalMode::kClosedLoop && t.issued < cfg.max_requests) {
+    sim_.schedule_service(at, kOpIssue, req.tenant);
+  }
+}
+
+// --- Timer handlers (serial context: kEvService events) -------------------
+
+void ServiceLayer::op_issue(std::uint32_t tenant) { issue_request(tenant, sim_.now()); }
+
+void ServiceLayer::op_open_tick(std::uint32_t tenant) {
+  const TenantConfig& cfg = config_.tenants[tenant];
+  TenantState& t = state_[tenant];
+  const TimeNs now = sim_.now();
+  issue_request(tenant, now);
+  if (t.issued < cfg.max_requests) {
+    const auto gap = static_cast<TimeNs>(
+        t.rng.exponential(static_cast<double>(cfg.mean_interarrival)));
+    sim_.schedule_service(now + std::max<TimeNs>(gap, 1), kOpOpenTick, tenant);
+  }
+}
+
+void ServiceLayer::op_response(std::uint64_t req_id) {
+  auto it = requests_.find(req_id);
+  if (it == requests_.end()) return;  // timed out / aborted meanwhile
+  const Request& req = it->second;
+  const TenantConfig& cfg = config_.tenants[req.tenant];
+  const FlowId f = start_flow(cfg, req.server, req.client, req.response_bytes);
+  flow_to_req_[f] = FlowRef{req_id, 1, 0};
+}
+
+void ServiceLayer::op_leaf_response(std::uint64_t req_id, std::uint8_t leaf) {
+  auto it = requests_.find(req_id);
+  if (it == requests_.end()) return;
+  const Request& req = it->second;
+  const TenantConfig& cfg = config_.tenants[req.tenant];
+  const NodeId node =
+      cfg.servers[(req.seq + static_cast<std::uint64_t>(leaf)) % cfg.servers.size()];
+  const FlowId f = start_flow(cfg, node, req.client, cfg.leaf_response_bytes);
+  flow_to_req_[f] = FlowRef{req_id, 1, leaf};
+}
+
+void ServiceLayer::op_timeout(std::uint64_t req_id) {
+  // Stale flows of an abandoned request stay in flow_to_req_ and are
+  // swept lazily when they complete (the request is gone by then).
+  complete_request(req_id, sim_.now(), Outcome::kTimedOut);
+}
+
+void ServiceLayer::op_shift(std::uint32_t tenant) {
+  TenantState& t = state_[tenant];
+  if (t.shifted) return;
+  t.shifted = true;
+  init_zipf(tenant);
+}
+
+// --- Completion callbacks (serial or barrier context) ---------------------
+
+void ServiceLayer::on_flow_complete(FlowId id, TimeNs at) {
+  auto fit = flow_to_req_.find(id);
+  if (fit == flow_to_req_.end()) return;  // background (arrival-list) flow
+  const FlowRef ref = fit->second;
+  flow_to_req_.erase(fit);
+  auto rit = requests_.find(ref.req);
+  if (rit == requests_.end()) return;  // request already timed out/aborted
+  Request& req = rit->second;
+  const TenantConfig& cfg = config_.tenants[req.tenant];
+  if (ref.role == 0) {
+    // Upstream delivered: the responder thinks for app_delay, then a
+    // kEvService event issues the response (never from this callback — it
+    // may be running at a window barrier where flow starts are illegal).
+    if (cfg.archetype == Archetype::kIncast) {
+      sim_.schedule_service(at + cfg.app_delay, kOpLeafResponse,
+                            (ref.req << 8) | static_cast<std::uint64_t>(ref.leaf));
+    } else {
+      sim_.schedule_service(at + cfg.app_delay, kOpResponse, ref.req);
+    }
+    return;
+  }
+  if (--req.remaining == 0) complete_request(ref.req, at, Outcome::kCompleted);
+}
+
+void ServiceLayer::on_flow_abort(FlowId id, TimeNs at) {
+  auto fit = flow_to_req_.find(id);
+  if (fit == flow_to_req_.end()) return;
+  const FlowRef ref = fit->second;
+  flow_to_req_.erase(fit);
+  // Any aborted leg abandons the whole request; sibling flows sweep their
+  // refs lazily on completion.
+  complete_request(ref.req, at, Outcome::kAborted);
+}
+
+// --- Reporting ------------------------------------------------------------
+
+SloReport ServiceLayer::report() const {
+  SloReport rep;
+  rep.span = sim_.now();
+  const double span_sec = std::max(static_cast<double>(rep.span), 1.0) / 1e9;
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  for (std::size_t i = 0; i < config_.tenants.size(); ++i) {
+    const TenantConfig& cfg = config_.tenants[i];
+    const TenantState& t = state_[i];
+    TenantReport r;
+    r.name = cfg.name;
+    r.issued = t.issued;
+    r.completed = t.completed;
+    r.timed_out = t.timed_out;
+    r.aborted = t.aborted;
+    r.p50_us = t.latency_ns.percentile(50.0) / 1e3;
+    r.p99_us = t.latency_ns.percentile(99.0) / 1e3;
+    r.p999_us = t.latency_ns.percentile(99.9) / 1e3;
+    r.slo_us = static_cast<double>(cfg.slo_latency) / 1e3;
+    const std::uint64_t resolved = t.completed + t.timed_out;
+    r.slo_violation_fraction =
+        resolved > 0 ? static_cast<double>(t.slo_violations) / static_cast<double>(resolved) : 0.0;
+    r.bytes_delivered = t.bytes_delivered;
+    r.goodput_bps = static_cast<double>(t.bytes_delivered) * 8.0 / span_sec;
+    sum += r.goodput_bps;
+    sum_sq += r.goodput_bps * r.goodput_bps;
+    rep.tenants.push_back(std::move(r));
+  }
+  const double n = static_cast<double>(rep.tenants.size());
+  rep.jain_fairness = sum_sq > 0.0 ? (sum * sum) / (n * sum_sq) : 1.0;
+  return rep;
+}
+
+// --- Snapshot seam --------------------------------------------------------
+
+sim::Engine::Action ServiceLayer::rebuild_service_event(const sim::EventDesc& desc) {
+  if (desc.kind != sim::kEvService) {
+    throw snapshot::SnapshotError("service asked to rebuild a non-service event");
+  }
+  auto tenant_of = [this](std::uint64_t b) {
+    if (b >= config_.tenants.size()) {
+      throw snapshot::SnapshotError("service event references an unknown tenant");
+    }
+    return static_cast<std::uint32_t>(b);
+  };
+  switch (desc.a) {
+    case kOpIssue: {
+      const std::uint32_t t = tenant_of(desc.b);
+      return [this, t] { op_issue(t); };
+    }
+    case kOpOpenTick: {
+      const std::uint32_t t = tenant_of(desc.b);
+      return [this, t] { op_open_tick(t); };
+    }
+    case kOpResponse: {
+      const std::uint64_t req = desc.b;
+      return [this, req] { op_response(req); };
+    }
+    case kOpLeafResponse: {
+      const std::uint64_t req = desc.b >> 8;
+      const auto leaf = static_cast<std::uint8_t>(desc.b & 0xff);
+      return [this, req, leaf] { op_leaf_response(req, leaf); };
+    }
+    case kOpTimeout: {
+      const std::uint64_t req = desc.b;
+      return [this, req] { op_timeout(req); };
+    }
+    case kOpShift: {
+      const std::uint32_t t = tenant_of(desc.b);
+      return [this, t] { op_shift(t); };
+    }
+    default:
+      throw snapshot::SnapshotError("unknown service opcode " + std::to_string(desc.a));
+  }
+}
+
+std::uint64_t ServiceLayer::service_fingerprint() const {
+  snapshot::Digest d;
+  d.mix(config_.seed);
+  d.mix(config_.tenants.size());
+  for (const TenantConfig& t : config_.tenants) {
+    d.mix(t.name.size());
+    for (char c : t.name) d.mix(static_cast<std::uint64_t>(static_cast<unsigned char>(c)));
+    d.mix(static_cast<std::uint64_t>(t.archetype));
+    d.mix(static_cast<std::uint64_t>(t.mode));
+    d.mix(t.clients.size());
+    for (NodeId n : t.clients) d.mix(n);
+    d.mix(t.servers.size());
+    for (NodeId n : t.servers) d.mix(n);
+    d.mix_i64(t.mean_interarrival);
+    d.mix(static_cast<std::uint64_t>(t.outstanding));
+    d.mix(t.max_requests);
+    d.mix(t.request_bytes);
+    d.mix(t.response_bytes);
+    d.mix_i64(t.app_delay);
+    d.mix(static_cast<std::uint64_t>(t.fanout));
+    d.mix(t.query_bytes);
+    d.mix(t.leaf_response_bytes);
+    d.mix_i64(t.straggler_timeout);
+    d.mix_f64(t.zipf_theta);
+    d.mix(t.num_keys);
+    d.mix_f64(t.write_fraction);
+    d.mix(t.request_key_bytes);
+    d.mix(t.read_value_bytes);
+    d.mix(t.write_value_bytes);
+    d.mix_i64(t.shift_at);
+    d.mix_f64(t.shifted_zipf_theta);
+    d.mix_f64(t.shifted_write_fraction);
+    d.mix_i64(t.slo_latency);
+    d.mix_f64(t.weight);
+    d.mix(static_cast<std::uint64_t>(t.priority));
+    d.mix(static_cast<std::uint64_t>(static_cast<std::int64_t>(t.alg)));
+  }
+  return d.value();
+}
+
+void ServiceLayer::mix_digest(snapshot::Digest& d) const {
+  d.mix(next_req_id_);
+  for (const TenantState& t : state_) {
+    for (std::uint64_t word : t.rng.state()) d.mix(word);
+    d.mix(t.issued);
+    d.mix(t.completed);
+    d.mix(t.timed_out);
+    d.mix(t.aborted);
+    d.mix(t.slo_violations);
+    d.mix(t.bytes_delivered);
+    d.mix(t.outstanding);
+    d.mix(t.shifted ? 1 : 0);
+    t.latency_ns.mix_digest(d);
+  }
+  d.mix(requests_.size());
+  for (const std::uint64_t id : sorted_keys(requests_)) {
+    const Request& req = requests_.at(id);
+    d.mix(id);
+    d.mix(req.tenant);
+    d.mix(req.client);
+    d.mix(req.server);
+    d.mix_i64(req.issued);
+    d.mix(req.seq);
+    d.mix(req.response_bytes);
+    d.mix(req.total_bytes);
+    d.mix(req.remaining);
+  }
+  d.mix(flow_to_req_.size());
+  for (const FlowId id : sorted_keys(flow_to_req_)) {
+    const FlowRef& ref = flow_to_req_.at(id);
+    d.mix(id);
+    d.mix(ref.req);
+    d.mix(ref.role);
+    d.mix(ref.leaf);
+  }
+}
+
+void ServiceLayer::save(snapshot::ArchiveWriter& w) const {
+  w.begin_section("service.core");
+  w.u64(next_req_id_);
+  w.u64(state_.size());
+  for (const TenantState& t : state_) {
+    for (std::uint64_t word : t.rng.state()) w.u64(word);
+    w.u64(t.issued);
+    w.u64(t.completed);
+    w.u64(t.timed_out);
+    w.u64(t.aborted);
+    w.u64(t.slo_violations);
+    w.u64(t.bytes_delivered);
+    w.u32(t.outstanding);
+    w.u8(t.shifted ? 1 : 0);
+    t.latency_ns.save(w);
+  }
+  w.end_section();
+
+  w.begin_section("service.requests");
+  w.u64(requests_.size());
+  for (const std::uint64_t id : sorted_keys(requests_)) {
+    const Request& req = requests_.at(id);
+    w.u64(id);
+    w.u32(req.tenant);
+    w.u16(req.client);
+    w.u16(req.server);
+    w.i64(req.issued);
+    w.u64(req.seq);
+    w.u64(req.response_bytes);
+    w.u64(req.total_bytes);
+    w.u32(req.remaining);
+  }
+  w.u64(flow_to_req_.size());
+  for (const FlowId id : sorted_keys(flow_to_req_)) {
+    const FlowRef& ref = flow_to_req_.at(id);
+    w.u32(id);
+    w.u64(ref.req);
+    w.u8(ref.role);
+    w.u8(ref.leaf);
+  }
+  w.end_section();
+}
+
+void ServiceLayer::load(snapshot::ArchiveReader& r) {
+  r.open_section("service.core");
+  const std::uint64_t next_req_id = r.u64();
+  const std::uint64_t n_tenants = r.u64();
+  if (n_tenants != state_.size()) {
+    throw snapshot::SnapshotError("archived tenant count does not match service config");
+  }
+  std::vector<TenantState> state(state_.size());
+  for (TenantState& t : state) {
+    std::array<std::uint64_t, 4> rng_state{};
+    for (std::uint64_t& word : rng_state) word = r.u64();
+    t.rng.set_state(rng_state);
+    t.issued = r.u64();
+    t.completed = r.u64();
+    t.timed_out = r.u64();
+    t.aborted = r.u64();
+    t.slo_violations = r.u64();
+    t.bytes_delivered = r.u64();
+    t.outstanding = r.u32();
+    t.shifted = r.u8() != 0;
+    t.latency_ns.load(r);
+  }
+  r.close_section();
+
+  r.open_section("service.requests");
+  const std::uint64_t n_requests = r.u64();
+  std::unordered_map<std::uint64_t, Request> requests;
+  requests.reserve(n_requests);
+  for (std::uint64_t i = 0; i < n_requests; ++i) {
+    const std::uint64_t id = r.u64();
+    Request req;
+    req.tenant = r.u32();
+    if (req.tenant >= config_.tenants.size()) {
+      throw snapshot::SnapshotError("archived request references an unknown tenant");
+    }
+    req.client = r.u16();
+    req.server = r.u16();
+    req.issued = r.i64();
+    req.seq = r.u64();
+    req.response_bytes = r.u64();
+    req.total_bytes = r.u64();
+    req.remaining = r.u32();
+    if (!requests.emplace(id, req).second) {
+      throw snapshot::SnapshotError("duplicate request in archive");
+    }
+  }
+  const std::uint64_t n_refs = r.u64();
+  std::unordered_map<FlowId, FlowRef> flow_to_req;
+  flow_to_req.reserve(n_refs);
+  for (std::uint64_t i = 0; i < n_refs; ++i) {
+    const FlowId id = r.u32();
+    FlowRef ref;
+    ref.req = r.u64();
+    ref.role = r.u8();
+    ref.leaf = r.u8();
+    if (!flow_to_req.emplace(id, ref).second) {
+      throw snapshot::SnapshotError("duplicate flow ref in archive");
+    }
+  }
+  r.close_section();
+
+  // Parse-then-commit, matching the sim's discipline.
+  next_req_id_ = next_req_id;
+  state_ = std::move(state);
+  requests_ = std::move(requests);
+  flow_to_req_ = std::move(flow_to_req);
+  // Zipf tables are derived from (config, shifted), never archived.
+  for (std::size_t i = 0; i < state_.size(); ++i) init_zipf(i);
+}
+
+}  // namespace r2c2::service

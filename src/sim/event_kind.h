@@ -26,6 +26,7 @@ enum EventKind : std::uint32_t {
   kEvFaultApply = 11,     // a = index into the armed FaultScript
   kEvCtrlRetransmit = 12, // a = parked-packet slot, b = directed link
   kEvCongestionTick = 13, // periodic ECN-style congestion sampling (adaptive routing)
+  kEvService = 14,        // service-layer timer; a = opcode, b = payload (src/service)
 };
 
 }  // namespace r2c2::sim

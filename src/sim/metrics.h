@@ -93,7 +93,7 @@ struct RunMetrics {
 
   // Convenience selectors used by the figures: FCTs (us) of flows smaller
   // than `cutoff` and throughputs (Gbps) of flows at least `cutoff` bytes.
-  std::vector<double> short_flow_fct_us(std::uint64_t cutoff = 100 * 1024) const {
+  std::vector<double> short_flow_fct_us(std::uint64_t cutoff = kShortFlowCutoffBytes) const {
     std::vector<double> v;
     for (const FlowRecord& f : flows) {
       if (f.finished() && f.bytes < cutoff) v.push_back(static_cast<double>(f.fct()) / 1e3);

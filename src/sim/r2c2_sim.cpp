@@ -289,7 +289,7 @@ double R2c2Sim::start_rate_estimate(const FlowSpec& spec) const {
   return std::isfinite(rate) ? rate : 0.0;
 }
 
-void R2c2Sim::start_flow(const FlowArrival& arrival) {
+FlowId R2c2Sim::start_flow(const FlowArrival& arrival) {
   const FlowId id = static_cast<FlowId>(records_.size() + 1);
   // Allocate a wire-level (src, fseq) key that is not in use; more than 256
   // concurrent flows from one source would be a wire-format limit.
@@ -363,6 +363,43 @@ void R2c2Sim::start_flow(const FlowArrival& arrival) {
   schedule_emit(id);
   schedule_recompute_tick();
   start_fault_ticks();
+  return id;
+}
+
+FlowId R2c2Sim::start_service_flow(NodeId src, NodeId dst, std::uint64_t bytes, double weight,
+                                   int priority, std::int8_t alg) {
+  // Service flows issue from kEvService handlers, which run on the global
+  // lane — the same context the kEvStartFlow arrivals execute in — so the
+  // serial code paths (rng_, pending_, direct map mutation) apply.
+  assert(!shard_ctx() && "service flows must issue from a serial context");
+  FlowArrival a;
+  a.start = engine_.now();
+  a.src = src;
+  a.dst = dst;
+  a.bytes = bytes;
+  a.weight = weight;
+  a.priority = static_cast<std::uint8_t>(priority);
+  a.alg = alg;
+  return start_flow(a);
+}
+
+void R2c2Sim::schedule_service(TimeNs at, std::uint64_t a, std::uint64_t b) {
+  assert(service_ != nullptr && "schedule_service requires an attached service layer");
+  const EventDesc desc{kEvService, a, b};
+  const int lane = engine_.global_lane();
+  // Clamp to the global lane's clock: a completion-triggered issue applied
+  // at a window barrier may target a time the lane already passed.
+  const TimeNs t = std::max(at, engine_.lane_now(lane));
+  engine_.schedule_on(lane, t, desc, service_->rebuild_service_event(desc));
+}
+
+void R2c2Sim::notify_service_done(FlowId id, TimeNs at, bool aborted) {
+  if (service_ == nullptr) return;
+  if (aborted) {
+    service_->on_flow_abort(id, at);
+  } else {
+    service_->on_flow_complete(id, at);
+  }
 }
 
 std::uint64_t R2c2Sim::alloc_bcast_id() {
@@ -734,6 +771,7 @@ void R2c2Sim::abort_flow(FlowId id) {
     rec.aborted_at = engine_.now();
     c_flow_aborts_.add(1);
     --unfinished_;
+    notify_service_done(id, engine_.now(), /*aborted=*/true);
   }
   receivers_.erase(id);
   senders_.erase(it);
@@ -807,9 +845,11 @@ void R2c2Sim::on_data_at_receiver(SimPacket&& pkt) {
       // case the final ACK is lost; finish_sending reaps the state once
       // the sender is fully acked.
       --unfinished_;
+      notify_service_done(pkt.flow, engine_.now(), /*aborted=*/false);
     } else {
       receivers_.erase(rit);
       --unfinished_;
+      notify_service_done(pkt.flow, engine_.now(), /*aborted=*/false);
     }
   }
 }
@@ -1375,9 +1415,14 @@ void R2c2Sim::apply_op(const DeferredOp& op) {
     case OpKind::kReceiverDone:
       receivers_.erase(static_cast<FlowId>(op.a));
       --unfinished_;
+      // Barrier context: all workers parked, the global lane clock is
+      // pinned at or before op.at, so a completion-triggered
+      // schedule_service lands deterministically in merged-op order.
+      notify_service_done(static_cast<FlowId>(op.a), op.at, /*aborted=*/false);
       break;
     case OpKind::kUnfinishedDec:
       --unfinished_;
+      notify_service_done(static_cast<FlowId>(op.a), op.at, /*aborted=*/false);
       break;
     case OpKind::kDetect:
       note_detection(static_cast<LinkId>(op.a), op.flag, op.at);
@@ -1395,6 +1440,7 @@ void R2c2Sim::apply_op(const DeferredOp& op) {
         rec.aborted_at = op.at;
         c_flow_aborts_.add(1);
         --unfinished_;
+        notify_service_done(id, op.at, /*aborted=*/true);
       }
       break;
     }
@@ -1582,6 +1628,13 @@ std::uint64_t R2c2Sim::config_fingerprint() const {
     d.mix(f.priority);
     d.mix(static_cast<std::uint64_t>(static_cast<std::int64_t>(f.alg)));
   }
+  // An attached service layer is part of the experiment: its dynamically
+  // issued flows bypass arrivals_, so its configuration fingerprints here
+  // instead (the flows themselves are derivable from it).
+  if (service_ != nullptr) {
+    d.mix(0x53525643ULL);  // section tag, so "no service" never collides
+    d.mix(service_->service_fingerprint());
+  }
   return d.value();
 }
 
@@ -1708,6 +1761,7 @@ std::uint64_t R2c2Sim::state_digest() const {
   d.mix(c_flow_aborts_.value());
   d.mix(c_links_demoted_.value());
   d.mix(c_links_cleared_.value());
+  if (service_ != nullptr) service_->mix_digest(d);
   return d.value();
 }
 
@@ -1861,6 +1915,7 @@ void R2c2Sim::save(snapshot::ArchiveWriter& w) const {
     w.end_section();
   }
 
+  if (service_ != nullptr) service_->save(w);
   global_view_.save(w, "sim.view");
   net_.save(w);
   if (injector_) injector_->save(w);
@@ -1902,6 +1957,11 @@ Engine::Action R2c2Sim::rebuild_event(const EventDesc& desc) {
         throw snapshot::SnapshotError("fault event archived but no fault script configured");
       }
       return injector_->rebuild_event(desc);
+    case kEvService:
+      if (service_ == nullptr) {
+        throw snapshot::SnapshotError("service event archived but no service layer attached");
+      }
+      return service_->rebuild_service_event(desc);
     case kEvCtrlRetransmit: {
       const std::uint64_t slot = desc.a;
       if (desc.b >= topo_.num_links()) {
@@ -1940,6 +2000,12 @@ void R2c2Sim::load(snapshot::ArchiveReader& r) {
   }
   if (sharded_ && !r.has_section("sim.shards")) {
     throw snapshot::SnapshotError("sharded sim configured but archive has no shard state");
+  }
+  if (service_ != nullptr && !r.has_section("service.core")) {
+    throw snapshot::SnapshotError("service layer attached but archive has no service state");
+  }
+  if (service_ == nullptr && r.has_section("service.core")) {
+    throw snapshot::SnapshotError("archive carries service state but no service layer attached");
   }
 
   r.open_section("sim.core");
@@ -2207,6 +2273,9 @@ void R2c2Sim::load(snapshot::ArchiveReader& r) {
   // Caches: force a waterfill-problem rebuild on the next recomputation.
   wf_built_version_ = ~0ULL;
 
+  // Service state before the engine queue: rebuilt kEvService closures
+  // dispatch against the restored request tables.
+  if (service_ != nullptr) service_->load(r);
   global_view_.load(r, "sim.view");
   net_.load(r);
   if (injector_) {

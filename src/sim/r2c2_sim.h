@@ -177,9 +177,55 @@ struct R2c2SimConfig {
   obs::MetricsRegistry* metrics = nullptr;
 };
 
+// Seam for a closed-loop service layer (src/service) driving the sim with
+// dynamically issued flows. The sim owns the event loop and the flow
+// lifecycle; the client owns request semantics. Completion callbacks fire
+// in deterministic order regardless of worker count: serial runs notify
+// inline, sharded runs notify from the deferred-op log applied at window
+// barriers — both sides of the seam observe the identical (time, op)
+// sequence. Callbacks always run in a serial context (global lane or
+// barrier), so the client may immediately issue follow-up flows/timers.
+class ServiceClient {
+ public:
+  virtual ~ServiceClient() = default;
+  // A flow previously returned by start_service_flow finished delivering
+  // all bytes (`at` = completion time) or was aborted by the transport.
+  virtual void on_flow_complete(FlowId id, TimeNs at) = 0;
+  virtual void on_flow_abort(FlowId id, TimeNs at) = 0;
+  // Snapshot seam: rebuild the action for an archived kEvService event.
+  // Also used on the live path — schedule_service builds its closure
+  // through this, so live and restored timers are the same code.
+  virtual Engine::Action rebuild_service_event(const EventDesc& desc) = 0;
+  // Mixed into the sim's config fingerprint / state digest / archive.
+  virtual std::uint64_t service_fingerprint() const = 0;
+  virtual void mix_digest(snapshot::Digest& d) const = 0;
+  virtual void save(snapshot::ArchiveWriter& w) const = 0;
+  virtual void load(snapshot::ArchiveReader& r) = 0;
+};
+
 class R2c2Sim {
  public:
   R2c2Sim(const Topology& topo, const Router& router, R2c2SimConfig config);
+
+  // Attaches a closed-loop service layer. Must be called before run() and
+  // before load(); the client must outlive the sim. The client's
+  // fingerprint joins config_fingerprint(), its state joins state_digest()
+  // and the snapshot archive.
+  void attach_service(ServiceClient* client) { service_ = client; }
+
+  // Issues one flow right now from a service callback or kEvService timer
+  // (serial context only; asserts otherwise). Bypasses the arrivals_ list —
+  // the service layer is itself deterministic, so its flows are derivable
+  // from the service fingerprint rather than archived per-arrival. Returns
+  // the FlowId whose completion/abort will be reported to the client.
+  FlowId start_service_flow(NodeId src, NodeId dst, std::uint64_t bytes, double weight,
+                            int priority, std::int8_t alg = -1);
+
+  // Schedules a service-layer timer on the global lane at time `at` (>= now;
+  // past times clamp to now). The descriptor (kEvService, a, b) archives
+  // with the engine queue and is rebuilt via the client's
+  // rebuild_service_event on load.
+  void schedule_service(TimeNs at, std::uint64_t a, std::uint64_t b);
 
   // Registers the workload; flows start at their arrival times. Arrivals
   // are retained for the lifetime of the sim: pending start events archive
@@ -302,7 +348,8 @@ class R2c2Sim {
     BroadcastMsg msg{};           // kBcastInsert payload
   };
 
-  void start_flow(const FlowArrival& arrival);
+  FlowId start_flow(const FlowArrival& arrival);
+  void notify_service_done(FlowId id, TimeNs at, bool aborted);
   void recompute_tick();
   Engine::Action rebuild_event(const EventDesc& desc);
   void finish_sending(FlowId id);
@@ -407,6 +454,7 @@ class R2c2Sim {
 
   const Topology& topo_;    // full wire substrate
   const Router& router_;    // pristine decision plane
+  ServiceClient* service_ = nullptr;  // optional closed-loop service layer
   R2c2SimConfig config_;
   Engine engine_;
   Network net_;

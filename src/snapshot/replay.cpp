@@ -5,6 +5,7 @@
 
 #include "control/route_selection.h"
 #include "routing/routing.h"
+#include "service/service.h"
 #include "snapshot/archive.h"
 
 namespace r2c2::snapshot {
@@ -22,6 +23,53 @@ std::vector<FlowArrival> mesh_workload(int num_nodes, int flows, std::uint64_t s
   wl.max_bytes = 96 * 1024;
   wl.seed = seed;
   return generate_poisson_uniform(wl);
+}
+
+// The "tenant" scenario's service mix: one tenant per archetype on the
+// 16-server folded Clos, all bounded by max_requests so the run drains.
+service::ServiceConfig tenant_service_config(std::uint64_t seed) {
+  service::ServiceConfig svc;
+  svc.seed = seed * 0x9e3779b97f4a7c15ULL + 7;
+
+  service::TenantConfig rpc;
+  rpc.name = "rpc";
+  rpc.archetype = service::Archetype::kRpc;
+  rpc.mode = service::ArrivalMode::kClosedLoop;
+  rpc.clients = {0, 1, 2, 3};
+  rpc.servers = {4, 5, 6, 7};
+  rpc.outstanding = 4;
+  rpc.max_requests = 80;
+  rpc.request_bytes = 2 * 1024;
+  rpc.response_bytes = 16 * 1024;
+  rpc.slo_latency = 300 * kNsPerUs;
+  svc.tenants.push_back(rpc);
+
+  service::TenantConfig incast;
+  incast.name = "incast";
+  incast.archetype = service::Archetype::kIncast;
+  incast.mode = service::ArrivalMode::kClosedLoop;
+  incast.clients = {8, 9};
+  incast.servers = {10, 11, 12, 13};
+  incast.outstanding = 2;
+  incast.max_requests = 40;
+  incast.fanout = 4;
+  incast.leaf_response_bytes = 8 * 1024;
+  incast.straggler_timeout = 800 * kNsPerUs;
+  incast.slo_latency = 400 * kNsPerUs;
+  svc.tenants.push_back(incast);
+
+  service::TenantConfig storage;
+  storage.name = "storage";
+  storage.archetype = service::Archetype::kStorage;
+  storage.mode = service::ArrivalMode::kOpenLoop;
+  storage.clients = {14, 15};
+  storage.servers = {4, 5, 6, 7, 10, 11, 12, 13};
+  storage.mean_interarrival = 15 * kNsPerUs;
+  storage.max_requests = 60;
+  storage.shift_at = 300 * kNsPerUs;
+  storage.slo_latency = 350 * kNsPerUs;
+  svc.tenants.push_back(storage);
+  return svc;
 }
 
 }  // namespace
@@ -76,7 +124,7 @@ std::uint64_t metrics_digest(const sim::RunMetrics& m) {
 }
 
 Scenario::Scenario(ReplayConfig config) : config_(std::move(config)) {
-  if (config_.scenario == "adaptive") {
+  if (config_.scenario == "adaptive" || config_.scenario == "tenant") {
     // Folded Clos so the spray has genuine path diversity to steer: 16
     // servers (nodes 0-15) under 4 leaves (16-19) and 2 spines (20-21).
     ClosSpec spec;
@@ -158,9 +206,18 @@ Scenario::Scenario(ReplayConfig config) : config_(std::move(config)) {
         sim::FaultScript::degrade_link(40 * kNsPerUs, uplink, gray));
     // Servers only: leaves/spines are transit.
     arrivals_ = mesh_workload(16, 60, config_.seed);
+  } else if (config_.scenario == "tenant") {
+    // The service layer issues its flows dynamically (attached below); a
+    // small background open-loop mesh keeps the arrival-list path and the
+    // service path coexisting in one run.
+    sim_config_.reliable = true;
+    sim_config_.lease_interval = 100 * kNsPerUs;
+    sim_config_.rto = 200 * kNsPerUs;
+    sim_config_.seed = config_.seed;
+    arrivals_ = mesh_workload(16, 20, config_.seed);
   } else {
     throw SnapshotError("unknown scenario '" + config_.scenario +
-                        "' (want fault|ga|adaptive)");
+                        "' (want fault|ga|adaptive|tenant)");
   }
   if (config_.routing == "static") {
     sim_config_.congestion_aware = false;
@@ -176,6 +233,13 @@ Scenario::Scenario(ReplayConfig config) : config_(std::move(config)) {
 
   sim_ = std::make_unique<sim::R2c2Sim>(*topo_, *router_, sim_config_);
   sim_->add_flows(arrivals_);
+  if (config_.scenario == "tenant") {
+    service_ = std::make_unique<service::ServiceLayer>(*sim_,
+                                                       tenant_service_config(config_.seed));
+    // A later load_snapshot discards these initial timers along with the
+    // rest of the engine queue and restores the archived ones.
+    service_->start();
+  }
 }
 
 ReplayResult Scenario::run() {

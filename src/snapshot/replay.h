@@ -18,6 +18,12 @@
 //            on: ECN-style marks steer the spray per packet. Exercises the
 //            claim that the adaptive data plane keeps digest/snapshot
 //            bit-identity at any worker count.
+//   "tenant" the closed-loop service layer (src/service/): three tenants —
+//            RPC, partition-aggregate incast with a straggler timeout, and
+//            zipfian storage with a mid-run workload shift — drive the same
+//            folded Clos alongside a background open-loop mesh workload.
+//            Exercises dynamically issued flows, service timers and the
+//            service snapshot sections end to end.
 //
 // config.routing overrides the scenario's routing mode: "static" forces
 // congestion-aware spraying off, "adaptive" forces it on (with the
@@ -40,6 +46,7 @@
 
 #include "common/types.h"
 #include "obs/trace.h"
+#include "service/service.h"
 #include "sim/fault.h"
 #include "sim/metrics.h"
 #include "sim/r2c2_sim.h"
@@ -50,7 +57,7 @@
 namespace r2c2::snapshot {
 
 struct ReplayConfig {
-  std::string scenario = "fault";  // "fault" | "ga" | "adaptive"
+  std::string scenario = "fault";  // "fault" | "ga" | "adaptive" | "tenant"
   std::string routing;             // "" = scenario default | "static" | "adaptive"
   int threads = 1;                 // GA fitness-evaluation threads ("ga" only)
   // Sharded event engine: shard count changes the trajectory (it is part
@@ -85,6 +92,8 @@ class Scenario {
   // The configured-but-unrun simulator (load a snapshot into it to resume).
   sim::R2c2Sim& simulator() { return *sim_; }
   const ReplayConfig& config() const { return config_; }
+  // Attached service layer ("tenant" scenario only; nullptr otherwise).
+  service::ServiceLayer* service() { return service_.get(); }
 
   // Runs (or resumes, if a snapshot was loaded) until the event queue
   // drains, recording digests and writing periodic snapshots.
@@ -97,6 +106,7 @@ class Scenario {
   sim::R2c2SimConfig sim_config_;
   std::vector<FlowArrival> arrivals_;
   std::unique_ptr<sim::R2c2Sim> sim_;
+  std::unique_ptr<service::ServiceLayer> service_;  // "tenant" scenario only
 };
 
 // Archive round trip through a file: save_snapshot writes `sim` to `path`,

@@ -36,7 +36,9 @@ struct WorkloadConfig {
   // Poisson arrivals: exponential inter-arrival with this mean.
   TimeNs mean_interarrival = 1 * kNsPerUs;
   SizeDistribution size_dist = SizeDistribution::kPareto;
-  double mean_bytes = 100.0 * 1024.0;
+  // The paper's mean flow size coincides with the stack-wide short-flow
+  // boundary (common/types.h): ~95% of Pareto(1.05) draws land below it.
+  double mean_bytes = static_cast<double>(kShortFlowCutoffBytes);
   double pareto_shape = 1.05;
   // The Pareto(1.05) tail is effectively unbounded; real traces top out and
   // unbounded samples make run times unpredictable, so sizes are capped

@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <map>
 #include <set>
 
@@ -164,6 +165,42 @@ TEST(Generator, FixedSizeDistribution) {
   for (const auto& f : generate_poisson_uniform(cfg)) EXPECT_EQ(f.bytes, 10u << 20);
 }
 
+TEST(Generator, UncappedParetoExceedsDefaultCap) {
+  // max_bytes = 0 disables the cap entirely: with enough draws the
+  // Pareto(1.05) tail must produce flows past the default 30 MB ceiling,
+  // and the floor still applies.
+  WorkloadConfig cfg;
+  cfg.num_nodes = 16;
+  cfg.num_flows = 200000;
+  cfg.max_bytes = 0;
+  std::uint64_t largest = 0;
+  for (const auto& f : generate_poisson_uniform(cfg)) {
+    EXPECT_GE(f.bytes, cfg.min_bytes);
+    largest = std::max(largest, f.bytes);
+  }
+  EXPECT_GT(largest, 30ull << 20);
+}
+
+TEST(Generator, MinAboveMeanStillHonored) {
+  // A floor above the mean is unusual but legal: every Pareto draw below
+  // it clamps up, so all sizes land in [min_bytes, max_bytes] even though
+  // min_bytes > mean_bytes.
+  WorkloadConfig cfg;
+  cfg.num_nodes = 16;
+  cfg.num_flows = 5000;
+  cfg.mean_bytes = 10.0 * 1024.0;
+  cfg.min_bytes = 64 * 1024;
+  cfg.max_bytes = 1 << 20;
+  std::size_t at_floor = 0;
+  for (const auto& f : generate_poisson_uniform(cfg)) {
+    EXPECT_GE(f.bytes, cfg.min_bytes);
+    EXPECT_LE(f.bytes, cfg.max_bytes);
+    at_floor += (f.bytes == cfg.min_bytes);
+  }
+  // With the mean far below the floor, the overwhelming majority clamp.
+  EXPECT_GT(static_cast<double>(at_floor) / 5000.0, 0.9);
+}
+
 TEST(Generator, Deterministic) {
   WorkloadConfig cfg;
   cfg.num_nodes = 16;
@@ -175,6 +212,37 @@ TEST(Generator, Deterministic) {
     EXPECT_EQ(a[i].src, b[i].src);
     EXPECT_EQ(a[i].bytes, b[i].bytes);
   }
+}
+
+TEST(Generator, ExactStreamDeterminism) {
+  // Two identically-seeded generators must agree on *every* field of
+  // *every* arrival — not just the spot-checked ones. Any hidden
+  // nondeterminism (iteration order, uninitialized fields) breaks the
+  // snapshot/replay machinery downstream.
+  WorkloadConfig cfg;
+  cfg.num_nodes = 32;
+  cfg.num_flows = 10000;
+  cfg.seed = 97;
+  const auto a = generate_poisson_uniform(cfg);
+  const auto b = generate_poisson_uniform(cfg);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].start, b[i].start) << i;
+    EXPECT_EQ(a[i].src, b[i].src) << i;
+    EXPECT_EQ(a[i].dst, b[i].dst) << i;
+    EXPECT_EQ(a[i].bytes, b[i].bytes) << i;
+    EXPECT_EQ(a[i].weight, b[i].weight) << i;
+    EXPECT_EQ(a[i].priority, b[i].priority) << i;
+    EXPECT_EQ(a[i].alg, b[i].alg) << i;
+  }
+  // A different seed must actually change the stream.
+  cfg.seed = 98;
+  const auto c = generate_poisson_uniform(cfg);
+  bool differs = false;
+  for (std::size_t i = 0; i < a.size() && !differs; ++i) {
+    differs = a[i].start != c[i].start || a[i].bytes != c[i].bytes;
+  }
+  EXPECT_TRUE(differs);
 }
 
 TEST(Generator, RejectsTooFewNodes) {

@@ -2,7 +2,7 @@
 //
 // Modes:
 //
-//   replay run    --scenario fault|ga|adaptive [--routing static|adaptive]
+//   replay run    --scenario fault|ga|adaptive|tenant [--routing static|adaptive]
 //                 [--threads N] [--seed S]
 //                 [--digest-every NS] [--snapshot-every NS] [--prefix P]
 //                 [--log FILE]
@@ -10,7 +10,7 @@
 //       writing) the per-tick digest log and snapshot files. Run it on two
 //       builds (same flags), then feed both logs to `bisect`.
 //
-//   replay verify --scenario fault|ga|adaptive [--routing static|adaptive]
+//   replay verify --scenario fault|ga|adaptive|tenant [--routing static|adaptive]
 //                 [--threads N] [--seed S]
 //                 [--digest-every NS] [--snap-at NS] [--prefix P]
 //       The resume-from-snapshot determinism check: runs straight through,
@@ -62,11 +62,11 @@ namespace {
 [[noreturn]] void usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s run|verify|bisect|campaign|repro [options]\n"
-               "  run      --scenario fault|ga|adaptive [--routing static|adaptive]\n"
+               "  run      --scenario fault|ga|adaptive|tenant [--routing static|adaptive]\n"
                "           [--threads N] [--seed S] [--digest-every NS]\n"
                "           [--engine-shards K] [--engine-workers W]\n"
                "           [--snapshot-every NS] [--prefix P] [--log FILE]\n"
-               "  verify   --scenario fault|ga|adaptive [--routing static|adaptive]\n"
+               "  verify   --scenario fault|ga|adaptive|tenant [--routing static|adaptive]\n"
                "           [--threads N] [--seed S] [--digest-every NS]\n"
                "           [--engine-shards K] [--engine-workers W]\n"
                "           [--snap-at NS] [--prefix P]\n"
